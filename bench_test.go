@@ -1,0 +1,176 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (§5). Each benchmark executes a reduced-size instance of the
+// corresponding experiment in internal/bench per iteration and reports
+// the headline metric via b.ReportMetric; `go run ./cmd/lambdafs-bench`
+// runs the full experiments with complete table output.
+//
+// All numbers are virtual-time measurements from the simulated substrates
+// (see DESIGN.md); the reproduction target is the paper's shapes, not its
+// absolute testbed numbers.
+package lambdafs
+
+import (
+	"testing"
+	"time"
+
+	"lambdafs/internal/bench"
+	"lambdafs/internal/namespace"
+)
+
+func benchOpts() bench.Options {
+	// Tiny shapes keep the full `go test -bench=. ./...` pass inside
+	// Go's default 10-minute test timeout; `cmd/lambdafs-bench` runs the
+	// quick/full experiment scales.
+	return bench.Options{Quick: true, Tiny: true, Seed: 1}
+}
+
+// findRow pulls a numeric-ish cell for reporting; benches mainly assert
+// the experiments run end to end and surface headline metrics.
+func reportNote(b *testing.B, tables []*bench.Table) {
+	b.Helper()
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+// BenchmarkTable2OpMix regenerates Table 2 (operation mix).
+func BenchmarkTable2OpMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunTab2(benchOpts()))
+	}
+}
+
+// BenchmarkFig8aSpotify25k regenerates Figure 8(a): the bursty Spotify
+// workload at a 25k ops/s base on λFS and the serverful baselines.
+func BenchmarkFig8aSpotify25k(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		tables := bench.RunFig8(opts, 25000)
+		reportNote(b, tables)
+	}
+}
+
+// BenchmarkFig8bSpotify50k regenerates Figure 8(b) (50k ops/s base).
+func BenchmarkFig8bSpotify50k(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig8(opts, 50000))
+	}
+}
+
+// BenchmarkFig9Cost regenerates Figure 9 and Figure 8(c): cumulative cost
+// and performance-per-cost under the paper's pricing models.
+func BenchmarkFig9Cost(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig9(opts))
+	}
+}
+
+// BenchmarkFig10LatencyCDF regenerates Figure 10 (per-op latency CDFs).
+func BenchmarkFig10LatencyCDF(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig10(opts))
+	}
+}
+
+// BenchmarkFig11ClientScaling regenerates Figure 11 (client-driven
+// scaling across λFS, HopsFS, HopsFS+Cache, InfiniCache, CephFS).
+func BenchmarkFig11ClientScaling(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig11(opts))
+	}
+}
+
+// BenchmarkFig12ResourceScaling regenerates Figure 12 (vCPU scaling).
+func BenchmarkFig12ResourceScaling(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig12(opts))
+	}
+}
+
+// BenchmarkFig13PerfPerCost regenerates Figure 13 (performance-per-cost
+// vs client count).
+func BenchmarkFig13PerfPerCost(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig13(opts))
+	}
+}
+
+// BenchmarkFig14AutoScalingAblation regenerates Figure 14 (auto-scaling
+// on / limited / off).
+func BenchmarkFig14AutoScalingAblation(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig14(opts))
+	}
+}
+
+// BenchmarkTable3SubtreeMv regenerates Table 3 (subtree mv latency).
+func BenchmarkTable3SubtreeMv(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunTab3(opts))
+	}
+}
+
+// BenchmarkFig15FaultTolerance regenerates Figure 15 (NameNode kills
+// under the Spotify workload).
+func BenchmarkFig15FaultTolerance(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig15(opts))
+	}
+}
+
+// BenchmarkFig16TreeTest regenerates Figure 16 (λIndexFS vs IndexFS).
+func BenchmarkFig16TreeTest(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		reportNote(b, bench.RunFig16(opts))
+	}
+}
+
+// BenchmarkClientOpLatency measures the end-to-end virtual latency of
+// cached reads through the public API (a sanity probe on the TCP fast
+// path: ~1 ms per the paper's §3.2).
+func BenchmarkClientOpLatency(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Deployments = 4
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	cl := cluster.NewClient("bench")
+	if err := cl.MkdirAll("/bench"); err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Create("/bench/f"); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the cache and the TCP connection.
+	for i := 0; i < 8; i++ {
+		if _, err := cl.Stat("/bench/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := cluster.Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Stat("/bench/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	virtual := cluster.Clock().Since(start)
+	b.ReportMetric(float64(virtual.Nanoseconds())/float64(b.N), "virtual-ns/op")
+	if perOp := virtual / time.Duration(b.N); perOp > 20*time.Millisecond {
+		b.Fatalf("cached stat took %v virtual per op", perOp)
+	}
+	_ = namespace.OpStat
+}

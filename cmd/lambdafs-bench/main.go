@@ -1,0 +1,93 @@
+// Command lambdafs-bench regenerates the paper's evaluation: every table
+// and figure of §5 has a named experiment that wires the systems under
+// test onto the discrete-event simulation clock and prints the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	lambdafs-bench list                 # show available experiments
+//	lambdafs-bench all                  # run everything (quick scale)
+//	lambdafs-bench fig8a fig11          # run selected experiments
+//	lambdafs-bench -full fig8a          # paper-scale counts (slow)
+//	lambdafs-bench -seed 42 fig16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"lambdafs/internal/bench"
+)
+
+func main() {
+	// The simulation is allocation-heavy (per-op request/response and
+	// INode clones); a relaxed GC target trades memory for wall time.
+	debug.SetGCPercent(400)
+	full := flag.Bool("full", false, "run paper-scale op counts and durations (slow)")
+	seed := flag.Int64("seed", 1, "workload randomness seed")
+	csvDir := flag.String("csv", "", "also export each table as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] list | all | <experiment>...\n\n", os.Args[0])
+		fmt.Fprintln(os.Stderr, "experiments:")
+		for _, e := range bench.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.Name, e.Brief)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if args[0] == "list" {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.Name, e.Brief)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if args[0] == "all" {
+		selected = bench.All()
+	} else {
+		for _, name := range args {
+			e, ok := bench.Find(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'list')\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout}
+	mode := "quick"
+	if *full {
+		mode = "full (paper-scale)"
+	}
+	fmt.Printf("λFS evaluation reproduction — %d experiment(s), %s mode, seed %d\n\n",
+		len(selected), mode, *seed)
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "csv dir:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("--- %s: %s\n", e.Name, e.Brief)
+		tables := e.Run(opts)
+		if *csvDir != "" {
+			for _, tb := range tables {
+				if err := tb.SaveCSV(*csvDir); err != nil {
+					fmt.Fprintln(os.Stderr, "csv export:", err)
+				}
+			}
+		}
+		fmt.Printf("--- %s done in %v (wall)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,163 @@
+// Command lambdafs-shell boots an in-process λFS cluster and executes
+// file system commands against it — the equivalent of the artifact's
+// terminal-based benchmarking interface for poking at a live deployment.
+//
+// Usage:
+//
+//	lambdafs-shell -c "mkdir /a; create /a/f; ls /a; stat /a/f; stats"
+//	echo "mkdir /x\ncreate /x/y\nls /x" | lambdafs-shell
+//
+// Commands: mkdir <path> | create <path> | stat <path> | read <path> |
+// ls <path> | mv <src> <dst> | rm <path> | kill <deployment> | stats |
+// help
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lambdafs"
+)
+
+func main() {
+	script := flag.String("c", "", "semicolon-separated commands to run (default: read stdin)")
+	deployments := flag.Int("deployments", 8, "number of NameNode deployments")
+	flag.Parse()
+
+	cfg := lambdafs.DefaultConfig()
+	cfg.Deployments = *deployments
+	cluster, err := lambdafs.NewCluster(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "start cluster:", err)
+		os.Exit(1)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient("shell")
+	fmt.Printf("λFS cluster up: %d deployments, NDB store, ZooKeeper coordinator\n", *deployments)
+
+	run := func(line string) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			return
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		need := func(n int) bool {
+			if len(args) < n {
+				fmt.Printf("%s: expected %d argument(s)\n", cmd, n)
+				return false
+			}
+			return true
+		}
+		switch cmd {
+		case "mkdir":
+			if need(1) {
+				report(cmd, args[0], client.MkdirAll(args[0]))
+			}
+		case "create":
+			if need(1) {
+				report(cmd, args[0], client.Create(args[0]))
+			}
+		case "stat":
+			if !need(1) {
+				return
+			}
+			info, err := client.Stat(args[0])
+			if err != nil {
+				report(cmd, args[0], err)
+				return
+			}
+			kind := "file"
+			if info.IsDir {
+				kind = "dir"
+			}
+			fmt.Printf("%s: %s id=%d perm=%o size=%d\n", args[0], kind, info.ID, info.Perm, info.Size)
+		case "read":
+			if !need(1) {
+				return
+			}
+			info, blocks, err := client.Open(args[0])
+			if err != nil {
+				report(cmd, args[0], err)
+				return
+			}
+			fmt.Printf("%s: id=%d size=%d blocks=%d\n", args[0], info.ID, info.Size, len(blocks))
+			for _, b := range blocks {
+				fmt.Printf("  block %d size=%d replicas=%v\n", b.ID, b.Size, b.Locations)
+			}
+		case "ls":
+			if !need(1) {
+				return
+			}
+			entries, err := client.List(args[0])
+			if err != nil {
+				report(cmd, args[0], err)
+				return
+			}
+			for _, e := range entries {
+				kind := "-"
+				if e.IsDir {
+					kind = "d"
+				}
+				fmt.Printf("%s %8d  %s\n", kind, e.Size, e.Name)
+			}
+			fmt.Printf("%d entries\n", len(entries))
+		case "mv":
+			if need(2) {
+				report(cmd, args[0]+" -> "+args[1], client.Rename(args[0], args[1]))
+			}
+		case "rm":
+			if need(1) {
+				report(cmd, args[0], client.Remove(args[0]))
+			}
+		case "kill":
+			if !need(1) {
+				return
+			}
+			dep, err := strconv.Atoi(args[0])
+			if err != nil {
+				fmt.Println("kill: deployment must be a number")
+				return
+			}
+			if cluster.Platform().KillOneInstance(dep) {
+				fmt.Printf("killed one NameNode of deployment %d\n", dep)
+			} else {
+				fmt.Printf("no live NameNode in deployment %d\n", dep)
+			}
+		case "stats":
+			s := cluster.Stats()
+			fmt.Printf("NameNodes=%d vCPU=%.1f coldStarts=%d invocations=%d\n",
+				s.ActiveNameNodes, s.VCPUInUse, s.ColdStarts, s.Invocations)
+			fmt.Printf("cache hits=%d misses=%d | store reads=%d writes=%d commits=%d\n",
+				s.CacheHits, s.CacheMisses, s.Store.Reads, s.Store.Writes, s.Store.Commits)
+			fmt.Printf("cost: pay-per-use $%.6f, provisioned $%.6f\n", s.PayPerUseUSD, s.ProvisionedUSD)
+		case "help":
+			fmt.Println("commands: mkdir create stat read ls mv rm kill stats help")
+		default:
+			fmt.Printf("unknown command %q (try help)\n", cmd)
+		}
+	}
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			run(line)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		run(sc.Text())
+	}
+}
+
+func report(cmd, target string, err error) {
+	if err != nil {
+		fmt.Printf("%s %s: %v\n", cmd, target, err)
+		return
+	}
+	fmt.Printf("%s %s: ok\n", cmd, target)
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestShellScriptEndToEnd runs the built shell against a scripted session
+// (an integration smoke test for the cmd itself).
+func TestShellScriptEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a subprocess")
+	}
+	bin := t.TempDir() + "/shell"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := exec.Command(bin, "-deployments", "2", "-c",
+		"mkdir /it; create /it/f; ls /it; stat /it/f; rm /it; stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("shell run: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"mkdir /it: ok", "create /it/f: ok", "1 entries",
+		"file id=", "rm /it: ok", "store reads="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Fault tolerance demo (§5.6): run a steady read/write load against λFS
+// while killing one serverless NameNode every few seconds, round-robin
+// across deployments. Clients transparently fail over (retry via other
+// TCP connections, then HTTP), the Coordinator breaks the dead NameNodes'
+// store locks, and the platform re-provisions — the workload completes
+// with zero lost operations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdafs"
+)
+
+const (
+	deployments = 8
+	clients     = 32
+	duration    = 30 * time.Second
+	killEvery   = 3 * time.Second
+)
+
+func main() {
+	cfg := lambdafs.DefaultConfig()
+	cfg.Deployments = deployments
+	cluster, err := lambdafs.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	clk := cluster.Clock()
+
+	seed := cluster.NewClient("seeder")
+	var files []string
+	for d := 0; d < 8; d++ {
+		dir := fmt.Sprintf("/ft/d%d", d)
+		must(seed.MkdirAll(dir))
+		for f := 0; f < 16; f++ {
+			p := fmt.Sprintf("%s/f%02d", dir, f)
+			must(seed.Create(p))
+			files = append(files, p)
+		}
+	}
+
+	var ok, failed, kills atomic.Uint64
+	stop := make(chan struct{})
+
+	// The assassin: one NameNode killed every killEvery, round-robin.
+	var killWG sync.WaitGroup
+	killWG.Add(1)
+	go func() {
+		defer killWG.Done()
+		cluster.Run(func() {
+			dep := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				clk.Sleep(killEvery)
+				if cluster.Platform().KillOneInstance(dep % deployments) {
+					kills.Add(1)
+				}
+				dep++
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	start := clk.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cluster.Run(func() {
+				client := cluster.NewClient(fmt.Sprintf("c%02d", c))
+				rng := rand.New(rand.NewSource(int64(c)))
+				for clk.Since(start) < duration {
+					p := files[rng.Intn(len(files))]
+					if _, err := client.Stat(p); err != nil {
+						failed.Add(1)
+					} else {
+						ok.Add(1)
+					}
+				}
+			})
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	killWG.Wait()
+
+	s := cluster.Stats()
+	fmt.Printf("ran %v of continuous load with a NameNode killed every %v\n", duration, killEvery)
+	fmt.Printf("  NameNodes killed:      %d\n", kills.Load())
+	fmt.Printf("  operations completed:  %d\n", ok.Load())
+	fmt.Printf("  operations failed:     %d\n", failed.Load())
+	fmt.Printf("  cold starts (recovery): %d, live NameNodes now: %d\n", s.ColdStarts, s.ActiveNameNodes)
+	if failed.Load() > 0 {
+		log.Fatal("fault tolerance demo lost operations")
+	}
+	fmt.Println("no operation was lost: clients resubmitted transparently (§3.2, §3.6)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: boot a λFS cluster, run basic file system operations, and
+// inspect what the serverless metadata service did under the hood.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lambdafs"
+)
+
+func main() {
+	// A default cluster: 16 serverless NameNode deployments over an
+	// NDB-like store with a ZooKeeper-like coordinator, running on the
+	// discrete-event clock (instant wall-clock, exact virtual latencies).
+	cluster, err := lambdafs.NewCluster(lambdafs.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client := cluster.NewClient("quickstart")
+
+	// Namespace operations look like any DFS client API; under the hood
+	// the first op HTTP-invokes a serverless NameNode, which then opens
+	// a TCP connection back for the fast path.
+	must(client.MkdirAll("/apps/web/logs"))
+	must(client.Create("/apps/web/logs/access.log"))
+	must(client.Create("/apps/web/logs/error.log"))
+
+	entries, err := client.List("/apps/web/logs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("listing of /apps/web/logs:")
+	for _, e := range entries {
+		fmt.Printf("  %s (id=%d)\n", e.Name, e.ID)
+	}
+
+	// Reads are served from the NameNode metadata cache once warm: the
+	// first Open fills the cache, the repeats hit it.
+	info, _, err := client.Open("/apps/web/logs/access.log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := client.Open("/apps/web/logs/access.log"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("opened %s: inode %d, perm %o\n", info.Path, info.ID, info.Perm)
+
+	// Rename and recursive delete exercise the coherence and subtree
+	// protocols.
+	must(client.Rename("/apps/web/logs/error.log", "/apps/web/logs/error.old"))
+	must(client.Remove("/apps/web"))
+	if _, err := client.Stat("/apps/web"); err == nil {
+		log.Fatal("subtree delete left /apps/web behind")
+	}
+
+	s := cluster.Stats()
+	fmt.Printf("\ncluster after the run:\n")
+	fmt.Printf("  active NameNodes: %d (%.1f vCPU), cold starts: %d\n",
+		s.ActiveNameNodes, s.VCPUInUse, s.ColdStarts)
+	fmt.Printf("  cache: %d hits / %d misses\n", s.CacheHits, s.CacheMisses)
+	fmt.Printf("  store: %d reads, %d commits\n", s.Store.Reads, s.Store.Commits)
+	fmt.Printf("  pay-per-use cost: $%.6f\n", s.PayPerUseUSD)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module lambdafs
+
+go 1.22

@@ -1,0 +1,352 @@
+// Package bench implements the paper's evaluation (§5): one experiment
+// per table and figure, each wiring the systems under test (λFS, HopsFS,
+// HopsFS+Cache, InfiniCache, CephFS, IndexFS/λIndexFS) onto the
+// discrete-event simulation clock with the paper's deployment shapes, and
+// printing the same rows/series the paper reports.
+//
+// Absolute numbers come from this repository's simulated substrates, not
+// the authors' AWS testbed; the *shapes* — who wins, by roughly what
+// factor, where crossovers fall — are the reproduction target (see
+// EXPERIMENTS.md).
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/core"
+	"lambdafs/internal/faas"
+	"lambdafs/internal/hopsfs"
+	"lambdafs/internal/metrics"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/rpc"
+	"lambdafs/internal/workload"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick trims durations and per-client op counts so the whole suite
+	// runs in minutes; Full uses the paper's counts.
+	Quick bool
+	// Tiny shrinks further so that every experiment fits inside Go's
+	// default 10-minute test timeout when the whole set runs as
+	// testing.B benchmarks (bench_test.go). Implies Quick.
+	Tiny bool
+	// Seed drives all workload randomness.
+	Seed int64
+	// Out receives the rendered tables (defaults to io.Discard when nil).
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// Table is one rendered result artifact.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// WriteCSV writes the table as RFC-4180 CSV (header row first); the
+// harness uses it to export figure data for external plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to dir/<ID>.csv.
+func (t *Table) SaveCSV(dir string) error {
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is a named, runnable reproduction unit.
+type Experiment struct {
+	Name  string
+	Brief string
+	Run   func(opts Options) []*Table
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"tab2", "Table 2: Spotify workload operation mix self-check", RunTab2},
+		{"fig8a", "Figure 8(a): Spotify workload, 25k ops/s base", func(o Options) []*Table { return RunFig8(o, 25000) }},
+		{"fig8b", "Figure 8(b): Spotify workload, 50k ops/s base", func(o Options) []*Table { return RunFig8(o, 50000) }},
+		{"fig9", "Figure 9 + 8(c): cumulative cost and performance-per-cost", RunFig9},
+		{"fig10", "Figure 10: latency CDFs per operation type", RunFig10},
+		{"fig11", "Figure 11: client-driven scaling", RunFig11},
+		{"fig12", "Figure 12: resource scaling", RunFig12},
+		{"fig13", "Figure 13: performance-per-cost vs clients", RunFig13},
+		{"fig14", "Figure 14: auto-scaling ablation", RunFig14},
+		{"tab3", "Table 3: subtree mv latency", RunTab3},
+		{"fig15", "Figure 15: fault tolerance under the Spotify workload", RunFig15},
+		{"fig16", "Figure 16: λIndexFS vs IndexFS (tree-test)", RunFig16},
+		{"ablation-rpc", "Ablation: hybrid RPC and replacement probability", RunAblationRPC},
+		{"ablation-batch", "Ablation: subtree batch size and offloading", RunAblationBatch},
+	}
+}
+
+// Find returns the experiment with the given name.
+func Find(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------------
+// System builders. All experiments use the paper's deployment shapes; the
+// DES clock makes full-scale capacities affordable.
+
+// ndbConfig is the shared 4-data-node NDB deployment. Calibrated so the
+// store is the read bottleneck for cache-less HopsFS and the write
+// bottleneck for everyone (§5.3).
+func ndbConfig() ndb.Config {
+	return ndb.Config{
+		DataNodes:       4,
+		WorkersPerNode:  2,
+		RTT:             300 * time.Microsecond,
+		ReadService:     300 * time.Microsecond,
+		WriteService:    250 * time.Microsecond,
+		BatchRows:       64,
+		LockWaitTimeout: 500 * time.Millisecond,
+	}
+}
+
+// lambdaCluster bundles one λFS deployment for an experiment.
+type lambdaCluster struct {
+	clk      *clock.Sim
+	db       *ndb.DB
+	coord    *coordinator.ZK
+	platform *faas.Platform
+	sys      *core.System
+	vms      []*rpc.VM
+	lambda   *metrics.LambdaMeter
+	prov     *metrics.ProvisionedMeter
+	rpcCfg   rpc.Config
+}
+
+type lambdaParams struct {
+	deployments    int
+	nnVCPU         float64
+	nnRAMGB        float64
+	totalVCPU      float64
+	concurrency    int
+	maxInstances   int
+	minInstances   int
+	cacheBudget    int64
+	clientVMs      int
+	replaceProb    float64
+	evictForSpace  bool
+	coldStart      time.Duration
+	gatewayLatency time.Duration
+}
+
+func defaultLambdaParams() lambdaParams {
+	return lambdaParams{
+		deployments:    16,
+		nnVCPU:         6.25,
+		nnRAMGB:        30,
+		totalVCPU:      512,
+		concurrency:    1,
+		clientVMs:      8,
+		replaceProb:    0.005,
+		coldStart:      900 * time.Millisecond,
+		gatewayLatency: 4 * time.Millisecond,
+	}
+}
+
+func newLambdaCluster(clk *clock.Sim, p lambdaParams) *lambdaCluster {
+	return newLambdaClusterWith(clk, p, nil)
+}
+
+// newLambdaClusterWith builds λFS with a final hook over the system
+// config (ablations tweak subtree batching and offloading).
+func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.SystemConfig)) *lambdaCluster {
+	db := ndb.New(clk, ndbConfig())
+	coCfg := coordinator.DefaultConfig()
+	coCfg.HopLatency = 300 * time.Microsecond
+	coCfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(db, id) }
+	coord := coordinator.NewZK(clk, coCfg)
+
+	lambda := metrics.NewLambdaMeter(clock.Epoch)
+	prov := metrics.NewProvisionedMeter(clock.Epoch)
+	fCfg := faas.DefaultConfig()
+	fCfg.TotalVCPU = p.totalVCPU
+	fCfg.TotalRAMGB = 8192
+	fCfg.ColdStart = p.coldStart
+	fCfg.GatewayLatency = p.gatewayLatency
+	fCfg.IdleReclaim = 30 * time.Second
+	fCfg.ReclaimInterval = 5 * time.Second
+	fCfg.Lambda = lambda
+	fCfg.Provisioned = prov
+	platform := faas.New(clk, fCfg)
+
+	eng := core.DefaultEngineConfig()
+	eng.CacheBudget = p.cacheBudget
+	sysCfg := core.SystemConfig{
+		Deployments:               p.deployments,
+		NameNodeVCPU:              p.nnVCPU,
+		NameNodeRAMGB:             p.nnRAMGB,
+		ConcurrencyLevel:          p.concurrency,
+		MaxInstancesPerDeployment: p.maxInstances,
+		MinInstancesPerDeployment: p.minInstances,
+		Engine:                    eng,
+		OffloadLatency:            time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&sysCfg)
+	}
+	sys := core.NewSystem(clk, db, coord, platform, sysCfg)
+
+	rCfg := rpc.DefaultConfig()
+	rCfg.HTTPReplaceProb = p.replaceProb
+	c := &lambdaCluster{
+		clk: clk, db: db, coord: coord, platform: platform, sys: sys,
+		lambda: lambda, prov: prov, rpcCfg: rCfg,
+	}
+	vms := p.clientVMs
+	if vms <= 0 {
+		vms = 1
+	}
+	for i := 0; i < vms; i++ {
+		c.vms = append(c.vms, rpc.NewVM(clk, rCfg))
+	}
+	return c
+}
+
+// clientFor spreads clients across the cluster's VMs.
+func (c *lambdaCluster) clientFor(i int) workload.FS {
+	vm := c.vms[i%len(c.vms)]
+	return vm.NewClient(fmt.Sprintf("c%04d", i), c.sys.Ring(), c.sys)
+}
+
+func (c *lambdaCluster) close() { c.platform.Close() }
+
+// hopsCluster bundles a HopsFS (or HopsFS+Cache) deployment.
+type hopsCluster struct {
+	db *ndb.DB
+	cl *hopsfs.Cluster
+}
+
+func newHopsCluster(clk *clock.Sim, withCache bool, totalVCPU int) *hopsCluster {
+	db := ndb.New(clk, ndbConfig())
+	coCfg := coordinator.DefaultConfig()
+	coCfg.HopLatency = 300 * time.Microsecond
+	coCfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(db, id) }
+	coord := coordinator.NewZK(clk, coCfg)
+	cfg := hopsfs.DefaultConfig()
+	cfg.WithCache = withCache
+	cfg.VCPUPerNameNode = 16
+	cfg.NameNodes = totalVCPU / 16
+	if cfg.NameNodes < 1 {
+		cfg.NameNodes = 1
+	}
+	cfg.RPCOneWay = 300 * time.Microsecond
+	return &hopsCluster{db: db, cl: hopsfs.New(clk, db, coord, cfg)}
+}
+
+func (h *hopsCluster) clientFor(i int) workload.FS {
+	return h.cl.NewClient(fmt.Sprintf("c%04d", i))
+}
+
+func fmtOps(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/1e3)
+	}
+}
+
+func fmtUSD(v float64) string { return fmt.Sprintf("$%.4f", v) }
+
+func ratio(a, b float64) string {
+	if b <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}

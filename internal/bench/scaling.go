@@ -1,0 +1,390 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lambdafs/internal/cephfs"
+	"lambdafs/internal/clock"
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/core"
+	"lambdafs/internal/faas"
+	"lambdafs/internal/infinicache"
+	"lambdafs/internal/metrics"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/workload"
+)
+
+// microResult is one (system, op, size) measurement of §5.3.
+type microResult struct {
+	throughput float64
+	meanLat    time.Duration
+	costPerSec float64 // provisioned/serverful cost rate for Figure 13
+	vcpuUsed   float64
+}
+
+// microSystem builds a system under test for the scaling experiments.
+type microSystem struct {
+	name string
+	// build prepares the system on clk with the given vCPU budget and
+	// preloaded namespace, returning the per-client FS factory, a cost
+	// probe (called after the run; $/sec of the run), and a closer.
+	build func(clk *clock.Sim, vcpus int, dirs, files []string) (func(int) workload.FS, func(elapsed time.Duration) float64, func())
+}
+
+func microTreeShape(opts Options) (dirs, filesPerDir int) {
+	if opts.Tiny {
+		return 8, 32
+	}
+	if opts.Quick {
+		// A smaller tree keeps the re-reference rate (and therefore the
+		// cache behaviour) comparable to the full-size run despite the
+		// reduced op counts.
+		return 16, 64
+	}
+	return 64, 512
+}
+
+func microSizes(opts Options) []int {
+	if opts.Tiny {
+		return []int{8, 64}
+	}
+	if opts.Quick {
+		return []int{8, 64, 256}
+	}
+	return []int{8, 16, 32, 64, 128, 256, 512, 1024}
+}
+
+func microOpsPerClient(opts Options) int {
+	if opts.Tiny {
+		return 48
+	}
+	if opts.Quick {
+		return 96
+	}
+	return 3072
+}
+
+func microOps() []namespace.OpType {
+	return []namespace.OpType{namespace.OpRead, namespace.OpLs, namespace.OpStat,
+		namespace.OpCreate, namespace.OpMkdirs}
+}
+
+// lambdaMicro builds λFS for the scaling experiments.
+func lambdaMicro(maxInstances int) microSystem {
+	return microSystem{
+		name: "λFS",
+		build: func(clk *clock.Sim, vcpus int, dirs, files []string) (func(int) workload.FS, func(time.Duration) float64, func()) {
+			p := defaultLambdaParams()
+			p.totalVCPU = float64(vcpus)
+			p.maxInstances = maxInstances
+			p.minInstances = 1
+			if float64(p.deployments)*p.nnVCPU > p.totalVCPU {
+				// Small budgets cannot host 16 deployments of 6.25 vCPU;
+				// shrink the NameNodes, keeping the deployment count
+				// (namespace partitioning is deployment-count-based).
+				p.nnVCPU = p.totalVCPU / float64(p.deployments)
+				if p.nnVCPU < 0.5 {
+					p.nnVCPU = 0.5
+				}
+				p.minInstances = 0
+			}
+			c := newLambdaCluster(clk, p)
+			workload.PreloadNDB(c.db, dirs, files)
+			cost := func(elapsed time.Duration) float64 {
+				// Figure 13 prices λFS under the simplified (provisioned)
+				// model: the instantaneous rate of the fleet that served
+				// the measured phase.
+				return float64(c.platform.ActiveInstances()) * p.nnRAMGB * metrics.LambdaGBSecondUSD
+			}
+			return c.clientFor, cost, c.close
+		},
+	}
+}
+
+func hopsMicro(withCache bool) microSystem {
+	name := "HopsFS"
+	if withCache {
+		name = "HopsFS+Cache"
+	}
+	return microSystem{
+		name: name,
+		build: func(clk *clock.Sim, vcpus int, dirs, files []string) (func(int) workload.FS, func(time.Duration) float64, func()) {
+			h := newHopsCluster(clk, withCache, vcpus)
+			workload.PreloadNDB(h.db, dirs, files)
+			cost := func(elapsed time.Duration) float64 {
+				return float64(h.cl.TotalVCPU()) * metrics.VMvCPUSecondUSD
+			}
+			return h.clientFor, cost, func() {}
+		},
+	}
+}
+
+func infiniMicro() microSystem {
+	return microSystem{
+		name: "InfiniCache",
+		build: func(clk *clock.Sim, vcpus int, dirs, files []string) (func(int) workload.FS, func(time.Duration) float64, func()) {
+			db := ndb.New(clk, ndbConfig())
+			workload.PreloadNDB(db, dirs, files)
+			coCfg := coordinator.DefaultConfig()
+			coCfg.HopLatency = 300 * time.Microsecond
+			coCfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(db, id) }
+			coord := coordinator.NewZK(clk, coCfg)
+			fCfg := faas.DefaultConfig()
+			fCfg.TotalVCPU = float64(vcpus)
+			fCfg.GatewayLatency = 4 * time.Millisecond
+			fCfg.ColdStart = 900 * time.Millisecond
+			fCfg.IdleReclaim = 0 // static deployment
+			platform := faas.New(clk, fCfg)
+			icfg := infinicache.DefaultConfig()
+			icfg.Deployments = 16
+			icfg.InstancesPerDeployment = 1
+			icfg.VCPU = float64(vcpus) / 16 * 0.9
+			if icfg.VCPU <= 0 {
+				icfg.VCPU = 0.5
+			}
+			sys := infinicache.New(clk, db, coord, platform, icfg)
+			fsFor := func(i int) workload.FS { return sys.NewClient(fmt.Sprintf("c%04d", i)) }
+			cost := func(time.Duration) float64 { return float64(vcpus) * metrics.VMvCPUSecondUSD }
+			return fsFor, cost, platform.Close
+		},
+	}
+}
+
+func cephMicro() microSystem {
+	return microSystem{
+		name: "CephFS",
+		build: func(clk *clock.Sim, vcpus int, dirs, files []string) (func(int) workload.FS, func(time.Duration) float64, func()) {
+			cfg := cephfs.DefaultConfig()
+			cfg.MDSServers = vcpus / 16
+			if cfg.MDSServers < 1 {
+				cfg.MDSServers = 1
+			}
+			sys := cephfs.New(clk, cfg)
+			sys.Preload(dirs, files)
+			fsFor := func(i int) workload.FS { return sys.NewClient(fmt.Sprintf("c%04d", i)) }
+			cost := func(time.Duration) float64 { return float64(vcpus) * metrics.VMvCPUSecondUSD }
+			return fsFor, cost, func() {}
+		},
+	}
+}
+
+// runMicro executes one closed-loop microbenchmark point.
+func runMicro(opts Options, sys microSystem, op namespace.OpType, clients, vcpus, opsPerClient int) microResult {
+	clk := clock.NewSim()
+	defer clk.Close()
+	d, f := microTreeShape(opts)
+	dirs, files := workload.GenerateNamespace(d, f)
+	// Construction pre-warms instances (cold-start sleeps): run it
+	// registered on the DES clock.
+	var fsFor func(int) workload.FS
+	var costProbe func(time.Duration) float64
+	var closer func()
+	clock.Run(clk, func() { fsFor, costProbe, closer = sys.build(clk, vcpus, dirs, files) })
+	defer func() { clock.Run(clk, closer) }()
+	tree := workload.NewTree(dirs, files)
+	// Warm-up pass: client FS handles are reused, so connections are
+	// established and instances provisioned before measurement (the
+	// artifact's benchmarks run repeated trials for the same reason).
+	fss := make([]workload.FS, clients)
+	for i := range fss {
+		fss[i] = fsFor(i)
+	}
+	cached := func(i int) workload.FS { return fss[i] }
+	warm := opsPerClient / 4
+	if warm < 8 {
+		warm = 8
+	}
+	var rec *workload.Recorder
+	var elapsed time.Duration
+	clock.Run(clk, func() {
+		workload.RunClosedLoop(clk, tree, workload.SingleOpMix(op), clients, warm, opts.Seed+99, cached)
+		start := clk.Now()
+		rec = workload.RunClosedLoop(clk, tree, workload.SingleOpMix(op), clients, opsPerClient, opts.Seed, cached)
+		elapsed = clk.Since(start)
+	})
+	res := microResult{meanLat: rec.Overall.Mean()}
+	if elapsed > 0 {
+		res.throughput = float64(rec.Completed.Load()) / elapsed.Seconds()
+	}
+	clock.Run(clk, func() { res.costPerSec = costProbe(elapsed) })
+	return res
+}
+
+// RunFig11 reproduces the client-driven scaling comparison.
+func RunFig11(opts Options) []*Table {
+	systems := []microSystem{lambdaMicro(0), hopsMicro(false), hopsMicro(true), infiniMicro(), cephMicro()}
+	sizes := microSizes(opts)
+	per := microOpsPerClient(opts)
+	var tables []*Table
+	for _, op := range microOps() {
+		t := &Table{
+			ID:      "fig11-" + op.String(),
+			Title:   fmt.Sprintf("Client-driven scaling: %s ops/s (512 vCPU cap, %d ops/client)", op, per),
+			Columns: append([]string{"system"}, sizeCols(sizes)...),
+		}
+		best := map[int]map[string]float64{}
+		for _, sys := range systems {
+			row := []string{sys.name}
+			for _, n := range sizes {
+				r := runMicro(opts, sys, op, n, 512, per)
+				row = append(row, fmtOps(r.throughput))
+				if best[n] == nil {
+					best[n] = map[string]float64{}
+				}
+				best[n][sys.name] = r.throughput
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		largest := sizes[len(sizes)-1]
+		if b := best[largest]; b["HopsFS"] > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("largest size: λFS/HopsFS = %s (paper: read 28.91x, stat 8.22x, ls 20.53x, create 1.49x, mkdir ~1x)",
+				ratio(b["λFS"], b["HopsFS"])))
+		}
+		t.Fprint(opts.out())
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func sizeCols(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = fmt.Sprintf("%d clients", s)
+	}
+	return out
+}
+
+// RunFig12 reproduces the resource scaling comparison.
+func RunFig12(opts Options) []*Table {
+	systems := []microSystem{lambdaMicro(0), hopsMicro(false), hopsMicro(true), infiniMicro(), cephMicro()}
+	vcpus := []int{16, 128, 512}
+	if opts.Tiny {
+		vcpus = []int{16, 512}
+	} else if !opts.Quick {
+		vcpus = []int{16, 32, 64, 128, 256, 512}
+	}
+	clients := 256
+	if opts.Quick {
+		clients = 96
+	}
+	if opts.Tiny {
+		clients = 48
+	}
+	per := microOpsPerClient(opts)
+	var tables []*Table
+	for _, op := range microOps() {
+		t := &Table{
+			ID:      "fig12-" + op.String(),
+			Title:   fmt.Sprintf("Resource scaling: %s ops/s (%d clients, %d ops/client)", op, clients, per),
+			Columns: append([]string{"system"}, vcpuCols(vcpus)...),
+		}
+		growth := map[string][2]float64{}
+		for _, sys := range systems {
+			row := []string{sys.name}
+			var first, last float64
+			for i, v := range vcpus {
+				r := runMicro(opts, sys, op, clients, v, per)
+				row = append(row, fmtOps(r.throughput))
+				if i == 0 {
+					first = r.throughput
+				}
+				last = r.throughput
+			}
+			growth[sys.name] = [2]float64{first, last}
+			t.Rows = append(t.Rows, row)
+		}
+		if g := growth["λFS"]; g[0] > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("λFS growth 16→512 vCPU: %s (paper: read 34.6x, stat 34.8x, ls 72.08x)", ratio(g[1], g[0])))
+		}
+		t.Fprint(opts.out())
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func vcpuCols(vcpus []int) []string {
+	out := make([]string, len(vcpus))
+	for i, v := range vcpus {
+		out[i] = fmt.Sprintf("%d vCPU", v)
+	}
+	return out
+}
+
+// RunFig13 reproduces performance-per-cost vs client count for the read
+// operations (λFS under the simplified pricing model vs HopsFS+Cache's
+// serverful bill).
+func RunFig13(opts Options) []*Table {
+	systems := []microSystem{lambdaMicro(0), hopsMicro(true)}
+	sizes := microSizes(opts)
+	per := microOpsPerClient(opts)
+	var tables []*Table
+	for _, op := range []namespace.OpType{namespace.OpRead, namespace.OpLs, namespace.OpStat} {
+		t := &Table{
+			ID:      "fig13-" + op.String(),
+			Title:   fmt.Sprintf("Performance-per-cost (ops/s/$): %s", op),
+			Columns: append([]string{"system"}, sizeCols(sizes)...),
+		}
+		for _, sys := range systems {
+			row := []string{sys.name}
+			for _, n := range sizes {
+				r := runMicro(opts, sys, op, n, 512, per)
+				row = append(row, fmtOps(metrics.PerfPerCost(r.throughput, r.costPerSec)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes, "paper: λFS higher for read and ls at every size; stat comparable-or-better; λFS dips at the final sizes as it saturates its 512 vCPU")
+		t.Fprint(opts.out())
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// RunFig14 reproduces the auto-scaling ablation: full AS vs limited
+// (≤3 instances per deployment) vs disabled (1 instance).
+func RunFig14(opts Options) []*Table {
+	modes := []struct {
+		label string
+		max   int
+	}{
+		{"AS", 0},
+		{"Limited AS", 3},
+		{"No AS", 1},
+	}
+	clients := 1024
+	per := microOpsPerClient(opts)
+	if opts.Quick {
+		// The ablation needs enough load that a single instance per
+		// deployment saturates; smaller quick sizes would show no
+		// auto-scaling benefit for reads.
+		clients = 512
+	}
+	if opts.Tiny {
+		clients = 192
+	}
+	t := &Table{
+		ID:      "fig14",
+		Title:   fmt.Sprintf("Auto-scaling ablation on λFS (%d clients)", clients),
+		Columns: []string{"op", "AS", "Limited AS", "No AS", "AS/No-AS"},
+	}
+	for _, op := range microOps() {
+		row := []string{op.String()}
+		var full, none float64
+		for _, m := range modes {
+			r := runMicro(opts, lambdaMicro(m.max), op, clients, 512, per)
+			row = append(row, fmtOps(r.throughput))
+			if m.max == 0 {
+				full = r.throughput
+			}
+			if m.max == 1 {
+				none = r.throughput
+			}
+		}
+		row = append(row, ratio(full, none))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: read 3.53-3.80x, stat 3.53-3.80x, ls 14.37x over disabled AS; writes mostly store-bound")
+	t.Fprint(opts.out())
+	return []*Table{t}
+}

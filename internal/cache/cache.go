@@ -1,0 +1,355 @@
+// Package cache implements the serverless metadata cache that each λFS
+// NameNode keeps in its function instance memory (§3.3): cached INodes are
+// stored in a path-component trie so that (a) a read can be served
+// entirely locally when the *whole* component chain of its path is cached,
+// and (b) subtree operations can invalidate an entire directory subtree
+// with a single prefix traversal (Appendix D).
+//
+// The cache is byte-budgeted with LRU eviction. Two invariants hold:
+//
+//  1. A cached INode's ancestors are always cached too (chains are
+//     inserted root-down and evictions remove whole subtrees), so a chain
+//     hit test is a single trie descent.
+//  2. Touching an entry touches its ancestors, so an ancestor is never
+//     older than its hottest descendant and evicting the LRU victim's
+//     subtree only removes colder entries.
+package cache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/trie"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Puts          uint64
+	Evictions     uint64
+	Invalidations uint64
+}
+
+type entry struct {
+	inode *namespace.INode
+	path  string
+	comps []string
+	bytes int64
+	elem  *list.Element
+	// complete marks a directory entry whose full child listing is
+	// cached, making ls servable locally. It is cleared whenever a child
+	// is invalidated or evicted.
+	complete bool
+}
+
+// Cache is a byte-budgeted metadata cache. Safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	t      *trie.Trie[*entry]
+	lru    *list.List // front = most recently used
+	budget int64
+	used   int64
+	stats  Stats
+}
+
+// New returns a cache holding at most budget bytes of INode metadata.
+// budget <= 0 means unlimited.
+func New(budget int64) *Cache {
+	return &Cache{t: trie.New[*entry](), lru: list.New(), budget: budget}
+}
+
+const perEntryOverhead = 64
+
+func entryBytes(path string, n *namespace.INode) int64 {
+	return int64(n.ApproxBytes() + len(path) + perEntryOverhead)
+}
+
+// PutChain caches the INode chain of a resolved path: chain[0] is the
+// root INode and chain[len-1] the terminal INode of path. Intermediate
+// entries are cached under their ancestor paths.
+func (c *Cache) PutChain(path string, chain []*namespace.INode) {
+	comps := namespace.SplitPath(path)
+	if len(chain) == 0 || len(chain) > len(comps)+1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, n := range chain {
+		c.putLocked(comps[:i], n)
+	}
+}
+
+// Put caches a single INode under path. The caller is responsible for the
+// ancestors-cached invariant (PutChain is the usual entry point).
+func (c *Cache) Put(path string, n *namespace.INode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(namespace.SplitPath(path), n)
+}
+
+func (c *Cache) putLocked(comps []string, n *namespace.INode) {
+	if old, ok := c.t.Get(comps); ok {
+		old.inode = n.Clone()
+		nb := entryBytes(old.path, n)
+		c.used += nb - old.bytes
+		old.bytes = nb
+		c.lru.MoveToFront(old.elem)
+	} else {
+		path := "/"
+		if len(comps) > 0 {
+			path = "/" + strings.Join(comps, "/")
+		}
+		e := &entry{
+			inode: n.Clone(),
+			path:  path,
+			comps: append([]string(nil), comps...),
+			bytes: entryBytes(path, n),
+		}
+		e.elem = c.lru.PushFront(e)
+		c.t.Put(e.comps, e)
+		c.used += e.bytes
+		c.stats.Puts++
+	}
+	c.evictLocked()
+}
+
+// evictLocked evicts LRU subtrees until within budget.
+func (c *Cache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.used > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		c.removeSubtreeLocked(victim.comps, true)
+	}
+}
+
+// removeSubtreeLocked removes the entry at comps and all cached
+// descendants, fixing byte accounting, the LRU list, and the parent's
+// listing-completeness flag.
+func (c *Cache) removeSubtreeLocked(comps []string, eviction bool) int {
+	removed := 0
+	var victims []*entry
+	c.t.WalkPrefix(comps, func(_ []string, e *entry) bool {
+		victims = append(victims, e)
+		return true
+	})
+	if len(victims) == 0 {
+		return 0
+	}
+	c.t.DeletePrefix(comps)
+	for _, e := range victims {
+		c.lru.Remove(e.elem)
+		c.used -= e.bytes
+		removed++
+		if eviction {
+			c.stats.Evictions++
+		} else {
+			c.stats.Invalidations++
+		}
+	}
+	// The parent's listing is no longer known-complete.
+	if len(comps) > 0 {
+		if parent, ok := c.t.Get(comps[:len(comps)-1]); ok {
+			parent.complete = false
+		}
+	}
+	return removed
+}
+
+// Lookup returns the cached INode chain for path. hit is true only when
+// the entire chain, including the terminal INode, is cached; otherwise the
+// longest cached prefix is returned (used to shorten store resolution).
+// A lookup touches every returned entry (leaf to root) in the LRU.
+func (c *Cache) Lookup(path string) (chain []*namespace.INode, hit bool) {
+	comps := namespace.SplitPath(path)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries, ok := c.chainEntriesLocked(comps)
+	for i := len(entries) - 1; i >= 0; i-- {
+		c.lru.MoveToFront(entries[i].elem)
+	}
+	for _, e := range entries {
+		chain = append(chain, e.inode.Clone())
+	}
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return chain, ok
+}
+
+func (c *Cache) chainEntriesLocked(comps []string) ([]*entry, bool) {
+	var out []*entry
+	for i := 0; i <= len(comps); i++ {
+		e, ok := c.t.Get(comps[:i])
+		if !ok {
+			return out, false
+		}
+		out = append(out, e)
+	}
+	return out, true
+}
+
+// Get returns the cached terminal INode for path, touching its chain.
+func (c *Cache) Get(path string) (*namespace.INode, bool) {
+	chain, hit := c.Lookup(path)
+	if !hit {
+		return nil, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// Contains reports whether path's terminal INode is cached, without
+// touching the LRU or stats (diagnostic).
+func (c *Cache) Contains(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.t.Get(namespace.SplitPath(path))
+	return ok
+}
+
+// Invalidate removes the entry for path and, because descendants must not
+// outlive their ancestors, any cached entries underneath it. Returns the
+// number of entries removed. This implements the INV of the coherence
+// protocol (§3.5).
+func (c *Cache) Invalidate(path string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeSubtreeLocked(namespace.SplitPath(path), false)
+}
+
+// InvalidatePrefix removes every cached entry at or under path — the
+// subtree/prefix invalidation of Appendix D. Semantically identical to
+// Invalidate (the invariant makes every invalidation a subtree removal)
+// but kept separate for protocol clarity and stats.
+func (c *Cache) InvalidatePrefix(path string) int {
+	return c.Invalidate(path)
+}
+
+// PutListing caches a directory's full child listing: every child INode
+// is cached under dir and dir's entry is marked listing-complete, making
+// subsequent ls operations servable locally (§3.3 read optimization). The
+// dir chain must already be cached (PutChain the resolution first).
+func (c *Cache) PutListing(dir string, children []*namespace.INode) {
+	comps := namespace.SplitPath(dir)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.t.Get(comps); !ok {
+		return
+	}
+	for _, child := range children {
+		c.putLocked(append(comps, child.Name), child)
+	}
+	// Mark complete only when the dir and every child survived any
+	// evictions the puts triggered.
+	e, ok := c.t.Get(comps)
+	if !ok {
+		return
+	}
+	for _, child := range children {
+		if _, ok := c.t.Get(append(comps, child.Name)); !ok {
+			return
+		}
+	}
+	e.complete = true
+}
+
+// Listing returns the directory's cached children when the listing is
+// known-complete, touching the chain in the LRU.
+func (c *Cache) Listing(dir string) ([]*namespace.INode, bool) {
+	comps := namespace.SplitPath(dir)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.t.Get(comps)
+	if !ok || !e.complete {
+		c.stats.Misses++
+		return nil, false
+	}
+	var out []*namespace.INode
+	c.t.WalkPrefix(comps, func(wc []string, child *entry) bool {
+		if len(wc) == len(comps)+1 {
+			out = append(out, child.inode.Clone())
+		}
+		return true
+	})
+	// Touch the dir chain.
+	if entries, full := c.chainEntriesLocked(comps); full {
+		for i := len(entries) - 1; i >= 0; i-- {
+			c.lru.MoveToFront(entries[i].elem)
+		}
+	}
+	c.stats.Hits++
+	return out, true
+}
+
+// ClearComplete drops dir's listing-completeness flag (a sibling create /
+// delete / mv made the cached listing stale) without removing any cached
+// INodes.
+func (c *Cache) ClearComplete(dir string) {
+	comps := namespace.SplitPath(dir)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.t.Get(comps); ok {
+		e.complete = false
+	}
+}
+
+// IsComplete reports the listing-completeness of dir (diagnostics).
+func (c *Cache) IsComplete(dir string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.t.Get(namespace.SplitPath(dir))
+	return ok && e.complete
+}
+
+// Clear drops everything.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = trie.New[*entry]()
+	c.lru.Init()
+	c.used = 0
+}
+
+// Len returns the number of cached INodes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Len()
+}
+
+// UsedBytes returns the current byte accounting.
+func (c *Cache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// HitRatio returns hits/(hits+misses), or 0 when no lookups happened.
+func (c *Cache) HitRatio() float64 {
+	s := c.Stats()
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

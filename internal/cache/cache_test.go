@@ -1,0 +1,335 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lambdafs/internal/namespace"
+)
+
+func inode(id namespace.INodeID, name string, dir bool) *namespace.INode {
+	return &namespace.INode{ID: id, Name: name, IsDir: dir}
+}
+
+// chainFor builds a plausible INode chain for a path.
+func chainFor(path string) []*namespace.INode {
+	comps := namespace.SplitPath(path)
+	chain := []*namespace.INode{namespace.NewRoot()}
+	for i, c := range comps {
+		chain = append(chain, inode(namespace.INodeID(100+i), c, i < len(comps)-1))
+	}
+	return chain
+}
+
+func TestLookupHitAfterPutChain(t *testing.T) {
+	c := New(0)
+	c.PutChain("/a/b/f.txt", chainFor("/a/b/f.txt"))
+	chain, hit := c.Lookup("/a/b/f.txt")
+	if !hit || len(chain) != 4 {
+		t.Fatalf("chain=%d hit=%v", len(chain), hit)
+	}
+	if chain[3].Name != "f.txt" {
+		t.Fatalf("terminal = %v", chain[3])
+	}
+	// Ancestors hit too.
+	if _, hit := c.Lookup("/a/b"); !hit {
+		t.Fatal("interior path not cached")
+	}
+	if _, hit := c.Lookup("/"); !hit {
+		t.Fatal("root not cached")
+	}
+}
+
+func TestLookupMissReturnsLongestPrefix(t *testing.T) {
+	c := New(0)
+	c.PutChain("/a/b", chainFor("/a/b"))
+	chain, hit := c.Lookup("/a/b/missing/deeper")
+	if hit {
+		t.Fatal("unexpected hit")
+	}
+	if len(chain) != 3 { // /, /a, /a/b
+		t.Fatalf("prefix chain length = %d", len(chain))
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d", s.Misses)
+	}
+}
+
+func TestLookupReturnsClones(t *testing.T) {
+	c := New(0)
+	c.PutChain("/a", chainFor("/a"))
+	chain, _ := c.Lookup("/a")
+	chain[1].Name = "mutated"
+	chain2, _ := c.Lookup("/a")
+	if chain2[1].Name != "a" {
+		t.Fatal("cache returned aliased INode")
+	}
+}
+
+func TestInvalidateRemovesSubtree(t *testing.T) {
+	c := New(0)
+	c.PutChain("/a/b/f1", chainFor("/a/b/f1"))
+	c.PutChain("/a/b/f2", chainFor("/a/b/f2"))
+	c.PutChain("/a/c", chainFor("/a/c"))
+	removed := c.Invalidate("/a/b")
+	if removed != 3 { // /a/b, f1, f2
+		t.Fatalf("removed %d, want 3", removed)
+	}
+	if _, hit := c.Lookup("/a/b/f1"); hit {
+		t.Fatal("descendant survived invalidation")
+	}
+	if _, hit := c.Lookup("/a/c"); !hit {
+		t.Fatal("sibling was invalidated")
+	}
+	if s := c.Stats(); s.Invalidations != 3 {
+		t.Fatalf("invalidation count = %d", s.Invalidations)
+	}
+}
+
+func TestInvalidatePrefixRoot(t *testing.T) {
+	c := New(0)
+	c.PutChain("/a", chainFor("/a"))
+	c.PutChain("/b/x", chainFor("/b/x"))
+	if n := c.InvalidatePrefix("/"); n != 4 { // /, /a, /b, /b/x
+		t.Fatalf("root invalidation removed %d entries, want 4", n)
+	}
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatalf("len=%d used=%d after root invalidation", c.Len(), c.UsedBytes())
+	}
+}
+
+func TestEvictionRespectsBudget(t *testing.T) {
+	c := New(2000)
+	for i := 0; i < 100; i++ {
+		p := fmt.Sprintf("/dir/f%03d", i)
+		c.PutChain(p, chainFor(p))
+	}
+	if c.UsedBytes() > 2000 {
+		t.Fatalf("used %d > budget", c.UsedBytes())
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatal("no evictions recorded despite small budget")
+	}
+}
+
+func TestEvictionPrefersCold(t *testing.T) {
+	// Insert hot and cold entries; keep touching hot; cold should go first.
+	c := New(3000)
+	c.PutChain("/hot/f", chainFor("/hot/f"))
+	for i := 0; i < 50; i++ {
+		c.PutChain(fmt.Sprintf("/cold/f%d", i), chainFor(fmt.Sprintf("/cold/f%d", i)))
+		c.Lookup("/hot/f") // keep hot fresh
+	}
+	if _, hit := c.Lookup("/hot/f"); !hit {
+		t.Fatal("hot entry was evicted while cold entries existed")
+	}
+}
+
+func TestByteAccountingExact(t *testing.T) {
+	// Property: after arbitrary puts/invalidations, UsedBytes equals the
+	// sum over surviving entries, and is 0 when empty.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(0)
+		paths := make([]string, 20)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("/d%d/f%d", rng.Intn(4), rng.Intn(6))
+		}
+		for op := 0; op < 100; op++ {
+			p := paths[rng.Intn(len(paths))]
+			if rng.Intn(3) == 0 {
+				c.Invalidate(p)
+			} else {
+				c.PutChain(p, chainFor(p))
+			}
+		}
+		c.InvalidatePrefix("/")
+		return c.UsedBytes() == 0 && c.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestorInvariant(t *testing.T) {
+	// Property: any cached path's ancestors are cached too, even under a
+	// tight budget forcing evictions.
+	rng := rand.New(rand.NewSource(42))
+	c := New(4000)
+	var paths []string
+	for i := 0; i < 200; i++ {
+		p := fmt.Sprintf("/a%d/b%d/c%d", rng.Intn(5), rng.Intn(5), rng.Intn(5))
+		paths = append(paths, p)
+		c.PutChain(p, chainFor(p))
+	}
+	for _, p := range paths {
+		if !c.Contains(p) {
+			continue
+		}
+		for _, anc := range namespace.Ancestors(p) {
+			if !c.Contains(anc) {
+				t.Fatalf("cached %q but ancestor %q missing", p, anc)
+			}
+		}
+	}
+}
+
+func TestUpdateExistingEntry(t *testing.T) {
+	c := New(0)
+	c.PutChain("/f", chainFor("/f"))
+	used := c.UsedBytes()
+	n := inode(500, "f", false)
+	n.Size = 4096
+	n.Owner = strings.Repeat("o", 50)
+	c.Put("/f", n)
+	if c.Len() != 2 { // root + f
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.UsedBytes() <= used {
+		t.Fatal("byte accounting not updated on overwrite")
+	}
+	got, _ := c.Get("/f")
+	if got.Size != 4096 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := New(0)
+	if c.HitRatio() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+	c.PutChain("/x", chainFor("/x"))
+	c.Lookup("/x")
+	c.Lookup("/missing")
+	if r := c.HitRatio(); r != 0.5 {
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(0)
+	c.PutChain("/x/y", chainFor("/x/y"))
+	c.Clear()
+	if c.Len() != 0 || c.UsedBytes() != 0 {
+		t.Fatal("clear left state")
+	}
+	if _, hit := c.Lookup("/x/y"); hit {
+		t.Fatal("hit after clear")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(50_000)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				p := fmt.Sprintf("/w%d/f%d", rng.Intn(8), rng.Intn(100))
+				switch rng.Intn(4) {
+				case 0:
+					c.PutChain(p, chainFor(p))
+				case 1:
+					c.Lookup(p)
+				case 2:
+					c.Invalidate(p)
+				case 3:
+					c.Get(p)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.UsedBytes() < 0 {
+		t.Fatal("negative byte accounting after concurrent use")
+	}
+}
+
+func TestListingPutAndGet(t *testing.T) {
+	c := New(0)
+	c.PutChain("/dir", chainFor("/dir"))
+	kids := []*namespace.INode{
+		inode(10, "a", false), inode(11, "b", false), inode(12, "sub", true),
+	}
+	c.PutListing("/dir", kids)
+	if !c.IsComplete("/dir") {
+		t.Fatal("listing not marked complete")
+	}
+	got, ok := c.Listing("/dir")
+	if !ok || len(got) != 3 {
+		t.Fatalf("listing = %v %v", got, ok)
+	}
+	// Children are individually cached too.
+	if _, hit := c.Lookup("/dir/a"); !hit {
+		t.Fatal("listed child not individually cached")
+	}
+}
+
+func TestListingIncompleteWithoutMark(t *testing.T) {
+	c := New(0)
+	c.PutChain("/dir/a", chainFor("/dir/a"))
+	if _, ok := c.Listing("/dir"); ok {
+		t.Fatal("listing served without completeness")
+	}
+}
+
+func TestListingClearComplete(t *testing.T) {
+	c := New(0)
+	c.PutChain("/dir", chainFor("/dir"))
+	c.PutListing("/dir", []*namespace.INode{inode(10, "a", false)})
+	c.ClearComplete("/dir")
+	if c.IsComplete("/dir") {
+		t.Fatal("ClearComplete ineffective")
+	}
+	if _, hit := c.Lookup("/dir/a"); !hit {
+		t.Fatal("ClearComplete must not drop cached children")
+	}
+}
+
+func TestListingInvalidationOfChildClearsComplete(t *testing.T) {
+	c := New(0)
+	c.PutChain("/dir", chainFor("/dir"))
+	c.PutListing("/dir", []*namespace.INode{inode(10, "a", false), inode(11, "b", false)})
+	c.Invalidate("/dir/a")
+	if c.IsComplete("/dir") {
+		t.Fatal("child invalidation left listing complete")
+	}
+	if _, ok := c.Listing("/dir"); ok {
+		t.Fatal("stale listing served")
+	}
+}
+
+func TestListingEvictionOfChildClearsComplete(t *testing.T) {
+	// Tight budget: inserting many entries evicts listed children; the
+	// listing must never be served incomplete.
+	c := New(2500)
+	c.PutChain("/dir", chainFor("/dir"))
+	c.PutListing("/dir", []*namespace.INode{inode(10, "a", false), inode(11, "b", false)})
+	for i := 0; i < 80; i++ {
+		p := fmt.Sprintf("/other/f%02d", i)
+		c.PutChain(p, chainFor(p))
+	}
+	if got, ok := c.Listing("/dir"); ok && len(got) != 2 {
+		t.Fatalf("incomplete listing served: %d entries", len(got))
+	}
+}
+
+func TestListingOnUncachedDirNoop(t *testing.T) {
+	c := New(0)
+	c.PutListing("/ghost", []*namespace.INode{inode(1, "x", false)})
+	if c.Len() != 0 {
+		t.Fatal("PutListing on uncached dir inserted entries")
+	}
+	c.ClearComplete("/ghost") // must not panic
+	if c.IsComplete("/ghost") {
+		t.Fatal("ghost dir complete")
+	}
+}

@@ -1,0 +1,194 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSimExactDurations: the discrete-event clock must deliver *exact*
+// virtual durations regardless of concurrency — this is the property the
+// benchmark harness depends on (host timers are far too coarse; see the
+// package comment).
+func TestSimExactDurations(t *testing.T) {
+	for _, sleepers := range []int{1, 64, 1024} {
+		s := NewSim()
+		const virtual = 300 * time.Microsecond
+		const rounds = 20
+		var wg sync.WaitGroup
+		var worst atomic.Int64
+		for g := 0; g < sleepers; g++ {
+			wg.Add(1)
+			s.GoRun(func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					start := s.Now()
+					s.Sleep(virtual)
+					d := s.Since(start)
+					if int64(d) > worst.Load() {
+						worst.Store(int64(d))
+					}
+					if d < virtual {
+						t.Errorf("slept only %v", d)
+					}
+				}
+			})
+		}
+		wg.Wait()
+		s.Close()
+		if w := time.Duration(worst.Load()); w != virtual {
+			t.Fatalf("sleepers=%d: worst sleep %v, want exactly %v", sleepers, w, virtual)
+		}
+	}
+}
+
+func TestSimOrderedWakeups(t *testing.T) {
+	s := NewSim()
+	defer s.Close()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	for i, d := range durations {
+		i, d := i, d
+		wg.Add(1)
+		s.GoRun(func() {
+			defer wg.Done()
+			s.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("wake order = %v, want [1 2 0]", order)
+	}
+	if got := s.Since(Epoch); got != 30*time.Millisecond {
+		t.Fatalf("final virtual time = %v", got)
+	}
+}
+
+func TestSimComputeTakesNoVirtualTime(t *testing.T) {
+	s := NewSim()
+	defer s.Close()
+	var elapsed time.Duration
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.GoRun(func() {
+		defer wg.Done()
+		start := s.Now()
+		// Pure compute between sleeps.
+		x := 0
+		for i := 0; i < 1_000_000; i++ {
+			x += i
+		}
+		_ = x
+		s.Sleep(time.Millisecond)
+		elapsed = s.Since(start)
+	})
+	wg.Wait()
+	if elapsed != time.Millisecond {
+		t.Fatalf("compute leaked into virtual time: %v", elapsed)
+	}
+}
+
+func TestSimIdleAllowsAdvance(t *testing.T) {
+	s := NewSim()
+	defer s.Close()
+	ch := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Goroutine A waits on a channel (idle); goroutine B sleeps then
+	// signals. Time must advance despite A being blocked.
+	s.GoRun(func() {
+		defer wg.Done()
+		s.IdleDo(func() { <-ch })
+	})
+	s.GoRun(func() {
+		defer wg.Done()
+		s.Sleep(5 * time.Millisecond)
+		ch <- struct{}{}
+	})
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulation deadlocked: Idle did not release the busy count")
+	}
+}
+
+func TestSimAfter(t *testing.T) {
+	s := NewSim()
+	defer s.Close()
+	var got time.Time
+	var wg sync.WaitGroup
+	wg.Add(1)
+	s.GoRun(func() {
+		defer wg.Done()
+		after := s.After(7 * time.Millisecond)
+		s.IdleDo(func() { got = <-after })
+	})
+	wg.Wait()
+	if want := Epoch.Add(7 * time.Millisecond); !got.Equal(want) {
+		t.Fatalf("After delivered %v, want %v", got, want)
+	}
+}
+
+func TestSimCloseWakesSleepers(t *testing.T) {
+	s := NewSim()
+	released := make(chan struct{})
+	s.GoRun(func() {
+		// A busy peer prevents advancement; Close must still release.
+		s.busy.Add(1)
+		defer s.busy.Add(-1)
+		s.Sleep(time.Hour)
+		close(released)
+	})
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	s.Close() // idempotent
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake pending sleepers")
+	}
+}
+
+func TestSimHelpersFallBackOnOtherClocks(t *testing.T) {
+	c := NewScaled(0)
+	ran := make(chan struct{})
+	Go(c, func() { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(time.Second):
+		t.Fatal("Go helper did not run on non-sim clock")
+	}
+	executed := false
+	Idle(c, func() { executed = true })
+	if !executed {
+		t.Fatal("Idle helper did not run fn")
+	}
+}
+
+func TestSimManyEventsThroughput(t *testing.T) {
+	// Smoke-check event processing rate: 50k sleep events must finish
+	// well under the stall timeout.
+	s := NewSim()
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 50; g++ {
+		wg.Add(1)
+		s.GoRun(func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Sleep(time.Duration(1+i%7) * time.Microsecond)
+			}
+		})
+	}
+	start := time.Now()
+	wg.Wait()
+	t.Logf("50k events in %v (%d advances)", time.Since(start), s.Advances())
+}

@@ -1,0 +1,98 @@
+// Package coordinator implements λFS's pluggable "Coordinator" service
+// (§3.1, §3.5): it tracks which NameNode instances are alive in which
+// deployments, delivers the coherence protocol's INV messages, collects
+// ACKs (excusing instances that terminate mid-protocol), and provides the
+// crash-detection hook that lets the store break locks held by dead
+// NameNodes (§3.6). Leader election for the serverful baselines is
+// included.
+//
+// Two implementations are provided, as in the paper: a ZooKeeper-like
+// in-memory service (zk.go) and an NDB-backed one that persists membership
+// in the metadata store and pays store round trips for protocol messages
+// (ndbcoord.go).
+package coordinator
+
+import (
+	"errors"
+	"time"
+
+	"lambdafs/internal/namespace"
+)
+
+// Invalidation is the payload of an INV message (§3.5, Appendix D).
+type Invalidation struct {
+	// Path is the invalidated path; with Prefix set, every cached entry
+	// at or under Path must be invalidated (subtree invalidation).
+	Path   string
+	Prefix bool
+	// INodeID identifies the modified INode (diagnostics).
+	INodeID namespace.INodeID
+	// Writer is the instance performing the write (never invalidates
+	// itself through the protocol; it updates its own cache in-place).
+	Writer string
+}
+
+// Handler is invoked on a NameNode instance when an INV arrives; returning
+// constitutes the ACK.
+type Handler func(inv Invalidation)
+
+// Session represents one registered NameNode instance. Closing it removes
+// the instance from the membership (normal scale-in); Crash simulates an
+// abrupt termination, which additionally fires the coordinator's crash
+// callback so store locks can be broken.
+type Session interface {
+	Close()
+	Crash()
+	ID() string
+}
+
+// ErrAckTimeout reports that a live member failed to ACK in time.
+var ErrAckTimeout = errors.New("coordinator: ACK timeout")
+
+// Coordinator tracks instance liveness and runs the INV/ACK exchange.
+type Coordinator interface {
+	// Register adds an instance to deployment dep. The handler receives
+	// INVs targeted at the deployment.
+	Register(dep int, id string, h Handler) Session
+
+	// Members returns the live instance IDs of deployment dep.
+	Members(dep int) []string
+
+	// MemberCount returns the total number of live instances.
+	MemberCount() int
+
+	// Invalidate delivers inv to every live member of each deployment in
+	// deps (except inv.Writer) and blocks until all required ACKs arrive.
+	// Instances that terminate mid-protocol are excused (Algorithm 1
+	// step 1).
+	Invalidate(deps []int, inv Invalidation) error
+
+	// TryLead attempts to acquire leadership of group for id, returning
+	// true when id is (or becomes) the leader. Leadership is released
+	// when the id's session closes or crashes.
+	TryLead(group, id string) bool
+
+	// Leader returns the current leader of group ("" when none).
+	Leader(group string) string
+}
+
+// Config tunes the coordinator's latency model.
+type Config struct {
+	// HopLatency is the one-way latency of a message routed through the
+	// coordinator (leader → coordinator → member, and back for the ACK).
+	HopLatency time.Duration
+	// AckTimeout bounds the wait for ACKs from live members (real time
+	// scaled by the clock; generous because handler execution is fast).
+	AckTimeout time.Duration
+	// OnCrash, when set, is invoked with the instance ID of every crashed
+	// session (used to break store locks, §3.6).
+	OnCrash func(id string)
+}
+
+// DefaultConfig returns ZooKeeper-like latencies: sub-millisecond hops.
+func DefaultConfig() Config {
+	return Config{
+		HopLatency: 500 * time.Microsecond,
+		AckTimeout: 30 * time.Second,
+	}
+}

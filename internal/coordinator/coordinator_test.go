@@ -1,0 +1,220 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/ndb"
+)
+
+func newTestZK() *ZK {
+	cfg := DefaultConfig()
+	cfg.HopLatency = 0
+	return NewZK(clock.NewScaled(0), cfg)
+}
+
+func TestRegisterMembers(t *testing.T) {
+	z := newTestZK()
+	s1 := z.Register(0, "nn-0a", func(Invalidation) {})
+	z.Register(0, "nn-0b", func(Invalidation) {})
+	z.Register(1, "nn-1a", func(Invalidation) {})
+	got := z.Members(0)
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "nn-0a" || got[1] != "nn-0b" {
+		t.Fatalf("members(0) = %v", got)
+	}
+	if z.MemberCount() != 3 {
+		t.Fatalf("count = %d", z.MemberCount())
+	}
+	s1.Close()
+	if len(z.Members(0)) != 1 {
+		t.Fatal("close did not deregister")
+	}
+	if s1.ID() != "nn-0a" {
+		t.Fatal("ID lost")
+	}
+	s1.Close() // idempotent
+}
+
+func TestInvalidateReachesAllMembersExceptWriter(t *testing.T) {
+	z := newTestZK()
+	var hits sync.Map
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("nn-%d", i)
+		z.Register(2, id, func(id string) Handler {
+			return func(inv Invalidation) {
+				hits.Store(id, inv.Path)
+			}
+		}(id))
+	}
+	if err := z.Invalidate([]int{2}, Invalidation{Path: "/a/b", Writer: "nn-0"}); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	hits.Range(func(k, v any) bool {
+		if k == "nn-0" {
+			t.Fatal("writer invalidated itself through the protocol")
+		}
+		if v != "/a/b" {
+			t.Fatalf("wrong path delivered: %v", v)
+		}
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("%d members received INV, want 3", count)
+	}
+}
+
+func TestInvalidateMultipleDeployments(t *testing.T) {
+	z := newTestZK()
+	var n atomic.Int32
+	for dep := 0; dep < 3; dep++ {
+		for i := 0; i < 2; i++ {
+			z.Register(dep, fmt.Sprintf("nn-%d-%d", dep, i), func(Invalidation) { n.Add(1) })
+		}
+	}
+	if err := z.Invalidate([]int{0, 2}, Invalidation{Path: "/x"}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 4 {
+		t.Fatalf("%d handlers ran, want 4 (deployments 0 and 2)", n.Load())
+	}
+}
+
+func TestInvalidateEmptyDeployment(t *testing.T) {
+	z := newTestZK()
+	if err := z.Invalidate([]int{7}, Invalidation{Path: "/x"}); err != nil {
+		t.Fatalf("empty deployment INV errored: %v", err)
+	}
+}
+
+func TestCrashedMemberExcused(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HopLatency = 5 * time.Millisecond // force a delivery window
+	var crashed atomic.Bool
+	cfg.OnCrash = func(id string) { crashed.Store(true) }
+	z := NewZK(clock.NewScaled(1), cfg) // real-time hops (10ms round)
+
+	handled := atomic.Bool{}
+	s := z.Register(0, "nn-dying", func(Invalidation) { handled.Store(true) })
+	done := make(chan error, 1)
+	go func() { done <- z.Invalidate([]int{0}, Invalidation{Path: "/y"}) }()
+	time.Sleep(2 * time.Millisecond) // INV in flight
+	s.Crash()
+	if err := <-done; err != nil {
+		t.Fatalf("INV not excused for crashed member: %v", err)
+	}
+	if handled.Load() {
+		t.Fatal("crashed member handled INV after termination")
+	}
+	if !crashed.Load() {
+		t.Fatal("OnCrash callback not fired")
+	}
+}
+
+func TestAckTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HopLatency = 0
+	cfg.AckTimeout = 20 * time.Millisecond
+	z := NewZK(clock.NewScaled(0), cfg)
+	block := make(chan struct{})
+	z.Register(0, "nn-stuck", func(Invalidation) { <-block })
+	err := z.Invalidate([]int{0}, Invalidation{Path: "/z"})
+	if err != ErrAckTimeout {
+		t.Fatalf("err = %v, want ErrAckTimeout", err)
+	}
+	close(block)
+}
+
+func TestLeaderElectionSuccession(t *testing.T) {
+	z := newTestZK()
+	s1 := z.Register(0, "a", func(Invalidation) {})
+	z.Register(0, "b", func(Invalidation) {})
+	if !z.TryLead("nn", "a") {
+		t.Fatal("first candidate should lead")
+	}
+	if z.TryLead("nn", "b") {
+		t.Fatal("second candidate should not lead")
+	}
+	if z.Leader("nn") != "a" {
+		t.Fatalf("leader = %q", z.Leader("nn"))
+	}
+	s1.Crash()
+	if !z.TryLead("nn", "b") {
+		t.Fatal("successor should lead after crash")
+	}
+	if z.Leader("nn") != "b" {
+		t.Fatalf("leader after crash = %q", z.Leader("nn"))
+	}
+	if z.Leader("other") != "" {
+		t.Fatal("unknown group has a leader")
+	}
+}
+
+func TestTryLeadIdempotent(t *testing.T) {
+	z := newTestZK()
+	z.Register(0, "a", func(Invalidation) {})
+	if !z.TryLead("g", "a") || !z.TryLead("g", "a") {
+		t.Fatal("repeated TryLead by the leader should stay true")
+	}
+}
+
+func TestNDBCoordPersistsMembership(t *testing.T) {
+	clk := clock.NewScaled(0)
+	dbCfg := ndb.DefaultConfig()
+	dbCfg.RTT, dbCfg.ReadService, dbCfg.WriteService = 0, 0, 0
+	db := ndb.New(clk, dbCfg)
+	cfg := DefaultConfig()
+	cfg.HopLatency = 0
+	c := NewNDB(clk, cfg, db)
+
+	s := c.Register(3, "nn-x", func(Invalidation) {})
+	ids, err := c.PersistedMembers(3)
+	if err != nil || len(ids) != 1 || ids[0] != "nn-x" {
+		t.Fatalf("persisted = %v, %v", ids, err)
+	}
+	// INV works through the embedded dispatcher.
+	var got atomic.Bool
+	c.Register(3, "nn-y", func(Invalidation) { got.Store(true) })
+	if err := c.Invalidate([]int{3}, Invalidation{Path: "/p", Writer: "nn-x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Load() {
+		t.Fatal("INV not delivered via NDB coordinator")
+	}
+	s.Close()
+	ids, _ = c.PersistedMembers(3)
+	for _, id := range ids {
+		if id == "nn-x" {
+			t.Fatal("membership row survived Close")
+		}
+	}
+}
+
+func TestConcurrentRegisterInvalidate(t *testing.T) {
+	z := newTestZK()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := z.Register(i%2, fmt.Sprintf("nn-%d", i), func(Invalidation) {})
+			for j := 0; j < 20; j++ {
+				if err := z.Invalidate([]int{0, 1}, Invalidation{Path: "/c", Writer: s.ID()}); err != nil {
+					t.Errorf("invalidate: %v", err)
+				}
+			}
+			s.Close()
+		}(i)
+	}
+	wg.Wait()
+	if z.MemberCount() != 0 {
+		t.Fatalf("members leaked: %d", z.MemberCount())
+	}
+}

@@ -1,0 +1,187 @@
+package coordinator
+
+import (
+	"sync"
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+// ZK is the ZooKeeper-like in-memory Coordinator: ephemeral sessions for
+// liveness, watch-style crash callbacks, group messaging for INV/ACK, and
+// first-come leader election with succession.
+type ZK struct {
+	clk clock.Clock
+	cfg Config
+
+	mu      sync.Mutex
+	deps    map[int]map[string]*zkSession
+	leaders map[string][]string // group -> ordered candidate ids
+}
+
+var _ Coordinator = (*ZK)(nil)
+
+type zkSession struct {
+	zk      *ZK
+	dep     int
+	id      string
+	handler Handler
+	closed  bool
+	// gone is closed when the session ends; in-flight Invalidate calls
+	// waiting on this member use it to excuse the ACK.
+	gone chan struct{}
+}
+
+// NewZK creates the coordinator.
+func NewZK(clk clock.Clock, cfg Config) *ZK {
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 30 * time.Second
+	}
+	return &ZK{
+		clk:     clk,
+		cfg:     cfg,
+		deps:    make(map[int]map[string]*zkSession),
+		leaders: make(map[string][]string),
+	}
+}
+
+// Register adds an instance to deployment dep.
+func (z *ZK) Register(dep int, id string, h Handler) Session {
+	s := &zkSession{zk: z, dep: dep, id: id, handler: h, gone: make(chan struct{})}
+	z.mu.Lock()
+	if z.deps[dep] == nil {
+		z.deps[dep] = make(map[string]*zkSession)
+	}
+	z.deps[dep][id] = s
+	z.mu.Unlock()
+	return s
+}
+
+func (s *zkSession) ID() string { return s.id }
+
+func (s *zkSession) end(crashed bool) {
+	z := s.zk
+	z.mu.Lock()
+	if s.closed {
+		z.mu.Unlock()
+		return
+	}
+	s.closed = true
+	delete(z.deps[s.dep], s.id)
+	for group, ids := range z.leaders {
+		for i, id := range ids {
+			if id == s.id {
+				z.leaders[group] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+	z.mu.Unlock()
+	close(s.gone)
+	if crashed && z.cfg.OnCrash != nil {
+		z.cfg.OnCrash(s.id)
+	}
+}
+
+func (s *zkSession) Close() { s.end(false) }
+func (s *zkSession) Crash() { s.end(true) }
+
+// Members returns the live instance IDs of deployment dep.
+func (z *ZK) Members(dep int) []string {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	out := make([]string, 0, len(z.deps[dep]))
+	for id := range z.deps[dep] {
+		out = append(out, id)
+	}
+	return out
+}
+
+// MemberCount returns the total number of live instances.
+func (z *ZK) MemberCount() int {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	n := 0
+	for _, m := range z.deps {
+		n += len(m)
+	}
+	return n
+}
+
+// Invalidate implements Algorithm 1 steps 1–2: deliver the INV to every
+// live member of the target deployments and collect ACKs, excusing members
+// that terminate mid-protocol.
+func (z *ZK) Invalidate(deps []int, inv Invalidation) error {
+	// Snapshot the membership at protocol start.
+	z.mu.Lock()
+	var targets []*zkSession
+	for _, dep := range deps {
+		for id, s := range z.deps[dep] {
+			if id != inv.Writer {
+				targets = append(targets, s)
+			}
+		}
+	}
+	z.mu.Unlock()
+	if len(targets) == 0 {
+		return nil
+	}
+
+	type result struct{ ok bool }
+	acks := make(chan result, len(targets))
+	for _, s := range targets {
+		s := s
+		clock.Go(z.clk, func() {
+			// Leader → coordinator → member hop.
+			z.clk.Sleep(2 * z.cfg.HopLatency)
+			select {
+			case <-s.gone:
+				acks <- result{ok: true} // excused
+				return
+			default:
+			}
+			s.handler(inv)
+			// Member → coordinator → leader ACK hop.
+			z.clk.Sleep(2 * z.cfg.HopLatency)
+			acks <- result{ok: true}
+		})
+	}
+	deadline := time.After(z.cfg.AckTimeout)
+	timedOut := false
+	for i := 0; i < len(targets) && !timedOut; i++ {
+		clock.Idle(z.clk, func() {
+			select {
+			case <-acks:
+			case <-deadline:
+				timedOut = true
+			}
+		})
+	}
+	if timedOut {
+		return ErrAckTimeout
+	}
+	return nil
+}
+
+// TryLead acquires or queues for leadership of group.
+func (z *ZK) TryLead(group, id string) bool {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	for _, cand := range z.leaders[group] {
+		if cand == id {
+			return z.leaders[group][0] == id
+		}
+	}
+	z.leaders[group] = append(z.leaders[group], id)
+	return z.leaders[group][0] == id
+}
+
+// Leader returns the current leader of group.
+func (z *ZK) Leader(group string) string {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if ids := z.leaders[group]; len(ids) > 0 {
+		return ids[0]
+	}
+	return ""
+}

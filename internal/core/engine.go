@@ -1,0 +1,408 @@
+// Package core implements λFS's primary contribution: the serverless
+// NameNode. An Engine executes file system metadata operations against
+// the persistent store through a trie-structured metadata cache (§3.3),
+// runs the serverless coherence protocol on writes (§3.5, Algorithm 1),
+// and the subtree coherence protocol with prefix invalidations and
+// elastically offloaded batches for recursive operations (Appendix D).
+//
+// The Engine is deployment-agnostic: wrapped in a faas.App it is a λFS
+// NameNode; hosted on a fixed serverful cluster it is a HopsFS+Cache
+// NameNode; with caching and coherence disabled it is a stateless HopsFS
+// NameNode. The baselines in internal/hopsfs reuse it directly, which is
+// what makes the evaluation an apples-to-apples architecture comparison.
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"lambdafs/internal/cache"
+	"lambdafs/internal/clock"
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/datanode"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/partition"
+	"lambdafs/internal/store"
+)
+
+// CPU abstracts the compute capacity an Engine runs on: a faas.Instance
+// for λFS, a serverful NameNode's worker pool for the baselines.
+type CPU interface {
+	AcquireCPU(d time.Duration)
+}
+
+// nopCPU charges nothing (unit tests).
+type nopCPU struct{}
+
+func (nopCPU) AcquireCPU(time.Duration) {}
+
+// Offloader lets an Engine push subtree sub-operation batches to helper
+// NameNodes in other deployments (Appendix D's serverless offloading).
+type Offloader interface {
+	// OffloadBatch runs fn on a helper NameNode outside deployment
+	// excludeDep, returning false when no helper is available (the
+	// caller then runs fn locally).
+	OffloadBatch(excludeDep int, fn func(cpu CPU)) bool
+}
+
+// EngineConfig tunes one Engine.
+type EngineConfig struct {
+	// OpCPUCost is the instance CPU consumed by one metadata operation.
+	OpCPUCost time.Duration
+	// SubtreeCPUPerINode is the instance CPU per INode of subtree batch
+	// processing.
+	SubtreeCPUPerINode time.Duration
+	// CacheBudget is the metadata cache size in bytes (0 = unlimited,
+	// negative = caching disabled → stateless HopsFS NameNode).
+	CacheBudget int64
+	// ResultCacheSize bounds the resubmission result cache.
+	ResultCacheSize int
+	// SubtreeBatch is the sub-operation batch size (paper default 512).
+	SubtreeBatch int
+	// DataNodeViewTTL is how long a cached DataNode fleet view stays
+	// fresh.
+	DataNodeViewTTL time.Duration
+	// Replication is the block replication factor for new files.
+	Replication int
+	// PassThroughNonOwner keeps correctness when anti-thrashing routes a
+	// request to a non-owner deployment: the op is served without
+	// populating the cache.
+	PassThroughNonOwner bool
+}
+
+// DefaultEngineConfig matches the evaluation's λFS NameNode settings.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		OpCPUCost:           400 * time.Microsecond,
+		SubtreeCPUPerINode:  2 * time.Microsecond,
+		CacheBudget:         0,
+		ResultCacheSize:     4096,
+		SubtreeBatch:        512,
+		DataNodeViewTTL:     10 * time.Second,
+		Replication:         3,
+		PassThroughNonOwner: true,
+	}
+}
+
+// Engine executes metadata operations. One Engine runs per NameNode
+// instance.
+type Engine struct {
+	id    string
+	dep   int // owning deployment; -1 when unpartitioned
+	ring  *partition.Ring
+	st    store.Store
+	coord coordinator.Coordinator // nil → no coherence (stateless baseline)
+	cache *cache.Cache            // nil → no caching
+	cpu   CPU
+	clk   clock.Clock
+	cfg   EngineConfig
+
+	dnview  *datanode.View
+	results *resultCache
+	offload Offloader // nil → run subtree batches locally
+}
+
+// NewEngine builds an engine. ring may be nil for unpartitioned
+// baselines; coord may be nil to disable the coherence protocol (only
+// valid when caching is disabled or the engine is the sole cache).
+func NewEngine(id string, dep int, clk clock.Clock, st store.Store, ring *partition.Ring,
+	coord coordinator.Coordinator, cpu CPU, cfg EngineConfig) *Engine {
+	if cpu == nil {
+		cpu = nopCPU{}
+	}
+	if cfg.SubtreeBatch <= 0 {
+		cfg.SubtreeBatch = 512
+	}
+	e := &Engine{
+		id: id, dep: dep, ring: ring, st: st, coord: coord, cpu: cpu, clk: clk, cfg: cfg,
+		dnview:  datanode.NewView(clk, st, id, cfg.DataNodeViewTTL, cfg.Replication),
+		results: newResultCache(cfg.ResultCacheSize),
+	}
+	if cfg.CacheBudget >= 0 {
+		e.cache = cache.New(cfg.CacheBudget)
+	}
+	return e
+}
+
+// SetOffloader installs the subtree batch offloader.
+func (e *Engine) SetOffloader(o Offloader) { e.offload = o }
+
+// ID returns the engine's NameNode identifier.
+func (e *Engine) ID() string { return e.id }
+
+// Cache exposes the metadata cache (nil when disabled); used by the
+// coherence INV handler and diagnostics.
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// HandleInvalidation applies an INV from the coherence protocol:
+// invalidate the target (prefix for subtree INVs) and drop the parent
+// listing's completeness.
+func (e *Engine) HandleInvalidation(inv coordinator.Invalidation) {
+	if e.cache == nil {
+		return
+	}
+	if inv.Prefix {
+		e.cache.InvalidatePrefix(inv.Path)
+	} else {
+		e.cache.Invalidate(inv.Path)
+	}
+	e.cache.ClearComplete(namespace.ParentPath(inv.Path))
+}
+
+// Execute runs one metadata request to completion, including the result
+// cache check for resubmissions. It implements rpc.Server.
+func (e *Engine) Execute(req namespace.Request) *namespace.Response {
+	if req.ClientID != "" {
+		if r := e.results.get(req.Key()); r != nil {
+			return r
+		}
+	}
+	e.cpu.AcquireCPU(e.cfg.OpCPUCost)
+	resp := e.execute(req)
+	resp.ServedBy = e.id
+	if req.ClientID != "" {
+		e.results.put(req.Key(), resp)
+	}
+	return resp
+}
+
+func (e *Engine) execute(req namespace.Request) *namespace.Response {
+	path, err := namespace.CleanPath(req.Path)
+	if err != nil {
+		return fail(err)
+	}
+	switch req.Op {
+	case namespace.OpRead:
+		return e.read(path)
+	case namespace.OpStat:
+		return e.stat(path)
+	case namespace.OpLs:
+		return e.ls(path)
+	case namespace.OpCreate:
+		return e.create(path)
+	case namespace.OpMkdirs:
+		return e.mkdirs(path)
+	case namespace.OpDelete:
+		return e.del(path)
+	case namespace.OpMv:
+		dest, derr := namespace.CleanPath(req.Dest)
+		if derr != nil {
+			return fail(derr)
+		}
+		return e.mv(path, dest)
+	}
+	return fail(namespace.ErrInvalidState)
+}
+
+func fail(err error) *namespace.Response {
+	return &namespace.Response{Err: namespace.ToWire(err)}
+}
+
+// cachingAllowed reports whether this engine may populate its cache for
+// path: always for unpartitioned engines, otherwise only when this
+// deployment owns the path (anti-thrashing pass-through rule).
+func (e *Engine) cachingAllowed(path string) bool {
+	if e.cache == nil {
+		return false
+	}
+	if e.ring == nil || e.dep < 0 {
+		return true
+	}
+	if e.ring.DeploymentForPath(path) == e.dep {
+		return true
+	}
+	return !e.cfg.PassThroughNonOwner
+}
+
+// resolve returns the INode chain for path, serving from the cache when
+// possible and filling the cache with a shared-locked store resolution on
+// misses (the staleness guard of §3.5: a concurrent writer's exclusive
+// locks serialize against the fill, and the chain is inserted before the
+// locks are released).
+func (e *Engine) resolve(path string) (chain []*namespace.INode, hit bool, err error) {
+	if e.cachingAllowed(path) {
+		if chain, ok := e.cache.Lookup(path); ok {
+			return chain, true, nil
+		}
+		tx := e.st.Begin(e.id)
+		defer tx.Abort()
+		chain, err := tx.ResolvePath(path, store.LockShared)
+		if err != nil {
+			return chain, false, err
+		}
+		// Never cache a chain crossing a foreign subtree operation: the
+		// operation's single prefix INV may already have passed, so an
+		// entry inserted now would never be invalidated again
+		// (Appendix D's subtree protocol assumes no new cache entries
+		// appear under a locked subtree).
+		if checkSubtreeLocks(chain, e.id) == nil {
+			e.cache.PutChain(path, chain)
+		}
+		return chain, false, nil
+	}
+	chain, err = e.st.ResolvePath(path)
+	return chain, false, err
+}
+
+// checkSubtreeLocks rejects operations whose path crosses an in-progress
+// subtree operation (subtree isolation, Appendix D).
+func checkSubtreeLocks(chain []*namespace.INode, self string) error {
+	for _, n := range chain {
+		if n.SubtreeLockOwner != "" && n.SubtreeLockOwner != self {
+			return namespace.ErrSubtreeBusy
+		}
+	}
+	return nil
+}
+
+// read resolves a file and returns its block locations (open /
+// getBlockLocations).
+func (e *Engine) read(path string) *namespace.Response {
+	chain, hit, err := e.resolve(path)
+	if err != nil {
+		return fail(err)
+	}
+	if err := checkSubtreeLocks(chain, e.id); err != nil {
+		return fail(err)
+	}
+	target := chain[len(chain)-1]
+	if target.IsDir {
+		return fail(namespace.ErrIsDir)
+	}
+	stat := namespace.StatOf(target, path)
+	return &namespace.Response{
+		ID:       target.ID,
+		Stat:     &stat,
+		Blocks:   target.Clone().Blocks,
+		CacheHit: hit,
+	}
+}
+
+// stat resolves any path and returns its attributes.
+func (e *Engine) stat(path string) *namespace.Response {
+	chain, hit, err := e.resolve(path)
+	if err != nil {
+		return fail(err)
+	}
+	if err := checkSubtreeLocks(chain, e.id); err != nil {
+		return fail(err)
+	}
+	target := chain[len(chain)-1]
+	stat := namespace.StatOf(target, path)
+	return &namespace.Response{ID: target.ID, Stat: &stat, CacheHit: hit}
+}
+
+// ls lists a directory (or stats a file, HDFS-style). Directory listings
+// are served from the cache when a complete listing is cached; otherwise
+// the listing is fetched under shared locks and cached with the
+// completeness mark.
+func (e *Engine) ls(path string) *namespace.Response {
+	allowed := e.cachingAllowed(path)
+	if allowed {
+		if kids, ok := e.cache.Listing(path); ok {
+			return &namespace.Response{Entries: toEntries(kids), CacheHit: true}
+		}
+	}
+	tx := e.st.Begin(e.id)
+	defer tx.Abort()
+	mode := store.LockNone
+	if allowed {
+		mode = store.LockShared
+	}
+	chain, err := tx.ResolvePath(path, mode)
+	if err != nil {
+		return fail(err)
+	}
+	if err := checkSubtreeLocks(chain, e.id); err != nil {
+		return fail(err)
+	}
+	target := chain[len(chain)-1]
+	if !target.IsDir {
+		stat := namespace.StatOf(target, path)
+		return &namespace.Response{ID: target.ID, Stat: &stat, Entries: []namespace.DirEntry{
+			{Name: target.Name, ID: target.ID, IsDir: false, Size: target.Size},
+		}}
+	}
+	kids, err := tx.ListChildren(target.ID)
+	if err != nil {
+		return fail(err)
+	}
+	if allowed {
+		e.cache.PutChain(path, chain)
+		e.cache.PutListing(path, kids)
+	}
+	return &namespace.Response{ID: target.ID, Entries: toEntries(kids)}
+}
+
+func toEntries(kids []*namespace.INode) []namespace.DirEntry {
+	out := make([]namespace.DirEntry, len(kids))
+	for i, k := range kids {
+		out[i] = namespace.DirEntry{Name: k.Name, ID: k.ID, IsDir: k.IsDir, Size: k.Size}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// invTargets computes the deployments whose caches may hold metadata
+// invalidated by a write on path: the path's owner (terminal metadata)
+// and the parent's owner (the listing containing it). Unpartitioned
+// engines (serverful cached baselines) target every peer.
+func (e *Engine) invTargets(paths ...string) []int {
+	if e.ring == nil {
+		return []int{e.dep}
+	}
+	seen := make(map[int]bool, 4)
+	for _, p := range paths {
+		seen[e.ring.DeploymentForPath(p)] = true
+		seen[e.ring.DeploymentForPath(namespace.ParentPath(p))] = true
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// invalidateAll runs the INV/ACK exchange for the given paths (remote
+// caches first — Algorithm 1 requires all ACKs before persisting) and
+// then updates the local cache identically.
+func (e *Engine) invalidateAll(deps []int, paths ...string) error {
+	for _, p := range paths {
+		if e.coord != nil {
+			inv := coordinator.Invalidation{Path: p, Writer: e.id}
+			if err := e.coord.Invalidate(deps, inv); err != nil {
+				return err
+			}
+		}
+		if e.cache != nil {
+			e.cache.Invalidate(p)
+			e.cache.ClearComplete(namespace.ParentPath(p))
+		}
+	}
+	return nil
+}
+
+// retryWrite runs fn with lock-timeout retries, mirroring store.RunTx but
+// keeping the coherence protocol inside the critical section.
+func (e *Engine) retryWrite(fn func(tx store.Tx) error) error {
+	const maxAttempts = 8
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		tx := e.st.Begin(e.id)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		}
+		if err == nil {
+			return nil
+		}
+		tx.Abort()
+		if !errors.Is(err, store.ErrLockTimeout) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}

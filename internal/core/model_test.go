@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/store"
+)
+
+// modelFS is a trivially-correct in-memory reference file system used as
+// the oracle for randomized testing of the engine: after any sequence of
+// operations, λFS (cache + coherence + store) must agree with the model
+// on every path's existence, kind, and directory contents.
+type modelFS struct {
+	dirs  map[string]bool
+	files map[string]bool
+}
+
+func newModelFS() *modelFS {
+	return &modelFS{dirs: map[string]bool{"/": true}, files: map[string]bool{}}
+}
+
+func (m *modelFS) create(p string) error {
+	if m.files[p] || m.dirs[p] {
+		return namespace.ErrExists
+	}
+	parent := namespace.ParentPath(p)
+	if !m.dirs[parent] {
+		if m.files[parent] {
+			return namespace.ErrNotDir
+		}
+		return namespace.ErrNotFound
+	}
+	m.files[p] = true
+	return nil
+}
+
+func (m *modelFS) mkdirs(p string) error {
+	if m.files[p] {
+		return namespace.ErrExists
+	}
+	// Any file on the ancestor chain makes this invalid.
+	for _, anc := range namespace.Ancestors(p) {
+		if m.files[anc] {
+			return namespace.ErrNotDir
+		}
+	}
+	cur := "/"
+	for _, c := range namespace.SplitPath(p) {
+		cur = namespace.JoinPath(cur, c)
+		if m.files[cur] {
+			return namespace.ErrNotDir
+		}
+		m.dirs[cur] = true
+	}
+	return nil
+}
+
+func (m *modelFS) delete(p string) error {
+	if m.files[p] {
+		delete(m.files, p)
+		return nil
+	}
+	if !m.dirs[p] || p == "/" {
+		if p == "/" {
+			return namespace.ErrPermission
+		}
+		return namespace.ErrNotFound
+	}
+	for d := range m.dirs {
+		if namespace.HasPathPrefix(d, p) {
+			delete(m.dirs, d)
+		}
+	}
+	for f := range m.files {
+		if namespace.HasPathPrefix(f, p) {
+			delete(m.files, f)
+		}
+	}
+	return nil
+}
+
+func (m *modelFS) mv(src, dst string) error {
+	if src == "/" || dst == "/" {
+		return namespace.ErrPermission
+	}
+	if namespace.HasPathPrefix(dst, src) {
+		return namespace.ErrMvIntoSelf
+	}
+	srcIsFile, srcIsDir := m.files[src], m.dirs[src]
+	if !srcIsFile && !srcIsDir {
+		return namespace.ErrNotFound
+	}
+	if m.files[dst] || m.dirs[dst] {
+		return namespace.ErrExists
+	}
+	dstParent := namespace.ParentPath(dst)
+	if !m.dirs[dstParent] {
+		if m.files[dstParent] {
+			return namespace.ErrNotDir
+		}
+		return namespace.ErrNotFound
+	}
+	if srcIsFile {
+		delete(m.files, src)
+		m.files[dst] = true
+		return nil
+	}
+	moveKeys := func(set map[string]bool) {
+		var moved []string
+		for k := range set {
+			if namespace.HasPathPrefix(k, src) {
+				moved = append(moved, k)
+			}
+		}
+		for _, k := range moved {
+			delete(set, k)
+			set[dst+strings.TrimPrefix(k, src)] = true
+		}
+	}
+	moveKeys(m.dirs)
+	moveKeys(m.files)
+	return nil
+}
+
+func (m *modelFS) list(p string) ([]string, error) {
+	if m.files[p] {
+		return []string{namespace.BaseName(p)}, nil
+	}
+	if !m.dirs[p] {
+		return nil, namespace.ErrNotFound
+	}
+	var out []string
+	for d := range m.dirs {
+		if d != p && namespace.ParentPath(d) == p {
+			out = append(out, namespace.BaseName(d))
+		}
+	}
+	for f := range m.files {
+		if namespace.ParentPath(f) == p {
+			out = append(out, namespace.BaseName(f))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// applyModel mirrors an operation onto the model.
+func (m *modelFS) apply(op namespace.OpType, path, dest string) error {
+	switch op {
+	case namespace.OpCreate:
+		return m.create(path)
+	case namespace.OpMkdirs:
+		return m.mkdirs(path)
+	case namespace.OpDelete:
+		return m.delete(path)
+	case namespace.OpMv:
+		return m.mv(path, dest)
+	}
+	return nil
+}
+
+// randPath draws paths from a small universe so operations collide often.
+func randPath(rng *rand.Rand, depth int) string {
+	n := rng.Intn(depth) + 1
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("n%d", rng.Intn(4))
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// TestEngineMatchesModelRandomOps drives random operation sequences
+// through a pair of engines (same deployment, shared store + coordinator)
+// and checks full agreement with the reference model after every write:
+// path existence, node kind, and listings. This exercises the cache,
+// coherence protocol, subtree protocol, and store together.
+func TestEngineMatchesModelRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			a, b, st := twoEngines(t, 1)
+			engines := []*Engine{a, b}
+			model := newModelFS()
+			rng := rand.New(rand.NewSource(seed))
+
+			for step := 0; step < 250; step++ {
+				e := engines[rng.Intn(len(engines))]
+				var op namespace.OpType
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					op = namespace.OpCreate
+				case 3:
+					op = namespace.OpMkdirs
+				case 4, 5:
+					op = namespace.OpDelete
+				case 6:
+					op = namespace.OpMv
+				case 7:
+					op = namespace.OpStat
+				case 8:
+					op = namespace.OpLs
+				default:
+					op = namespace.OpRead
+				}
+				path := randPath(rng, 3)
+				dest := ""
+				if op == namespace.OpMv {
+					dest = randPath(rng, 3)
+				}
+
+				resp := e.Execute(namespace.Request{Op: op, Path: path, Dest: dest})
+				if op.IsWrite() {
+					modelErr := model.apply(op, path, dest)
+					gotErr := resp.Error()
+					if (modelErr == nil) != (gotErr == nil) {
+						t.Fatalf("step %d: %v %s -> engine err %v, model err %v",
+							step, op, path, gotErr, modelErr)
+					}
+					if modelErr != nil && !errors.Is(gotErr, modelErr) {
+						// Error kinds may legitimately differ in race-free
+						// single-threaded mode only for lock timeouts,
+						// which must not happen here.
+						if errors.Is(gotErr, store.ErrLockTimeout) {
+							t.Fatalf("step %d: unexpected lock timeout", step)
+						}
+						t.Fatalf("step %d: %v %s -> engine %v, model %v",
+							step, op, path, gotErr, modelErr)
+					}
+				}
+
+				// After each write, spot-check agreement through the
+				// OTHER engine (coherence must have propagated).
+				if op.IsWrite() && resp.OK() {
+					other := engines[1-indexOf(engines, e)]
+					checkAgreement(t, step, other, model, path)
+					if dest != "" {
+						checkAgreement(t, step, other, model, dest)
+					}
+				}
+			}
+
+			// Final full sweep on both engines.
+			for _, e := range engines {
+				for _, p := range allModelPaths(model) {
+					checkAgreement(t, -1, e, model, p)
+				}
+			}
+			if st.HeldLocks() != 0 {
+				t.Fatalf("locks leaked: %d", st.HeldLocks())
+			}
+		})
+	}
+}
+
+func indexOf(es []*Engine, e *Engine) int {
+	for i, x := range es {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}
+
+func allModelPaths(m *modelFS) []string {
+	var out []string
+	for d := range m.dirs {
+		out = append(out, d)
+	}
+	for f := range m.files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAgreement verifies existence, kind, and listing of path.
+func checkAgreement(t *testing.T, step int, e *Engine, m *modelFS, path string) {
+	t.Helper()
+	resp := e.Execute(namespace.Request{Op: namespace.OpStat, Path: path})
+	wantDir, wantFile := m.dirs[path], m.files[path]
+	if wantDir || wantFile {
+		if !resp.OK() {
+			t.Fatalf("step %d: stat %s failed (%s) but model has it", step, path, resp.Err)
+		}
+		if resp.Stat.IsDir != wantDir {
+			t.Fatalf("step %d: %s kind mismatch: engine dir=%v model dir=%v",
+				step, path, resp.Stat.IsDir, wantDir)
+		}
+	} else if resp.OK() {
+		t.Fatalf("step %d: stat %s succeeded but model deleted it", step, path)
+	}
+	if wantDir {
+		ls := e.Execute(namespace.Request{Op: namespace.OpLs, Path: path})
+		if !ls.OK() {
+			t.Fatalf("step %d: ls %s failed: %s", step, path, ls.Err)
+		}
+		var got []string
+		for _, ent := range ls.Entries {
+			got = append(got, ent.Name)
+		}
+		sort.Strings(got)
+		want, _ := m.list(path)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Fatalf("step %d: ls %s = %v, model %v", step, path, got, want)
+		}
+	}
+}

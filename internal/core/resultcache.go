@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync"
+
+	"lambdafs/internal/namespace"
+)
+
+// resultCache is the NameNode-side response cache for resubmitted
+// requests (§3.2): when network delays or failures prevent a client from
+// receiving a result, the retried request (same ClientID/Seq) returns the
+// cached result instead of re-executing. Bounded FIFO.
+type resultCache struct {
+	mu    sync.Mutex
+	m     map[string]*namespace.Response
+	order []string
+	cap   int
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &resultCache{m: make(map[string]*namespace.Response, capacity), cap: capacity}
+}
+
+func (rc *resultCache) get(key string) *namespace.Response {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.m[key]
+}
+
+func (rc *resultCache) put(key string, resp *namespace.Response) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if _, exists := rc.m[key]; exists {
+		rc.m[key] = resp
+		return
+	}
+	if len(rc.order) >= rc.cap {
+		oldest := rc.order[0]
+		rc.order = rc.order[1:]
+		delete(rc.m, oldest)
+	}
+	rc.m[key] = resp
+	rc.order = append(rc.order, key)
+}
+
+func (rc *resultCache) len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.m)
+}

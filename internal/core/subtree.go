@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lambdafs/internal/clock"
+
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/store"
+)
+
+// This file implements the subtree operation protocol (Appendix D),
+// layered on HopsFS's three-phase scheme:
+//
+//	Phase 1  Acquire the application-level subtree lock: set the root
+//	         INode's SubtreeLockOwner under an exclusive row lock and
+//	         register the operation in the subtree_ops table (isolation
+//	         against overlapping subtree operations).
+//	Phase 2  Quiesce: walk the subtree (building the in-memory tree) and
+//	         compute the set of deployments caching any of its metadata.
+//	Phase 3  Run the λFS subtree coherence protocol — a single prefix INV
+//	         to the deployment set — then execute the sub-operations in
+//	         parallel batches, optionally offloaded to helper NameNodes
+//	         in other deployments (serverless offloading).
+type subtreeWalk struct {
+	root    *namespace.INode
+	nodes   []*namespace.INode // BFS order, root first
+	paths   map[namespace.INodeID]string
+	invDeps []int
+}
+
+// subtreeLock runs Phase 1 for op on rootPath, returning the locked root.
+func (e *Engine) subtreeLock(rootPath string, op namespace.OpType) (*namespace.INode, error) {
+	var root *namespace.INode
+	err := e.retryWrite(func(tx store.Tx) error {
+		parent, err := e.lockParent(tx, rootPath)
+		if err != nil {
+			return err
+		}
+		r, err := tx.GetChild(parent.ID, namespace.BaseName(rootPath), store.LockExclusive)
+		if err != nil {
+			return err
+		}
+		if !r.IsDir {
+			return namespace.ErrNotDir
+		}
+		if r.SubtreeLockOwner != "" && r.SubtreeLockOwner != e.id {
+			return namespace.ErrSubtreeBusy
+		}
+		r.SubtreeLockOwner = e.id
+		if err := tx.PutINode(r); err != nil {
+			return err
+		}
+		if err := tx.KVPut(store.TableSubtreeOps, fmt.Sprintf("%d", r.ID),
+			[]byte(fmt.Sprintf("%s %s %s", e.id, op, rootPath))); err != nil {
+			return err
+		}
+		root = r
+		return nil
+	})
+	return root, err
+}
+
+// subtreeUnlock clears Phase 1 state (used on mv completion and failure
+// paths; delete removes the root row itself).
+func (e *Engine) subtreeUnlock(rootID namespace.INodeID) {
+	_ = e.retryWrite(func(tx store.Tx) error {
+		r, err := tx.GetINode(rootID, store.LockExclusive)
+		if err != nil {
+			if errors.Is(err, namespace.ErrNotFound) {
+				return tx.KVDelete(store.TableSubtreeOps, fmt.Sprintf("%d", rootID))
+			}
+			return err
+		}
+		r.SubtreeLockOwner = ""
+		if err := tx.PutINode(r); err != nil {
+			return err
+		}
+		return tx.KVDelete(store.TableSubtreeOps, fmt.Sprintf("%d", rootID))
+	})
+}
+
+// quiesce runs Phase 2: walk the subtree and compute the INV deployment
+// set — the owner of every INode in the subtree plus the owners of the
+// root and its parent (whose cached listing contains the root).
+func (e *Engine) quiesce(rootPath string, root *namespace.INode) (*subtreeWalk, error) {
+	nodes, err := e.st.ListSubtree(root.ID)
+	if err != nil {
+		return nil, err
+	}
+	w := &subtreeWalk{root: root, nodes: nodes, paths: make(map[namespace.INodeID]string, len(nodes))}
+	w.paths[root.ID] = rootPath
+	depSet := make(map[int]bool)
+	addOwner := func(p string) {
+		if e.ring != nil {
+			depSet[e.ring.DeploymentForPath(p)] = true
+		}
+	}
+	addOwner(rootPath)
+	addOwner(namespace.ParentPath(rootPath))
+	for _, n := range nodes[1:] {
+		parentPath, ok := w.paths[n.ParentID]
+		if !ok {
+			// BFS order guarantees parents precede children.
+			return nil, namespace.ErrInvalidState
+		}
+		p := namespace.JoinPath(parentPath, n.Name)
+		w.paths[n.ID] = p
+		addOwner(p)
+	}
+	if e.ring == nil {
+		w.invDeps = []int{e.dep}
+	} else {
+		for d := range depSet {
+			w.invDeps = append(w.invDeps, d)
+		}
+		sort.Ints(w.invDeps)
+	}
+	return w, nil
+}
+
+// prefixInvalidate runs the subtree coherence protocol: one prefix INV to
+// every deployment in the set, then the same invalidation locally.
+func (e *Engine) prefixInvalidate(w *subtreeWalk, rootPath string) error {
+	if e.coord != nil {
+		inv := coordinator.Invalidation{Path: rootPath, Prefix: true, Writer: e.id}
+		if err := e.coord.Invalidate(w.invDeps, inv); err != nil {
+			return err
+		}
+	}
+	if e.cache != nil {
+		e.cache.InvalidatePrefix(rootPath)
+		e.cache.ClearComplete(namespace.ParentPath(rootPath))
+	}
+	return nil
+}
+
+// runBatches partitions items into SubtreeBatch-sized chunks and executes
+// them in parallel, offloading to helper NameNodes when an Offloader is
+// installed (Appendix D: "elastically offloading batched operations").
+func (e *Engine) runBatches(n int, exec func(start, end int, cpu CPU)) {
+	batch := e.cfg.SubtreeBatch
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += batch {
+		start, end := start, start+batch
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		run := func(cpu CPU) {
+			defer wg.Done()
+			exec(start, end, cpu)
+		}
+		if e.offload != nil && e.offload.OffloadBatch(e.dep, run) {
+			continue
+		}
+		clock.Go(e.clk, func() { run(e.cpu) })
+	}
+	clock.Idle(e.clk, wg.Wait)
+}
+
+// CleanupCrashedNameNode removes persistent state a crashed NameNode left
+// behind: its store row locks and any subtree locks it owned (§3.6). Wire
+// it into the Coordinator's OnCrash callback alongside
+// store.ReleaseOwner.
+func CleanupCrashedNameNode(st store.Store, nnID string) {
+	st.ReleaseOwner(nnID)
+	_ = store.RunTx(st, "crash-cleanup", func(tx store.Tx) error {
+		rows, err := tx.KVScan(store.TableSubtreeOps, "")
+		if err != nil {
+			return err
+		}
+		for key, val := range rows {
+			owner, _, _ := cutSpace(string(val))
+			if owner != nnID {
+				continue
+			}
+			var rootID namespace.INodeID
+			if _, err := fmt.Sscanf(key, "%d", &rootID); err != nil {
+				continue
+			}
+			if r, err := tx.GetINode(rootID, store.LockExclusive); err == nil {
+				r.SubtreeLockOwner = ""
+				if err := tx.PutINode(r); err != nil {
+					return err
+				}
+			}
+			if err := tx.KVDelete(store.TableSubtreeOps, key); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func cutSpace(s string) (before, after string, found bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// deleteSubtree implements recursive directory delete.
+func (e *Engine) deleteSubtree(rootPath string) *namespace.Response {
+	root, err := e.subtreeLock(rootPath, namespace.OpDelete)
+	if err != nil {
+		return fail(err)
+	}
+	w, err := e.quiesce(rootPath, root)
+	if err != nil {
+		e.subtreeUnlock(root.ID)
+		return fail(err)
+	}
+	if err := e.prefixInvalidate(w, rootPath); err != nil {
+		e.subtreeUnlock(root.ID)
+		return fail(err)
+	}
+	// Delete depth-first: children before parents. BFS order reversed
+	// gives exactly that.
+	victims := make([]*namespace.INode, 0, len(w.nodes)-1)
+	for i := len(w.nodes) - 1; i >= 1; i-- {
+		victims = append(victims, w.nodes[i])
+	}
+	perINodeCPU := e.cfg.SubtreeCPUPerINode
+	e.runBatches(len(victims), func(start, end int, cpu CPU) {
+		cpu.AcquireCPU(time.Duration(end-start) * perINodeCPU)
+		_ = e.retryWrite(func(tx store.Tx) error {
+			for _, n := range victims[start:end] {
+				if err := tx.DeleteINode(n.ID); err != nil && !errors.Is(err, namespace.ErrNotFound) {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	// Finally remove the root itself, the registry entry, and bump the
+	// parent's mtime.
+	err = e.retryWrite(func(tx store.Tx) error {
+		parent, err := e.lockParent(tx, rootPath)
+		if err != nil {
+			return err
+		}
+		if err := tx.DeleteINode(root.ID); err != nil {
+			return err
+		}
+		parent.Mtime = e.clk.Now()
+		if err := tx.PutINode(parent); err != nil {
+			return err
+		}
+		return tx.KVDelete(store.TableSubtreeOps, fmt.Sprintf("%d", root.ID))
+	})
+	if err != nil {
+		e.subtreeUnlock(root.ID)
+		return fail(err)
+	}
+	return &namespace.Response{}
+}
+
+// mvSubtree implements recursive directory rename. The namespace stores
+// children by parent ID, so the data change is a single row update on the
+// subtree root; the cost is the quiesce (per-INode write locks taken and
+// released in batches, as in HopsFS Phase 2) and the coherence protocol.
+func (e *Engine) mvSubtree(src, dest string) *namespace.Response {
+	root, err := e.subtreeLock(src, namespace.OpMv)
+	if err != nil {
+		return fail(err)
+	}
+	w, err := e.quiesce(src, root)
+	if err != nil {
+		e.subtreeUnlock(root.ID)
+		return fail(err)
+	}
+	// The destination's owners see a new entry appear.
+	if e.ring != nil {
+		depSet := map[int]bool{}
+		for _, d := range w.invDeps {
+			depSet[d] = true
+		}
+		for _, d := range e.invTargets(dest) {
+			depSet[d] = true
+		}
+		w.invDeps = w.invDeps[:0]
+		for d := range depSet {
+			w.invDeps = append(w.invDeps, d)
+		}
+		sort.Ints(w.invDeps)
+	}
+	if err := e.prefixInvalidate(w, src); err != nil {
+		e.subtreeUnlock(root.ID)
+		return fail(err)
+	}
+	// Quiesce sub-operations: take and release write locks on every
+	// INode in the subtree, batched and in parallel.
+	perINodeCPU := e.cfg.SubtreeCPUPerINode
+	nodes := w.nodes[1:]
+	e.runBatches(len(nodes), func(start, end int, cpu CPU) {
+		cpu.AcquireCPU(time.Duration(end-start) * perINodeCPU)
+		tx := e.st.Begin(e.id)
+		for _, n := range nodes[start:end] {
+			if _, err := tx.GetINode(n.ID, store.LockExclusive); err != nil &&
+				!errors.Is(err, namespace.ErrNotFound) {
+				break
+			}
+		}
+		tx.Abort() // releases the quiesce locks
+	})
+	// The actual move: relink the root, clear the subtree lock.
+	err = e.retryWrite(func(tx store.Tx) error {
+		dstParent, err := e.lockParent(tx, dest)
+		if err != nil {
+			return err
+		}
+		if _, err := tx.GetChild(dstParent.ID, namespace.BaseName(dest), store.LockExclusive); err == nil {
+			return namespace.ErrExists
+		} else if !errors.Is(err, namespace.ErrNotFound) {
+			return err
+		}
+		srcParent, err := e.lockParent(tx, src)
+		if err != nil {
+			return err
+		}
+		r, err := tx.GetINode(root.ID, store.LockExclusive)
+		if err != nil {
+			return err
+		}
+		now := e.clk.Now()
+		r.ParentID = dstParent.ID
+		r.Name = namespace.BaseName(dest)
+		r.SubtreeLockOwner = ""
+		r.Mtime = now
+		if err := tx.PutINode(r); err != nil {
+			return err
+		}
+		srcParent.Mtime = now
+		if err := tx.PutINode(srcParent); err != nil {
+			return err
+		}
+		if dstParent.ID != srcParent.ID {
+			dstParent.Mtime = now
+			if err := tx.PutINode(dstParent); err != nil {
+				return err
+			}
+		}
+		return tx.KVDelete(store.TableSubtreeOps, fmt.Sprintf("%d", root.ID))
+	})
+	if err != nil {
+		e.subtreeUnlock(root.ID)
+		return fail(err)
+	}
+	return &namespace.Response{ID: root.ID}
+}

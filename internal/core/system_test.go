@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/faas"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/rpc"
+)
+
+type testCluster struct {
+	clk   clock.Clock
+	st    *ndb.DB
+	coord *coordinator.ZK
+	p     *faas.Platform
+	sys   *System
+	vm    *rpc.VM
+}
+
+func newCluster(t *testing.T, deployments int) *testCluster {
+	t.Helper()
+	clk := clock.NewScaled(0)
+	dbCfg := ndb.DefaultConfig()
+	dbCfg.RTT, dbCfg.ReadService, dbCfg.WriteService = 0, 0, 0
+	dbCfg.LockWaitTimeout = 150 * time.Millisecond
+	st := ndb.New(clk, dbCfg)
+
+	coCfg := coordinator.DefaultConfig()
+	coCfg.HopLatency = 0
+	coCfg.OnCrash = func(id string) { CleanupCrashedNameNode(st, id) }
+	coord := coordinator.NewZK(clk, coCfg)
+
+	fCfg := faas.DefaultConfig()
+	fCfg.ColdStart = 0
+	fCfg.GatewayLatency = 0
+	fCfg.IdleReclaim = 0
+	p := faas.New(clk, fCfg)
+	t.Cleanup(p.Close)
+
+	sysCfg := DefaultSystemConfig()
+	sysCfg.Deployments = deployments
+	sysCfg.NameNodeVCPU = 2
+	sysCfg.NameNodeRAMGB = 4
+	sysCfg.Engine.OpCPUCost = 0
+	sysCfg.Engine.SubtreeCPUPerINode = 0
+	sysCfg.OffloadLatency = 0
+	sys := NewSystem(clk, st, coord, p, sysCfg)
+
+	rCfg := rpc.DefaultConfig()
+	rCfg.TCPOneWay = 0
+	rCfg.HTTPReplaceProb = 0
+	rCfg.Hedging = false
+	rCfg.BackoffBase = time.Millisecond
+	vm := rpc.NewVM(clk, rCfg)
+	return &testCluster{clk: clk, st: st, coord: coord, p: p, sys: sys, vm: vm}
+}
+
+func (tc *testCluster) client(id string) *rpc.Client {
+	return tc.vm.NewClient(id, tc.sys.Ring(), tc.sys)
+}
+
+func cdo(t *testing.T, c *rpc.Client, op namespace.OpType, path, dest string) *namespace.Response {
+	t.Helper()
+	resp, err := c.Do(op, path, dest)
+	if err != nil {
+		t.Fatalf("%v %s: transport error %v", op, path, err)
+	}
+	return resp
+}
+
+func cok(t *testing.T, c *rpc.Client, op namespace.OpType, path, dest string) *namespace.Response {
+	t.Helper()
+	resp := cdo(t, c, op, path, dest)
+	if !resp.OK() {
+		t.Fatalf("%v %s: %s", op, path, resp.Err)
+	}
+	return resp
+}
+
+func TestEndToEndLifecycle(t *testing.T) {
+	tc := newCluster(t, 4)
+	c := tc.client("c1")
+	cok(t, c, namespace.OpMkdirs, "/app/logs", "")
+	cok(t, c, namespace.OpCreate, "/app/logs/1.log", "")
+	cok(t, c, namespace.OpCreate, "/app/logs/2.log", "")
+	ls := cok(t, c, namespace.OpLs, "/app/logs", "")
+	if len(ls.Entries) != 2 {
+		t.Fatalf("ls = %+v", ls.Entries)
+	}
+	cok(t, c, namespace.OpMv, "/app/logs/1.log", "/app/logs/old.log")
+	cok(t, c, namespace.OpRead, "/app/logs/old.log", "")
+	cok(t, c, namespace.OpDelete, "/app", "")
+	resp := cdo(t, c, namespace.OpStat, "/app/logs/2.log", "")
+	if !errors.Is(resp.Error(), namespace.ErrNotFound) {
+		t.Fatalf("stat after subtree delete: %v", resp.Error())
+	}
+}
+
+func TestCrossDeploymentCoherenceViaClients(t *testing.T) {
+	tc := newCluster(t, 8)
+	w := tc.client("writer")
+	r := tc.client("reader")
+	cok(t, w, namespace.OpMkdirs, "/shared", "")
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("/shared/f%d", i%5)
+		cok(t, w, namespace.OpCreate, p, "")
+		if resp := cok(t, r, namespace.OpStat, p, ""); resp.Stat == nil {
+			t.Fatal("stat lost")
+		}
+		cok(t, w, namespace.OpDelete, p, "")
+		resp := cdo(t, r, namespace.OpStat, p, "")
+		if !errors.Is(resp.Error(), namespace.ErrNotFound) {
+			t.Fatalf("stale read after delete (i=%d): %v", i, resp.Error())
+		}
+	}
+}
+
+func TestCacheHitsAcrossClients(t *testing.T) {
+	tc := newCluster(t, 2)
+	c1 := tc.client("c1")
+	c2 := tc.client("c2")
+	cok(t, c1, namespace.OpMkdirs, "/hot", "")
+	cok(t, c1, namespace.OpCreate, "/hot/f", "")
+	cok(t, c1, namespace.OpRead, "/hot/f", "")
+	// Same deployment serves c2 over the shared connection: warm cache.
+	resp := cok(t, c2, namespace.OpRead, "/hot/f", "")
+	if !resp.CacheHit {
+		t.Fatal("second client's read missed the shared cache")
+	}
+	hits, _ := tc.sys.CacheStats()
+	if hits == 0 {
+		t.Fatal("no cache hits recorded system-wide")
+	}
+}
+
+func TestFaultToleranceKillDuringWorkload(t *testing.T) {
+	tc := newCluster(t, 4)
+	c := tc.client("c1")
+	cok(t, c, namespace.OpMkdirs, "/ft", "")
+	for i := 0; i < 40; i++ {
+		p := fmt.Sprintf("/ft/f%d", i)
+		cok(t, c, namespace.OpCreate, p, "")
+		if i%10 == 5 {
+			tc.p.KillOneInstance(i % 4)
+		}
+		if resp := cok(t, c, namespace.OpStat, p, ""); resp.Stat == nil {
+			t.Fatal("stat lost after kill")
+		}
+	}
+	// All files survive.
+	ls := cok(t, c, namespace.OpLs, "/ft", "")
+	if len(ls.Entries) != 40 {
+		t.Fatalf("entries = %d, want 40", len(ls.Entries))
+	}
+	if tc.st.HeldLocks() != 0 {
+		t.Fatalf("locks leaked after kills: %d", tc.st.HeldLocks())
+	}
+}
+
+func TestManyClientsConcurrentMixed(t *testing.T) {
+	tc := newCluster(t, 8)
+	seed := tc.client("seed")
+	cok(t, seed, namespace.OpMkdirs, "/mix", "")
+	const nClients = 8
+	var wg sync.WaitGroup
+	for w := 0; w < nClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := tc.client(fmt.Sprintf("c%d", w))
+			dir := fmt.Sprintf("/mix/d%d", w)
+			if r, err := c.Do(namespace.OpMkdirs, dir, ""); err != nil || !r.OK() {
+				t.Errorf("mkdirs: %v %v", r, err)
+				return
+			}
+			for i := 0; i < 15; i++ {
+				p := fmt.Sprintf("%s/f%d", dir, i)
+				if r, err := c.Do(namespace.OpCreate, p, ""); err != nil || !r.OK() {
+					t.Errorf("create %s: %v %v", p, r, err)
+					return
+				}
+				if r, err := c.Do(namespace.OpRead, p, ""); err != nil || !r.OK() {
+					t.Errorf("read %s: %v %v", p, r, err)
+					return
+				}
+			}
+			if r, err := c.Do(namespace.OpLs, dir, ""); err != nil || !r.OK() || len(r.Entries) != 15 {
+				t.Errorf("ls %s: %v %v", dir, r, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	ls := cok(t, seed, namespace.OpLs, "/mix", "")
+	if len(ls.Entries) != nClients {
+		t.Fatalf("dirs = %d", len(ls.Entries))
+	}
+}
+
+func TestSubtreeMvViaClient(t *testing.T) {
+	tc := newCluster(t, 4)
+	c := tc.client("c1")
+	cok(t, c, namespace.OpMkdirs, "/big/sub", "")
+	for i := 0; i < 30; i++ {
+		cok(t, c, namespace.OpCreate, fmt.Sprintf("/big/sub/f%d", i), "")
+	}
+	cok(t, c, namespace.OpMv, "/big", "/bigger")
+	ls := cok(t, c, namespace.OpLs, "/bigger/sub", "")
+	if len(ls.Entries) != 30 {
+		t.Fatalf("entries after mv = %d", len(ls.Entries))
+	}
+	resp := cdo(t, c, namespace.OpStat, "/big", "")
+	if !errors.Is(resp.Error(), namespace.ErrNotFound) {
+		t.Fatal("source survived subtree mv")
+	}
+}
+
+func TestAutoScaleOutUnderClientLoad(t *testing.T) {
+	tc := newCluster(t, 1)
+	// Force HTTP (scaling signal) with concurrency 1 instances.
+	var clients []*rpc.Client
+	for i := 0; i < 6; i++ {
+		clients = append(clients, tc.client(fmt.Sprintf("c%d", i)))
+	}
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *rpc.Client) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				c.Do(namespace.OpMkdirs, fmt.Sprintf("/scale%d-%d", i, j), "")
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if tc.sys.Platform().ActiveInstances() < 1 {
+		t.Fatal("no instances active")
+	}
+	// The deployment scaled beyond one instance at some point or at
+	// least served everything; assert all dirs exist.
+	checker := tc.client("check")
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 10; j++ {
+			cok(t, checker, namespace.OpStat, fmt.Sprintf("/scale%d-%d", i, j), "")
+		}
+	}
+}
+
+func TestOffloadBatchUsesHelpers(t *testing.T) {
+	tc := newCluster(t, 3)
+	c := tc.client("c1")
+	// Warm at least one instance in each deployment.
+	for i := 0; i < 30; i++ {
+		cok(t, c, namespace.OpMkdirs, fmt.Sprintf("/warm%d", i), "")
+	}
+	cok(t, c, namespace.OpMkdirs, "/off", "")
+	for i := 0; i < 40; i++ {
+		cok(t, c, namespace.OpCreate, fmt.Sprintf("/off/f%d", i), "")
+	}
+	// Small batches force multiple sub-operations; offloading should not
+	// break correctness.
+	engines := tc.sys.LiveEngines()
+	if len(engines) == 0 {
+		t.Fatal("no live engines")
+	}
+	cok(t, c, namespace.OpDelete, "/off", "")
+	resp := cdo(t, c, namespace.OpStat, "/off", "")
+	if !errors.Is(resp.Error(), namespace.ErrNotFound) {
+		t.Fatal("offloaded subtree delete incomplete")
+	}
+}

@@ -1,0 +1,133 @@
+package datanode
+
+import (
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/ndb"
+)
+
+func newStore() (*ndb.DB, clock.Clock) {
+	clk := clock.NewScaled(0)
+	cfg := ndb.DefaultConfig()
+	cfg.RTT, cfg.ReadService, cfg.WriteService = 0, 0, 0
+	return ndb.New(clk, cfg), clk
+}
+
+func TestPublishAndDiscover(t *testing.T) {
+	st, clk := newStore()
+	dn := New(clk, st, "dn1", time.Hour)
+	dn.AddBlock(1, 128)
+	dn.AddBlock(2, 64)
+	if err := dn.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Discover(clk, st, "test", 0)
+	if err != nil || len(reports) != 1 {
+		t.Fatalf("discover = %v, %v", reports, err)
+	}
+	r := reports[0]
+	if r.ID != "dn1" || r.Blocks != 2 || r.Used != 192 {
+		t.Fatalf("report = %+v", r)
+	}
+	if dn.BlockCount() != 2 || dn.ID() != "dn1" {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestStartStopLoop(t *testing.T) {
+	st, _ := newStore()
+	clk := clock.NewScaled(0.001)
+	dn := New(clk, st, "dn-loop", 10*time.Millisecond)
+	dn.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		reports, _ := Discover(clk, st, "test", 0)
+		if len(reports) == 1 {
+			dn.Stop()
+			dn.Stop() // idempotent
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("loop never published")
+}
+
+func TestDiscoverDropsStale(t *testing.T) {
+	st, _ := newStore()
+	clk := clock.NewManual()
+	dn := New(clk, st, "dn-old", time.Hour)
+	if err := dn.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Minute)
+	fresh, _ := Discover(clk, st, "t", time.Hour)
+	if len(fresh) != 1 {
+		t.Fatal("fresh report dropped")
+	}
+	stale, _ := Discover(clk, st, "t", time.Minute)
+	if len(stale) != 0 {
+		t.Fatal("stale report kept")
+	}
+}
+
+func TestViewRefreshAndTTL(t *testing.T) {
+	st, _ := newStore()
+	clk := clock.NewManual()
+	for _, id := range []string{"dn1", "dn2", "dn3"} {
+		dn := New(clk, st, id, time.Hour)
+		if err := dn.Publish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := NewView(clk, st, "nn", time.Minute, 2)
+	if got := len(v.Live()); got != 3 {
+		t.Fatalf("live = %d", got)
+	}
+	// A new DataNode appears; the view must not see it until TTL expiry.
+	dn4 := New(clk, st, "dn4", time.Hour)
+	if err := dn4.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.Live()); got != 3 {
+		t.Fatalf("TTL cache bypassed: live = %d", got)
+	}
+	clk.Advance(2 * time.Minute)
+	if got := len(v.Live()); got != 4 {
+		t.Fatalf("view not refreshed after TTL: %d", got)
+	}
+}
+
+func TestPickLocations(t *testing.T) {
+	st, clk := newStore()
+	for _, id := range []string{"a", "b", "c"} {
+		dn := New(clk, st, id, time.Hour)
+		if err := dn.Publish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := NewView(clk, st, "nn", time.Hour, 2)
+	locs := v.PickLocations()
+	if len(locs) != 2 || locs[0] == locs[1] {
+		t.Fatalf("locations = %v", locs)
+	}
+	// Round-robin rotates the starting node.
+	locs2 := v.PickLocations()
+	if locs2[0] == locs[0] {
+		t.Fatalf("round robin did not rotate: %v then %v", locs, locs2)
+	}
+	// Replication larger than fleet size clamps.
+	v2 := NewView(clk, st, "nn", time.Hour, 10)
+	if got := len(v2.PickLocations()); got != 3 {
+		t.Fatalf("clamped locations = %d", got)
+	}
+}
+
+func TestPickLocationsEmptyFleet(t *testing.T) {
+	st, clk := newStore()
+	v := NewView(clk, st, "nn", time.Hour, 3)
+	if locs := v.PickLocations(); locs != nil {
+		t.Fatalf("locations from empty fleet: %v", locs)
+	}
+}

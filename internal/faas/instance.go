@@ -1,0 +1,255 @@
+package faas
+
+import (
+	"errors"
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+// ErrInstanceDead reports a request sent to a terminated instance (the TCP
+// fabric translates it into a dropped-connection error).
+var ErrInstanceDead = errors.New("faas: instance terminated")
+
+// Instance is one running serverless function container. All mutable
+// state is guarded by the owning deployment's mutex.
+type Instance struct {
+	d   *Deployment
+	id  string
+	app App
+
+	// Guarded by d.mu.
+	started      bool
+	terminated   bool
+	httpInFlight int
+	busyCount    int
+	lastActive   time.Time
+	activeStart  time.Time
+	createdAt    time.Time
+
+	termCh chan struct{}
+	cpu    chan cpuTask
+}
+
+type cpuTask struct {
+	dur  time.Duration
+	done chan struct{}
+}
+
+func newInstance(d *Deployment, id string) *Instance {
+	inst := &Instance{
+		d:         d,
+		id:        id,
+		createdAt: d.p.clk.Now(),
+		termCh:    make(chan struct{}),
+		cpu:       make(chan cpuTask, 1024),
+	}
+	workers := roundUp(d.opts.VCPU)
+	// Each of the ceil(vCPU) workers stretches service time so aggregate
+	// CPU throughput equals exactly VCPU seconds of work per second.
+	adjust := float64(workers) / d.opts.VCPU
+	for w := 0; w < workers; w++ {
+		clock.Go(d.p.clk, func() { inst.cpuWorker(adjust) })
+	}
+	return inst
+}
+
+func (inst *Instance) cpuWorker(adjust float64) {
+	clk := inst.d.p.clk
+	for {
+		var t cpuTask
+		stop := false
+		clock.Idle(clk, func() {
+			select {
+			case <-inst.termCh:
+				stop = true
+			case t = <-inst.cpu:
+			}
+		})
+		if stop {
+			return
+		}
+		clk.Sleep(time.Duration(float64(t.dur) * adjust))
+		close(t.done)
+	}
+}
+
+// start instantiates the app after the cold start completed.
+func (inst *Instance) start() {
+	inst.app = inst.d.factory(inst)
+	d := inst.d
+	d.mu.Lock()
+	inst.started = true
+	inst.lastActive = d.p.clk.Now()
+	d.mu.Unlock()
+}
+
+// ID returns the instance's unique identifier.
+func (inst *Instance) ID() string { return inst.id }
+
+// DeploymentIndex returns the index of the owning deployment.
+func (inst *Instance) DeploymentIndex() int { return inst.d.index }
+
+// Terminated is closed when the instance dies.
+func (inst *Instance) Terminated() <-chan struct{} { return inst.termCh }
+
+// Alive reports liveness.
+func (inst *Instance) Alive() bool {
+	inst.d.mu.Lock()
+	defer inst.d.mu.Unlock()
+	return inst.aliveLocked()
+}
+
+func (inst *Instance) aliveLocked() bool { return !inst.terminated }
+
+// busy reports in-flight requests; caller holds d.mu.
+func (inst *Instance) busy() bool { return inst.busyCount > 0 }
+
+// AcquireCPU charges dur of instance CPU time, queueing behind other work
+// on this instance — the per-instance compute capacity model.
+func (inst *Instance) AcquireCPU(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	t := cpuTask{dur: dur, done: make(chan struct{})}
+	clk := inst.d.p.clk
+	clock.Idle(clk, func() {
+		select {
+		case inst.cpu <- t:
+		case <-inst.termCh:
+			return
+		}
+		select {
+		case <-t.done:
+		case <-inst.termCh:
+		}
+	})
+}
+
+// beginRequest accounts a request start; reports false when the instance
+// is dead.
+func (inst *Instance) beginRequest() bool {
+	d := inst.d
+	now := d.p.clk.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if inst.terminated {
+		return false
+	}
+	inst.busyCount++
+	if inst.busyCount == 1 {
+		inst.activeStart = now
+	}
+	inst.lastActive = now
+	return true
+}
+
+// endRequest accounts a request end, billing the active span when the
+// instance goes idle.
+func (inst *Instance) endRequest(http bool) {
+	d := inst.d
+	p := d.p
+	now := p.clk.Now()
+	var billFrom time.Time
+	var bill bool
+	d.mu.Lock()
+	if http && inst.httpInFlight > 0 {
+		inst.httpInFlight--
+	}
+	if inst.busyCount > 0 {
+		inst.busyCount--
+		if inst.busyCount == 0 {
+			billFrom = inst.activeStart
+			bill = true
+		}
+	}
+	inst.lastActive = now
+	d.mu.Unlock()
+	if bill && p.cfg.Lambda != nil {
+		p.cfg.Lambda.BillActive(billFrom, now.Sub(billFrom), d.opts.RAMGB)
+	}
+	// Wake one admission waiter.
+	select {
+	case d.slotFreed <- struct{}{}:
+	default:
+	}
+}
+
+// serveHTTP runs one HTTP invocation; the admission slot was already
+// claimed by the gateway.
+func (inst *Instance) serveHTTP(payload any) any {
+	if !inst.beginRequest() {
+		// Terminated between admission and execution: the platform
+		// retries admission.
+		if retry := inst.d; retry != nil {
+			if next, err := retry.admit(); err == nil {
+				return next.serveHTTP(payload)
+			}
+		}
+		return nil
+	}
+	defer inst.endRequest(true)
+	return inst.app.HandleInvoke(payload)
+}
+
+// Serve runs fn as a TCP-path request on this instance: it bypasses the
+// gateway and HTTP admission but is billed and CPU-accounted identically.
+func (inst *Instance) Serve(fn func() any) (any, error) {
+	if !inst.beginRequest() {
+		return nil, ErrInstanceDead
+	}
+	defer inst.endRequest(false)
+	return fn(), nil
+}
+
+// terminate tears the instance down: releases pool resources, bills
+// remaining active and provisioned time, runs the app's Shutdown, and
+// wakes admission waiters.
+func (inst *Instance) terminate(crashed bool) {
+	d := inst.d
+	p := d.p
+	now := p.clk.Now()
+
+	d.mu.Lock()
+	if inst.terminated {
+		d.mu.Unlock()
+		return
+	}
+	inst.terminated = true
+	wasBusySince := inst.activeStart
+	wasBusy := inst.busyCount > 0
+	started := inst.started
+	// Prune from the deployment's instance list.
+	for i, other := range d.instances {
+		if other == inst {
+			d.instances = append(d.instances[:i], d.instances[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+	close(inst.termCh)
+
+	p.mu.Lock()
+	p.vcpuUsed -= d.opts.VCPU
+	p.ramUsed -= d.opts.RAMGB
+	deps := append([]*Deployment(nil), p.deployments...)
+	p.mu.Unlock()
+
+	if wasBusy && p.cfg.Lambda != nil {
+		p.cfg.Lambda.BillActive(wasBusySince, now.Sub(wasBusySince), d.opts.RAMGB)
+	}
+	if p.cfg.Provisioned != nil {
+		p.cfg.Provisioned.BillProvisioned(inst.createdAt, now.Sub(inst.createdAt), d.opts.RAMGB)
+	}
+	if started && inst.app != nil {
+		inst.app.Shutdown(crashed)
+	}
+	// Freed capacity may unblock any deployment's admission queue.
+	for _, other := range deps {
+		select {
+		case other.slotFreed <- struct{}{}:
+		default:
+		}
+	}
+	p.sampleGauge()
+}

@@ -1,0 +1,658 @@
+// Package faas simulates the serverless platform λFS runs on (Apache
+// OpenWhisk in the paper): named function deployments, function instances
+// with cold starts and per-instance HTTP concurrency levels, an API
+// gateway that routes invocations to warm instances or provisions new
+// ones, idle-based scale-in, a finite vCPU/RAM resource pool with optional
+// eviction of idle instances from other deployments (the thrashing regime
+// of Appendix C), fault injection, and pay-per-use billing meters.
+//
+// The platform knows nothing about file system metadata; it hosts Apps.
+// λFS NameNodes, InfiniCache nodes, and λIndexFS functions are all Apps.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/metrics"
+)
+
+// App is the code running inside a function instance.
+type App interface {
+	// HandleInvoke serves one HTTP invocation payload and returns the
+	// response. The platform has already accounted admission, billing
+	// and gateway latency.
+	HandleInvoke(payload any) any
+	// Shutdown is called exactly once when the instance terminates.
+	// crashed distinguishes abrupt termination (fault injection,
+	// eviction under pressure counts as graceful) from scale-in.
+	Shutdown(crashed bool)
+}
+
+// AppFactory builds the App for a new instance of a deployment.
+type AppFactory func(inst *Instance) App
+
+// Config shapes the platform.
+type Config struct {
+	// TotalVCPU and TotalRAMGB bound the resource pool available to all
+	// deployments together (the evaluation's 512-vCPU cap).
+	TotalVCPU  float64
+	TotalRAMGB float64
+
+	// ColdStart is the provisioning latency of a new instance.
+	ColdStart time.Duration
+	// GatewayLatency is the one-way API-gateway routing latency; an HTTP
+	// invocation pays it twice (request and response), which is the
+	// dominant term of the paper's 8–20 ms HTTP RPC latency.
+	GatewayLatency time.Duration
+	// IdleReclaim terminates instances idle longer than this (scale-in).
+	IdleReclaim time.Duration
+	// ReclaimInterval is the reclaimer's scan period.
+	ReclaimInterval time.Duration
+	// MaxUtilization caps the fraction of TotalVCPU the platform will
+	// provision (λFS's self-imposed 92.77% anti-thrashing bound, §5.1).
+	MaxUtilization float64
+	// EvictForSpace permits terminating the longest-idle instance of
+	// another deployment to make room, as OpenWhisk does on a
+	// resource-bounded cluster (the private-cloud thrashing regime of
+	// Appendix C). Without it, deployments that lose the initial
+	// provisioning race can starve behind a fully-committed pool.
+	EvictForSpace bool
+	// InvokeQueueTimeout bounds how long an invocation waits for
+	// admission before the platform sheds it (HTTP 503 → client backoff).
+	InvokeQueueTimeout time.Duration
+
+	// Meters receive billing events when non-nil.
+	Lambda      *metrics.LambdaMeter
+	Provisioned *metrics.ProvisionedMeter
+}
+
+// NuclioConfig returns a Nuclio-flavoured platform profile (§4: λFS also
+// supports Nuclio): faster cold starts and a lighter gateway, with the
+// same control-loop semantics — porting λFS between FaaS platforms is a
+// configuration change, as the paper's 108-line Nuclio port suggests.
+func NuclioConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ColdStart = 400 * time.Millisecond
+	cfg.GatewayLatency = 2 * time.Millisecond
+	return cfg
+}
+
+// DefaultConfig returns OpenWhisk-like parameters used across the
+// evaluation.
+func DefaultConfig() Config {
+	return Config{
+		TotalVCPU:          512,
+		TotalRAMGB:         4096,
+		ColdStart:          900 * time.Millisecond,
+		GatewayLatency:     4 * time.Millisecond,
+		IdleReclaim:        30 * time.Second,
+		ReclaimInterval:    5 * time.Second,
+		MaxUtilization:     0.9277,
+		EvictForSpace:      true,
+		InvokeQueueTimeout: 15 * time.Second,
+	}
+}
+
+// DeploymentOptions shape one function deployment.
+type DeploymentOptions struct {
+	// VCPU and RAMGB are the per-instance resource shape.
+	VCPU  float64
+	RAMGB float64
+	// ConcurrencyLevel is the number of HTTP invocations one instance
+	// serves simultaneously (the paper's OpenWhisk extension, §3.4).
+	ConcurrencyLevel int
+	// MaxInstances caps intra-deployment scale-out (Figure 14's
+	// "limited"/"no" auto-scaling ablation). 0 = unlimited.
+	MaxInstances int
+	// MinInstances are pre-warmed at registration.
+	MinInstances int
+}
+
+// debugAdmit enables admission-rejection logging (diagnostics only).
+var debugAdmit = os.Getenv("FAAS_DEBUG_ADMIT") != ""
+
+var clockEpochForDebug = clock.Epoch
+
+// Platform errors.
+var (
+	ErrNoCapacity   = errors.New("faas: no capacity for invocation")
+	ErrClosed       = errors.New("faas: platform closed")
+	ErrNoDeployment = errors.New("faas: unknown deployment")
+)
+
+// Stats counts platform activity.
+type Stats struct {
+	Invocations  uint64
+	ColdStarts   uint64
+	Reclaims     uint64 // idle scale-in events
+	Evictions    uint64 // instances evicted to make room (thrashing)
+	Kills        uint64 // fault injections
+	Rejections   uint64 // invocations shed after queue timeout
+	PeakVCPUUsed float64
+}
+
+// Platform is the FaaS control plane.
+type Platform struct {
+	clk clock.Clock
+	cfg Config
+
+	mu          sync.Mutex
+	deployments []*Deployment
+	vcpuUsed    float64
+	ramUsed     float64
+	instSeq     int
+	closed      bool
+	stats       Stats
+	stopReclaim chan struct{}
+
+	// instGauge samples active instance counts for Figure 8's secondary
+	// axis; nil when unused.
+	instGauge *metrics.Gauge
+}
+
+// Deployment is one registered serverless function.
+type Deployment struct {
+	p       *Platform
+	index   int
+	name    string
+	factory AppFactory
+	opts    DeploymentOptions
+
+	mu        sync.Mutex
+	instances []*Instance
+	slotFreed chan struct{} // signalled when an HTTP slot or capacity frees
+}
+
+// New creates a platform and starts its reclaimer.
+func New(clk clock.Clock, cfg Config) *Platform {
+	if cfg.MaxUtilization <= 0 || cfg.MaxUtilization > 1 {
+		cfg.MaxUtilization = 1
+	}
+	if cfg.ReclaimInterval <= 0 {
+		cfg.ReclaimInterval = 5 * time.Second
+	}
+	if cfg.InvokeQueueTimeout <= 0 {
+		cfg.InvokeQueueTimeout = 15 * time.Second
+	}
+	p := &Platform{clk: clk, cfg: cfg, stopReclaim: make(chan struct{})}
+	clock.Go(clk, p.reclaimLoop)
+	return p
+}
+
+// SetInstanceGauge installs a gauge sampled with the live instance count
+// on every scale event.
+func (p *Platform) SetInstanceGauge(g *metrics.Gauge) {
+	p.mu.Lock()
+	p.instGauge = g
+	p.mu.Unlock()
+	p.sampleGauge()
+}
+
+func (p *Platform) sampleGauge() {
+	p.mu.Lock()
+	g := p.instGauge
+	n := 0
+	for _, d := range p.deployments {
+		n += d.aliveCount()
+	}
+	p.mu.Unlock()
+	if g != nil {
+		g.Sample(p.clk.Now(), float64(n))
+	}
+}
+
+// Register adds a function deployment named name.
+func (p *Platform) Register(name string, factory AppFactory, opts DeploymentOptions) *Deployment {
+	if opts.VCPU <= 0 {
+		opts.VCPU = 1
+	}
+	if opts.RAMGB <= 0 {
+		opts.RAMGB = 1
+	}
+	if opts.ConcurrencyLevel <= 0 {
+		opts.ConcurrencyLevel = 1
+	}
+	d := &Deployment{
+		p:         p,
+		name:      name,
+		factory:   factory,
+		opts:      opts,
+		slotFreed: make(chan struct{}, 1024),
+	}
+	p.mu.Lock()
+	d.index = len(p.deployments)
+	p.deployments = append(p.deployments, d)
+	p.mu.Unlock()
+	for i := 0; i < opts.MinInstances; i++ {
+		if inst := d.provision(false); inst == nil {
+			break
+		}
+	}
+	return d
+}
+
+// Deployment returns deployment i.
+func (p *Platform) Deployment(i int) *Deployment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i < 0 || i >= len(p.deployments) {
+		return nil
+	}
+	return p.deployments[i]
+}
+
+// Deployments returns the number of registered deployments.
+func (p *Platform) Deployments() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.deployments)
+}
+
+// Invoke performs an HTTP invocation of deployment dep: gateway hop,
+// admission to a warm instance (or cold start), app execution, gateway
+// hop back. It blocks until the response is available.
+func (p *Platform) Invoke(dep int, payload any) (any, error) {
+	d := p.Deployment(dep)
+	if d == nil {
+		return nil, ErrNoDeployment
+	}
+	return d.Invoke(payload)
+}
+
+// Invoke is Platform.Invoke for a known deployment.
+func (d *Deployment) Invoke(payload any) (any, error) {
+	p := d.p
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.stats.Invocations++
+	p.mu.Unlock()
+
+	p.clk.Sleep(p.cfg.GatewayLatency)
+	inst, err := d.admit()
+	if err != nil {
+		p.mu.Lock()
+		p.stats.Rejections++
+		p.mu.Unlock()
+		if debugAdmit {
+			d.mu.Lock()
+			alive, busySlots := 0, 0
+			for _, i := range d.instances {
+				if i.aliveLocked() {
+					alive++
+					busySlots += i.httpInFlight
+				}
+			}
+			d.mu.Unlock()
+			fmt.Fprintf(os.Stderr, "REJECT dep=%d t=%v alive=%d busyHTTP=%d vcpuUsed=%.0f\n",
+				d.index, p.clk.Now().Sub(clockEpochForDebug), alive, busySlots, p.VCPUInUse())
+		}
+		return nil, err
+	}
+	if p.cfg.Lambda != nil {
+		p.cfg.Lambda.BillRequest(p.clk.Now())
+	}
+	resp := inst.serveHTTP(payload)
+	p.clk.Sleep(p.cfg.GatewayLatency)
+	return resp, nil
+}
+
+// admit finds or creates an instance with a free HTTP concurrency slot,
+// waiting for capacity up to the queue timeout. The wait is measured in
+// virtual time so queueing delay is part of the latency model.
+func (d *Deployment) admit() (*Instance, error) {
+	clk := d.p.clk
+	deadline := clk.Now().Add(d.p.cfg.InvokeQueueTimeout)
+	for {
+		// 1. A warm instance with a free slot.
+		if inst := d.pickWarm(); inst != nil {
+			return inst, nil
+		}
+		// 2. Scale out.
+		if inst := d.provision(true); inst != nil {
+			return inst, nil
+		}
+		// 3. Wait for a slot or capacity to free.
+		remain := deadline.Sub(clk.Now())
+		if remain <= 0 {
+			return nil, ErrNoCapacity
+		}
+		timeout := clock.Timeout(clk, minDuration(remain, 10*time.Millisecond))
+		clock.Idle(clk, func() {
+			select {
+			case <-d.slotFreed:
+			case <-timeout:
+			}
+		})
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pickWarm returns the warm instance with the most free HTTP slots.
+func (d *Deployment) pickWarm() *Instance {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *Instance
+	bestFree := 0
+	for _, inst := range d.instances {
+		if !inst.aliveLocked() || !inst.started {
+			continue
+		}
+		free := d.opts.ConcurrencyLevel - inst.httpInFlight
+		if free > bestFree {
+			best, bestFree = inst, free
+		}
+	}
+	if best != nil {
+		best.httpInFlight++
+	}
+	return best
+}
+
+// provision creates a new instance when resources allow, charging the
+// cold start to the caller when chargeColdStart is set. Returns nil when
+// the deployment is capped or the pool is exhausted. On success the
+// instance is returned with one HTTP slot pre-claimed when
+// chargeColdStart is true.
+func (d *Deployment) provision(chargeColdStart bool) *Instance {
+	p := d.p
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	d.mu.Lock()
+	alive := 0
+	for _, inst := range d.instances {
+		if inst.aliveLocked() {
+			alive++
+		}
+	}
+	if d.opts.MaxInstances > 0 && alive >= d.opts.MaxInstances {
+		d.mu.Unlock()
+		p.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	limit := p.cfg.TotalVCPU * p.cfg.MaxUtilization
+	if p.vcpuUsed+d.opts.VCPU > limit || p.ramUsed+d.opts.RAMGB > p.cfg.TotalRAMGB {
+		// Optionally evict the longest-idle instance elsewhere.
+		if !p.cfg.EvictForSpace || !p.evictIdleLocked(d) {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.vcpuUsed+d.opts.VCPU > limit || p.ramUsed+d.opts.RAMGB > p.cfg.TotalRAMGB {
+			p.mu.Unlock()
+			return nil
+		}
+	}
+	p.vcpuUsed += d.opts.VCPU
+	p.ramUsed += d.opts.RAMGB
+	if p.vcpuUsed > p.stats.PeakVCPUUsed {
+		p.stats.PeakVCPUUsed = p.vcpuUsed
+	}
+	p.instSeq++
+	id := fmt.Sprintf("%s/i%04d", d.name, p.instSeq)
+	p.stats.ColdStarts++
+	p.mu.Unlock()
+
+	inst := newInstance(d, id)
+	if chargeColdStart {
+		inst.httpInFlight = 1
+	}
+	d.mu.Lock()
+	d.instances = append(d.instances, inst)
+	d.mu.Unlock()
+
+	p.clk.Sleep(p.cfg.ColdStart)
+	inst.start()
+	p.sampleGauge()
+	return inst
+}
+
+// evictIdleLocked terminates the longest-idle, currently-unused instance
+// of any other deployment. Caller holds p.mu.
+func (p *Platform) evictIdleLocked(requester *Deployment) bool {
+	var victim *Instance
+	var victimIdle time.Duration
+	now := p.clk.Now()
+	for _, d := range p.deployments {
+		if d == requester {
+			continue
+		}
+		d.mu.Lock()
+		alive := 0
+		for _, inst := range d.instances {
+			if inst.aliveLocked() {
+				alive++
+			}
+		}
+		for _, inst := range d.instances {
+			if alive <= d.opts.MinInstances || alive <= 1 {
+				// Never evict a deployment down to zero (or below its
+				// pre-warmed floor): that trades one starvation for
+				// another.
+				break
+			}
+			if !inst.aliveLocked() || inst.busy() {
+				continue
+			}
+			idle := now.Sub(inst.lastActive)
+			if victim == nil || idle > victimIdle {
+				victim, victimIdle = inst, idle
+			}
+		}
+		d.mu.Unlock()
+	}
+	if victim == nil {
+		return false
+	}
+	p.stats.Evictions++
+	// terminate releases resources; it re-acquires p.mu, so drop it.
+	p.mu.Unlock()
+	victim.terminate(false)
+	p.mu.Lock()
+	return true
+}
+
+// reclaimLoop periodically scales idle instances in.
+func (p *Platform) reclaimLoop() {
+	for {
+		stop := false
+		after := p.clk.After(p.cfg.ReclaimInterval)
+		clock.Idle(p.clk, func() {
+			select {
+			case <-p.stopReclaim:
+				stop = true
+			case <-after:
+			}
+		})
+		if stop {
+			return
+		}
+		if p.cfg.IdleReclaim <= 0 {
+			continue
+		}
+		now := p.clk.Now()
+		p.mu.Lock()
+		deps := append([]*Deployment(nil), p.deployments...)
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		for _, d := range deps {
+			d.mu.Lock()
+			var victims []*Instance
+			alive := 0
+			for _, inst := range d.instances {
+				if inst.aliveLocked() {
+					alive++
+				}
+			}
+			for _, inst := range d.instances {
+				if alive <= d.opts.MinInstances {
+					break
+				}
+				if inst.aliveLocked() && !inst.busy() && now.Sub(inst.lastActive) > p.cfg.IdleReclaim {
+					victims = append(victims, inst)
+					alive--
+				}
+			}
+			d.mu.Unlock()
+			for _, v := range victims {
+				p.mu.Lock()
+				p.stats.Reclaims++
+				p.mu.Unlock()
+				v.terminate(false)
+			}
+		}
+	}
+}
+
+// KillOneInstance abruptly terminates an arbitrary live instance of
+// deployment dep (fault injection for §5.6). Reports whether an instance
+// was killed. Safe to call from unregistered goroutines.
+func (p *Platform) KillOneInstance(dep int) bool {
+	var ok bool
+	clock.Run(p.clk, func() { ok = p.killOneInstance(dep) })
+	return ok
+}
+
+func (p *Platform) killOneInstance(dep int) bool {
+	d := p.Deployment(dep)
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	var victim *Instance
+	for _, inst := range d.instances {
+		if inst.aliveLocked() {
+			victim = inst
+			break
+		}
+	}
+	d.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	p.mu.Lock()
+	p.stats.Kills++
+	p.mu.Unlock()
+	victim.terminate(true)
+	return true
+}
+
+// Warm returns the live instances of deployment d (used by the TCP RPC
+// fabric to find connectable NameNodes).
+func (d *Deployment) Warm() []*Instance {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Instance, 0, len(d.instances))
+	for _, inst := range d.instances {
+		if inst.aliveLocked() && inst.started {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Name returns the deployment name.
+func (d *Deployment) Name() string { return d.name }
+
+// Index returns the deployment's index on the platform.
+func (d *Deployment) Index() int { return d.index }
+
+func (d *Deployment) aliveCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, inst := range d.instances {
+		if inst.aliveLocked() {
+			n++
+		}
+	}
+	return n
+}
+
+// AliveInstances returns the number of live instances of d.
+func (d *Deployment) AliveInstances() int { return d.aliveCount() }
+
+// ActiveInstances returns the total live instance count.
+func (p *Platform) ActiveInstances() int {
+	p.mu.Lock()
+	deps := append([]*Deployment(nil), p.deployments...)
+	p.mu.Unlock()
+	n := 0
+	for _, d := range deps {
+		n += d.aliveCount()
+	}
+	return n
+}
+
+// VCPUInUse returns the currently provisioned vCPUs.
+func (p *Platform) VCPUInUse() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.vcpuUsed
+}
+
+// Stats returns a snapshot of platform counters.
+func (p *Platform) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Clock returns the platform's clock (Apps use it for timers).
+func (p *Platform) Clock() clock.Clock { return p.clk }
+
+// Close terminates every instance and stops the reclaimer. Safe to call
+// from unregistered goroutines.
+func (p *Platform) Close() {
+	clock.Run(p.clk, p.closeInner)
+}
+
+func (p *Platform) closeInner() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.stopReclaim)
+	deps := append([]*Deployment(nil), p.deployments...)
+	p.mu.Unlock()
+	for _, d := range deps {
+		d.mu.Lock()
+		insts := append([]*Instance(nil), d.instances...)
+		d.mu.Unlock()
+		for _, inst := range insts {
+			inst.terminate(false)
+		}
+	}
+}
+
+// roundUp returns the smallest integer ≥ v, minimum 1.
+func roundUp(v float64) int {
+	n := int(math.Ceil(v))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package hopsfs
+
+import (
+	"math"
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+// workerCPU models a serverful NameNode's compute capacity the same way
+// faas.Instance models a function's: ceil(vCPU) workers whose service
+// times are stretched so aggregate throughput equals exactly vCPU seconds
+// of work per second. Unlike function instances, serverful NameNodes
+// never terminate, so there is no lifecycle handling.
+type workerCPU struct {
+	clk   clock.Clock
+	tasks chan cpuTask
+}
+
+type cpuTask struct {
+	dur  time.Duration
+	done chan struct{}
+}
+
+func newWorkerCPU(clk clock.Clock, vcpu float64) *workerCPU {
+	if vcpu <= 0 {
+		vcpu = 1
+	}
+	workers := int(math.Ceil(vcpu))
+	adjust := float64(workers) / vcpu
+	c := &workerCPU{tasks: make(chan cpuTask, 4096)}
+	for w := 0; w < workers; w++ {
+		clock.Go(clk, func() {
+			for {
+				var t cpuTask
+				var ok bool
+				clock.Idle(clk, func() { t, ok = <-c.tasks })
+				if !ok {
+					return
+				}
+				clk.Sleep(time.Duration(float64(t.dur) * adjust))
+				close(t.done)
+			}
+		})
+	}
+	c.clk = clk
+	return c
+}
+
+// AcquireCPU charges dur of NameNode CPU time, queueing behind other
+// requests.
+func (c *workerCPU) AcquireCPU(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	t := cpuTask{dur: dur, done: make(chan struct{})}
+	clock.Idle(c.clk, func() {
+		c.tasks <- t
+		<-t.done
+	})
+}

@@ -1,0 +1,283 @@
+// Package metrics provides the measurement substrate for the λFS
+// reproduction: latency histograms with quantile/CDF export, per-second
+// throughput timeseries, and the monetary cost models used by the paper's
+// evaluation (AWS Lambda pay-per-use, a "simplified" provisioned-time
+// model, and serverful VM billing).
+//
+// All durations recorded here are *virtual* durations (see internal/clock);
+// the harness reports them in paper-equivalent units.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram is a concurrency-safe log-bucketed latency histogram. Buckets
+// grow geometrically from 1µs to ~17 minutes, giving <5% relative error per
+// bucket, which is ample for CDF reproduction.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	histMin    = time.Microsecond
+	histGrowth = 1.05
+	histBucket = 400 // 1µs * 1.05^400 ≈ 5h
+)
+
+var histBounds = func() []time.Duration {
+	b := make([]time.Duration, histBucket)
+	v := float64(histMin)
+	for i := range b {
+		b[i] = time.Duration(v)
+		v *= histGrowth
+	}
+	return b
+}()
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBucket+1)}
+}
+
+func bucketFor(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histMin)) / math.Log(histGrowth))
+	if i < 0 {
+		i = 0
+	}
+	// Log arithmetic can land one bucket low; fix up.
+	for i < histBucket && histBounds[i] < d {
+		i++
+	}
+	return i
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := bucketFor(d)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min returns the smallest sample observed.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest sample observed.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as the upper bound of the
+// bucket containing it. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i >= histBucket {
+				return h.max
+			}
+			return histBounds[i]
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of an exported latency CDF.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// CDF exports the cumulative distribution at every non-empty bucket.
+func (h *Histogram) CDF() []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		lat := h.max
+		if i < histBucket {
+			lat = histBounds[i]
+		}
+		pts = append(pts, CDFPoint{Latency: lat, Fraction: float64(cum) / float64(h.total)})
+	}
+	return pts
+}
+
+// Merge adds all samples of other into h. Min/max remain exact; the bucket
+// resolution is shared, so the merge is lossless at bucket granularity.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	counts := append([]uint64(nil), other.counts...)
+	total, sum, min, max := other.total, other.sum, other.min, other.max
+	other.mu.Unlock()
+	if total == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.total += total
+	h.sum += sum
+}
+
+// Summary renders mean/p50/p99/max in a compact human-readable form.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(10*time.Microsecond),
+		h.Quantile(0.5).Round(10*time.Microsecond),
+		h.Quantile(0.99).Round(10*time.Microsecond),
+		h.Max().Round(10*time.Microsecond))
+}
+
+// MovingWindow keeps the most recent N duration samples and answers their
+// mean. λFS clients use it for straggler mitigation and anti-thrashing
+// decisions (Appendices B and C).
+type MovingWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+// NewMovingWindow returns a window holding size samples.
+func NewMovingWindow(size int) *MovingWindow {
+	if size <= 0 {
+		size = 1
+	}
+	return &MovingWindow{buf: make([]time.Duration, size)}
+}
+
+// Add records a sample, evicting the oldest when full.
+func (w *MovingWindow) Add(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+	w.mu.Unlock()
+}
+
+// Mean returns the average of the samples currently in the window, or 0
+// when empty.
+func (w *MovingWindow) Mean() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += w.buf[i]
+	}
+	return sum / time.Duration(n)
+}
+
+// Len reports how many samples the window currently holds.
+func (w *MovingWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Percentile computes the p-percentile of raw duration samples (used by
+// tests and small offline analyses; the Histogram is preferred online).
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

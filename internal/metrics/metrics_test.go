@@ -1,0 +1,262 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if pts := h.CDF(); len(pts) != 0 {
+		t.Fatalf("empty CDF has %d points", len(pts))
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if got := h.Mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean = %v, want 2ms", got)
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileApproximate(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 450*time.Millisecond || p50 > 550*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~500ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900*time.Millisecond || p99 > 1100*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~990ms", p99)
+	}
+}
+
+func TestHistogramQuantileWithinBucketError(t *testing.T) {
+	// Property: the reported quantile of a constant distribution is within
+	// one bucket growth factor of the constant.
+	f := func(raw uint32) bool {
+		d := time.Duration(raw%1_000_000+1) * time.Microsecond
+		h := NewHistogram()
+		for i := 0; i < 10; i++ {
+			h.Observe(d)
+		}
+		q := h.Quantile(0.5)
+		lo := float64(d) / histGrowth
+		hi := float64(d) * histGrowth
+		return float64(q) >= lo && float64(q) <= hi*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.Intn(1e9)))
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("no CDF points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Fraction < pts[i-1].Fraction || pts[i].Latency < pts[i-1].Latency {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	if last := pts[len(pts)-1].Fraction; math.Abs(last-1) > 1e-9 {
+		t.Fatalf("CDF does not end at 1: %v", last)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(5 * time.Millisecond)
+	b.Observe(10 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 10*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	// Merging an empty histogram is a no-op.
+	a.Merge(NewHistogram())
+	if a.Count() != 3 {
+		t.Fatal("merge with empty changed count")
+	}
+}
+
+func TestMovingWindow(t *testing.T) {
+	w := NewMovingWindow(3)
+	if w.Mean() != 0 || w.Len() != 0 {
+		t.Fatal("fresh window not empty")
+	}
+	w.Add(1 * time.Millisecond)
+	w.Add(2 * time.Millisecond)
+	if got := w.Mean(); got != 1500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	w.Add(3 * time.Millisecond)
+	w.Add(30 * time.Millisecond) // evicts the 1ms sample
+	if got := w.Mean(); got != (2+3+30)*time.Millisecond/3 {
+		t.Fatalf("windowed mean = %v", got)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len = %d", w.Len())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []time.Duration{5, 1, 4, 2, 3}
+	if got := Percentile(s, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(s, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestTimeseriesRates(t *testing.T) {
+	origin := clock.Epoch
+	ts := NewTimeseries(origin, time.Second)
+	for i := 0; i < 10; i++ {
+		ts.Incr(origin.Add(500 * time.Millisecond))
+	}
+	for i := 0; i < 20; i++ {
+		ts.Incr(origin.Add(1500 * time.Millisecond))
+	}
+	rate := ts.Rate()
+	if len(rate) != 2 || rate[0] != 10 || rate[1] != 20 {
+		t.Fatalf("rate = %v", rate)
+	}
+	if ts.Total() != 30 {
+		t.Fatalf("total = %v", ts.Total())
+	}
+	if ts.PeakRate() != 20 {
+		t.Fatalf("peak = %v", ts.PeakRate())
+	}
+	if ts.MeanRate() != 15 {
+		t.Fatalf("mean rate = %v", ts.MeanRate())
+	}
+}
+
+func TestTimeseriesDropsPreOrigin(t *testing.T) {
+	ts := NewTimeseries(clock.Epoch, time.Second)
+	ts.Incr(clock.Epoch.Add(-time.Second))
+	if ts.Total() != 0 {
+		t.Fatal("pre-origin sample was recorded")
+	}
+}
+
+func TestGaugeCarriesForward(t *testing.T) {
+	g := NewGauge(clock.Epoch, time.Second)
+	g.Sample(clock.Epoch, 5)
+	g.Sample(clock.Epoch.Add(3*time.Second), 9)
+	g.Sample(clock.Epoch.Add(3*time.Second+100*time.Millisecond), 7) // bucket keeps max
+	vals := g.Values()
+	want := []float64{5, 5, 5, 9}
+	if len(vals) != len(want) {
+		t.Fatalf("values = %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("values = %v, want %v", vals, want)
+		}
+	}
+	if g.Max() != 9 {
+		t.Fatalf("max = %v", g.Max())
+	}
+}
+
+func TestLambdaMeterBilling(t *testing.T) {
+	m := NewLambdaMeter(clock.Epoch)
+	m.BillActive(clock.Epoch, time.Second, 6) // 6 GB-seconds
+	want := 6 * LambdaGBSecondUSD
+	if got := m.TotalUSD(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+	m.BillRequest(clock.Epoch)
+	if got := m.TotalUSD(); math.Abs(got-want-LambdaPerRequestUSD) > 1e-12 {
+		t.Fatalf("total after request = %v", got)
+	}
+	if m.Requests() != 1 {
+		t.Fatalf("requests = %d", m.Requests())
+	}
+}
+
+func TestLambdaMeterRoundsUpToMillisecond(t *testing.T) {
+	m := NewLambdaMeter(clock.Epoch)
+	m.BillActive(clock.Epoch, 100*time.Microsecond, 1)
+	// 100µs rounds to the 1ms minimum.
+	want := 0.001 * LambdaGBSecondUSD
+	if got := m.TotalUSD(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+}
+
+func TestCumulativeCostMonotone(t *testing.T) {
+	m := NewLambdaMeter(clock.Epoch)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		at := clock.Epoch.Add(time.Duration(rng.Intn(60)) * time.Second)
+		m.BillActive(at, time.Duration(rng.Intn(100))*time.Millisecond, 6)
+	}
+	cum := m.CumulativeUSD()
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative cost decreased at %d", i)
+		}
+	}
+}
+
+func TestProvisionedMeter(t *testing.T) {
+	m := NewProvisionedMeter(clock.Epoch)
+	m.BillProvisioned(clock.Epoch, 10*time.Second, 6)
+	want := 60 * LambdaGBSecondUSD
+	if got := m.TotalUSD(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+}
+
+func TestVMCostMatchesPaper(t *testing.T) {
+	// The paper reports $2.50 for 512 vCPUs over the 300-second workload.
+	got := VMCost(512, 300*time.Second)
+	if math.Abs(got-2.50) > 1e-9 {
+		t.Fatalf("512 vCPU × 300s = $%v, want $2.50", got)
+	}
+}
+
+func TestPerfPerCost(t *testing.T) {
+	if PerfPerCost(100, 0) != 0 {
+		t.Fatal("zero cost should yield 0")
+	}
+	if got := PerfPerCost(100, 0.5); got != 200 {
+		t.Fatalf("ppc = %v", got)
+	}
+	s := PerfPerCostSeries([]float64{10, 20, 30}, []float64{1, 2})
+	if len(s) != 2 || s[0] != 10 || s[1] != 10 {
+		t.Fatalf("series = %v", s)
+	}
+}

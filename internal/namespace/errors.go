@@ -1,0 +1,48 @@
+package namespace
+
+import "errors"
+
+// Sentinel errors for metadata operations. They cross the (simulated) RPC
+// boundary as strings and are mapped back with FromWire so errors.Is works
+// end-to-end.
+var (
+	ErrNotFound     = errors.New("namespace: no such file or directory")
+	ErrExists       = errors.New("namespace: file or directory exists")
+	ErrNotDir       = errors.New("namespace: not a directory")
+	ErrIsDir        = errors.New("namespace: is a directory")
+	ErrPermission   = errors.New("namespace: permission denied")
+	ErrSubtreeBusy  = errors.New("namespace: subtree operation in progress")
+	ErrMvIntoSelf   = errors.New("namespace: cannot move a directory into itself")
+	ErrUnavailable  = errors.New("namespace: service unavailable")
+	ErrTimeout      = errors.New("namespace: request timed out")
+	ErrConnLost     = errors.New("namespace: connection lost")
+	ErrInvalidState = errors.New("namespace: invalid internal state")
+)
+
+var wireErrors = []error{
+	ErrNotFound, ErrExists, ErrNotDir, ErrIsDir, ErrPermission,
+	ErrSubtreeBusy, ErrMvIntoSelf, ErrUnavailable, ErrTimeout,
+	ErrConnLost, ErrInvalidState, ErrInvalidPath,
+}
+
+// ToWire converts an error into its wire string ("" for nil).
+func ToWire(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// FromWire converts a wire string back into an error, preferring the
+// package sentinels so errors.Is holds across the RPC boundary.
+func FromWire(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, e := range wireErrors {
+		if e.Error() == s {
+			return e
+		}
+	}
+	return errors.New(s)
+}

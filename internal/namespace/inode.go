@@ -1,0 +1,156 @@
+// Package namespace defines the distributed file system metadata model
+// shared by λFS, the baselines, and the persistent store: INodes,
+// hierarchical paths, permissions, block references, and the metadata
+// operation vocabulary (create, mkdir, read, stat, ls, mv, delete).
+//
+// It corresponds to the HDFS/HopsFS metadata schema the paper builds on:
+// each file or directory is an INode row keyed by (parentID, name), and
+// all namespace operations resolve a path component-by-component.
+package namespace
+
+import (
+	"fmt"
+	"time"
+)
+
+// INodeID uniquely identifies an INode. The root directory always has ID
+// RootID; 0 is reserved as "no INode".
+type INodeID uint64
+
+// RootID is the well-known ID of the root directory "/".
+const RootID INodeID = 1
+
+// InvalidID is the zero INodeID, used as "none".
+const InvalidID INodeID = 0
+
+// BlockID identifies a file data block stored on DataNodes.
+type BlockID uint64
+
+// Permission is a POSIX-style permission triplet (lower 9 bits).
+type Permission uint16
+
+// Common permission values.
+const (
+	PermDefaultFile Permission = 0o644
+	PermDefaultDir  Permission = 0o755
+)
+
+// Block records one data block of a file and the DataNodes holding its
+// replicas.
+type Block struct {
+	ID        BlockID
+	Size      int64
+	Locations []string // DataNode IDs holding a replica
+}
+
+// INode is one file or directory in the namespace. It mirrors the HopsFS
+// inode row: identity, linkage (ParentID, Name), attributes, and for files
+// the block list.
+type INode struct {
+	ID       INodeID
+	ParentID INodeID
+	Name     string // path component; "" only for the root
+	IsDir    bool
+	Perm     Permission
+	Owner    string
+	Group    string
+	Size     int64
+	Mtime    time.Time
+	Ctime    time.Time
+	Blocks   []Block
+
+	// SubtreeLockOwner is non-empty while a subtree operation (recursive
+	// mv/delete) holds the application-level subtree lock rooted here
+	// (HopsFS subtree protocol, Appendix D).
+	SubtreeLockOwner string
+}
+
+// Clone returns a deep copy, so cached INodes can be handed out without
+// aliasing store state.
+func (n *INode) Clone() *INode {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	if n.Blocks != nil {
+		c.Blocks = make([]Block, len(n.Blocks))
+		for i, b := range n.Blocks {
+			c.Blocks[i] = b
+			if b.Locations != nil {
+				c.Blocks[i].Locations = append([]string(nil), b.Locations...)
+			}
+		}
+	}
+	return &c
+}
+
+// ApproxBytes estimates the in-memory footprint of the INode for cache
+// byte accounting.
+func (n *INode) ApproxBytes() int {
+	b := 96 + len(n.Name) + len(n.Owner) + len(n.Group)
+	for _, blk := range n.Blocks {
+		b += 24
+		for _, loc := range blk.Locations {
+			b += 16 + len(loc)
+		}
+	}
+	return b
+}
+
+// String renders the INode compactly for logs and tests.
+func (n *INode) String() string {
+	kind := "file"
+	if n.IsDir {
+		kind = "dir"
+	}
+	return fmt.Sprintf("%s(id=%d parent=%d name=%q)", kind, n.ID, n.ParentID, n.Name)
+}
+
+// NewRoot returns the canonical root directory INode.
+func NewRoot() *INode {
+	return &INode{
+		ID:       RootID,
+		ParentID: InvalidID,
+		Name:     "",
+		IsDir:    true,
+		Perm:     PermDefaultDir,
+		Owner:    "hdfs",
+		Group:    "hdfs",
+	}
+}
+
+// DirEntry is one row of a directory listing.
+type DirEntry struct {
+	Name  string
+	ID    INodeID
+	IsDir bool
+	Size  int64
+}
+
+// StatInfo is the result of a stat operation.
+type StatInfo struct {
+	ID    INodeID
+	Path  string
+	IsDir bool
+	Perm  Permission
+	Owner string
+	Group string
+	Size  int64
+	Mtime time.Time
+	Ctime time.Time
+}
+
+// StatOf converts an INode plus its full path into a StatInfo.
+func StatOf(n *INode, path string) StatInfo {
+	return StatInfo{
+		ID:    n.ID,
+		Path:  path,
+		IsDir: n.IsDir,
+		Perm:  n.Perm,
+		Owner: n.Owner,
+		Group: n.Group,
+		Size:  n.Size,
+		Mtime: n.Mtime,
+		Ctime: n.Ctime,
+	}
+}

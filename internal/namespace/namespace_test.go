@@ -1,0 +1,199 @@
+package namespace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"/", "/", true},
+		{"//", "/", true},
+		{"/a", "/a", true},
+		{"/a/", "/a", true},
+		{"//a//b///c", "/a/b/c", true},
+		{"", "", false},
+		{"a/b", "", false},
+		{"/a/./b", "", false},
+		{"/a/../b", "", false},
+	}
+	for _, c := range cases {
+		got, err := CleanPath(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("CleanPath(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("CleanPath(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	f := func(raw []string) bool {
+		comps := make([]string, 0, len(raw))
+		for _, r := range raw {
+			r = strings.Map(func(c rune) rune {
+				if c == '/' || c == 0 {
+					return 'x'
+				}
+				return c
+			}, r)
+			if r != "" && r != "." && r != ".." {
+				comps = append(comps, r)
+			}
+		}
+		p := "/"
+		for _, c := range comps {
+			p = JoinPath(p, c)
+		}
+		got := SplitPath(p)
+		if len(got) != len(comps) {
+			return false
+		}
+		for i := range got {
+			if got[i] != comps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentBase(t *testing.T) {
+	cases := []struct{ p, parent, base string }{
+		{"/", "/", ""},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c.txt", "/a/b", "c.txt"},
+	}
+	for _, c := range cases {
+		if got := ParentPath(c.p); got != c.parent {
+			t.Errorf("ParentPath(%q) = %q, want %q", c.p, got, c.parent)
+		}
+		if got := BaseName(c.p); got != c.base {
+			t.Errorf("BaseName(%q) = %q, want %q", c.p, got, c.base)
+		}
+	}
+}
+
+func TestHasPathPrefix(t *testing.T) {
+	cases := []struct {
+		path, prefix string
+		want         bool
+	}{
+		{"/a/b", "/a", true},
+		{"/a", "/a", true},
+		{"/ab", "/a", false},
+		{"/a/b", "/", true},
+		{"/", "/", true},
+		{"/x/y", "/a", false},
+	}
+	for _, c := range cases {
+		if got := HasPathPrefix(c.path, c.prefix); got != c.want {
+			t.Errorf("HasPathPrefix(%q, %q) = %v", c.path, c.prefix, got)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	got := Ancestors("/a/b/c")
+	want := []string{"/", "/a", "/a/b"}
+	if len(got) != len(want) {
+		t.Fatalf("Ancestors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ancestors = %v, want %v", got, want)
+		}
+	}
+	if Ancestors("/") != nil {
+		t.Fatal("Ancestors of root should be nil")
+	}
+}
+
+func TestPathDepth(t *testing.T) {
+	if PathDepth("/") != 0 || PathDepth("/a") != 1 || PathDepth("/a/b/c") != 3 {
+		t.Fatal("PathDepth wrong")
+	}
+}
+
+func TestINodeClone(t *testing.T) {
+	n := &INode{
+		ID: 7, ParentID: 1, Name: "f", IsDir: false,
+		Blocks: []Block{{ID: 1, Size: 64, Locations: []string{"dn1", "dn2"}}},
+	}
+	c := n.Clone()
+	c.Blocks[0].Locations[0] = "mutated"
+	c.Name = "other"
+	if n.Blocks[0].Locations[0] != "dn1" || n.Name != "f" {
+		t.Fatal("Clone aliases the original")
+	}
+	if (*INode)(nil).Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}
+
+func TestINodeApproxBytesPositive(t *testing.T) {
+	n := NewRoot()
+	if n.ApproxBytes() <= 0 {
+		t.Fatal("ApproxBytes must be positive")
+	}
+	big := &INode{Name: strings.Repeat("x", 100)}
+	if big.ApproxBytes() <= n.ApproxBytes() {
+		t.Fatal("larger names must cost more bytes")
+	}
+}
+
+func TestOpTypeClassification(t *testing.T) {
+	writes := map[OpType]bool{OpCreate: true, OpMkdirs: true, OpDelete: true, OpMv: true}
+	for op := OpType(0); int(op) < NumOps; op++ {
+		if op.IsWrite() != writes[op] {
+			t.Errorf("%v IsWrite = %v", op, op.IsWrite())
+		}
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("missing name for %d", op)
+		}
+	}
+	if !OpDelete.IsSubtree() || !OpMv.IsSubtree() || OpCreate.IsSubtree() {
+		t.Fatal("IsSubtree wrong")
+	}
+}
+
+func TestErrorWireRoundTrip(t *testing.T) {
+	for _, e := range wireErrors {
+		if got := FromWire(ToWire(e)); !errors.Is(got, e) {
+			t.Errorf("round trip lost %v (got %v)", e, got)
+		}
+	}
+	if FromWire("") != nil {
+		t.Fatal("empty wire error should be nil")
+	}
+	if got := FromWire("custom failure"); got == nil || got.Error() != "custom failure" {
+		t.Fatal("custom errors must survive")
+	}
+	var resp Response
+	if !resp.OK() || resp.Error() != nil {
+		t.Fatal("empty response should be OK")
+	}
+	resp.Err = ToWire(ErrNotFound)
+	if resp.OK() || !errors.Is(resp.Error(), ErrNotFound) {
+		t.Fatal("response error mapping failed")
+	}
+}
+
+func TestRequestKeyUnique(t *testing.T) {
+	a := Request{ClientID: "c1", Seq: 1}
+	b := Request{ClientID: "c1", Seq: 2}
+	c := Request{ClientID: "c2", Seq: 1}
+	if a.Key() == b.Key() || a.Key() == c.Key() {
+		t.Fatal("request keys collide")
+	}
+}

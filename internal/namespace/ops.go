@@ -1,0 +1,90 @@
+package namespace
+
+import "fmt"
+
+// OpType enumerates the metadata operations of the evaluation (Table 2 and
+// the microbenchmarks): create file, mkdirs, delete, mv, read (open /
+// getBlockLocations), stat, and ls.
+type OpType int
+
+// Metadata operation kinds.
+const (
+	OpCreate OpType = iota // create file
+	OpMkdirs               // create directory (and missing ancestors)
+	OpDelete               // delete file or directory (recursive for dirs)
+	OpMv                   // rename/move file or directory
+	OpRead                 // read file: resolve path + fetch block locations
+	OpStat                 // stat file or directory
+	OpLs                   // list directory (or stat a file)
+	numOps
+)
+
+// NumOps is the number of distinct operation types.
+const NumOps = int(numOps)
+
+var opNames = [...]string{"create", "mkdir", "delete", "mv", "read", "stat", "ls"}
+
+func (op OpType) String() string {
+	if op < 0 || int(op) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+	return opNames[op]
+}
+
+// IsWrite reports whether the operation mutates the namespace and must run
+// the coherence protocol.
+func (op OpType) IsWrite() bool {
+	switch op {
+	case OpCreate, OpMkdirs, OpDelete, OpMv:
+		return true
+	}
+	return false
+}
+
+// IsSubtree reports whether the operation may span many INodes and uses the
+// subtree protocol when applied to a directory.
+func (op OpType) IsSubtree() bool {
+	return op == OpDelete || op == OpMv
+}
+
+// Request is one metadata RPC from a client to a NameNode. The same
+// payload travels over both the HTTP and TCP paths.
+type Request struct {
+	Op   OpType
+	Path string
+	Dest string // destination path for mv
+
+	// ClientID and Seq identify the request for resubmission
+	// deduplication: NameNodes briefly cache results keyed by
+	// (ClientID, Seq) so a retried request returns the original result
+	// instead of re-executing (§3.2).
+	ClientID string
+	Seq      uint64
+}
+
+// Key returns the deduplication key of the request.
+func (r Request) Key() string {
+	return fmt.Sprintf("%s/%d", r.ClientID, r.Seq)
+}
+
+// Response is the result of a metadata RPC.
+type Response struct {
+	Err string // sentinel error text; empty on success (see errors.go)
+
+	ID      INodeID
+	Stat    *StatInfo
+	Entries []DirEntry
+	Blocks  []Block
+
+	// Diagnostics used by the evaluation.
+	CacheHit bool   // read path served entirely from the NameNode cache
+	ServedBy string // NameNode instance ID
+}
+
+// OK reports whether the operation succeeded.
+func (r *Response) OK() bool { return r.Err == "" }
+
+// Error converts the wire error text back into a Go error (nil on
+// success), mapping sentinel texts onto the package's sentinel errors so
+// callers can use errors.Is.
+func (r *Response) Error() error { return FromWire(r.Err) }

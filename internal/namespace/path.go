@@ -1,0 +1,110 @@
+package namespace
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrInvalidPath reports a syntactically invalid absolute path.
+var ErrInvalidPath = errors.New("namespace: invalid path")
+
+// CleanPath normalizes an absolute path: collapses repeated slashes,
+// removes trailing slashes (except for the root itself), and rejects
+// relative paths and "."/".." components. It returns the canonical form.
+func CleanPath(p string) (string, error) {
+	if p == "" || p[0] != '/' {
+		return "", ErrInvalidPath
+	}
+	if p == "/" {
+		return "/", nil
+	}
+	parts := strings.Split(p, "/")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		switch part {
+		case "":
+			continue
+		case ".", "..":
+			return "", ErrInvalidPath
+		default:
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		return "/", nil
+	}
+	return "/" + strings.Join(out, "/"), nil
+}
+
+// SplitPath returns the path components of a canonical absolute path
+// (excluding the root). SplitPath("/") returns nil.
+func SplitPath(p string) []string {
+	if p == "/" || p == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+// ParentPath returns the parent directory of a canonical path.
+// ParentPath("/") is "/".
+func ParentPath(p string) string {
+	if p == "/" || p == "" {
+		return "/"
+	}
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// BaseName returns the final component of a canonical path; "" for root.
+func BaseName(p string) string {
+	if p == "/" || p == "" {
+		return ""
+	}
+	i := strings.LastIndexByte(p, '/')
+	return p[i+1:]
+}
+
+// JoinPath joins a canonical directory path with a child name.
+func JoinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// PathDepth returns the number of components below root: "/"→0, "/a"→1.
+func PathDepth(p string) int {
+	return len(SplitPath(p))
+}
+
+// HasPathPrefix reports whether path is prefix itself or lies underneath
+// it ("/a/b" has prefix "/a" but not "/ab").
+func HasPathPrefix(path, prefix string) bool {
+	if prefix == "/" {
+		return strings.HasPrefix(path, "/")
+	}
+	if !strings.HasPrefix(path, prefix) {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '/'
+}
+
+// Ancestors returns every proper ancestor path of p from the root down,
+// excluding p itself: Ancestors("/a/b/c") = ["/", "/a", "/a/b"].
+func Ancestors(p string) []string {
+	comps := SplitPath(p)
+	if len(comps) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(comps))
+	out = append(out, "/")
+	cur := ""
+	for _, c := range comps[:len(comps)-1] {
+		cur = cur + "/" + c
+		out = append(out, cur)
+	}
+	return out
+}

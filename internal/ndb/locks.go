@@ -1,0 +1,229 @@
+package ndb
+
+import (
+	"sync"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/store"
+)
+
+// lockManager implements strict two-phase row locking with shared and
+// exclusive modes, lock upgrades, FIFO-ish waiter wakeup, and owner-based
+// forced release (used when the Coordinator declares a NameNode dead,
+// §3.6).
+//
+// Lock waits time out after a configurable *real-time* interval: a timeout
+// indicates either a deadlock (mv/mv on crossing paths) or a lock held by
+// a crashed peer; the DAL responds by aborting and retrying the
+// transaction, exactly as NDB's lock-wait-timeout behaves.
+type lockManager struct {
+	clk         clock.Clock
+	mu          sync.Mutex
+	rows        map[string]*rowLock
+	ownerOfTx   map[string]string   // txKey -> owner
+	txHoldings  map[string][]string // txKey -> row keys held
+	waitTimeout time.Duration
+}
+
+type rowLock struct {
+	exclusive string          // txKey of exclusive holder ("" when none)
+	shared    map[string]bool // txKeys of shared holders
+	waiters   []*lockWaiter
+}
+
+type lockWaiter struct {
+	txKey     string
+	exclusive bool
+	ready     chan struct{}
+	granted   bool
+}
+
+func newLockManager(clk clock.Clock, waitTimeout time.Duration) *lockManager {
+	if waitTimeout <= 0 {
+		waitTimeout = 250 * time.Millisecond
+	}
+	return &lockManager{
+		clk:         clk,
+		rows:        make(map[string]*rowLock),
+		ownerOfTx:   make(map[string]string),
+		txHoldings:  make(map[string][]string),
+		waitTimeout: waitTimeout,
+	}
+}
+
+func (lm *lockManager) registerTx(txKey, owner string) {
+	lm.mu.Lock()
+	lm.ownerOfTx[txKey] = owner
+	lm.mu.Unlock()
+}
+
+// holdsExclusive reports whether txKey already has key exclusively.
+func (lm *lockManager) holdsExclusive(txKey, key string) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	rl := lm.rows[key]
+	return rl != nil && rl.exclusive == txKey
+}
+
+// canGrant must be called with lm.mu held.
+func (rl *rowLock) canGrant(txKey string, exclusive bool) bool {
+	if exclusive {
+		if rl.exclusive != "" && rl.exclusive != txKey {
+			return false
+		}
+		// Upgrade allowed only when we are the sole shared holder.
+		for holder := range rl.shared {
+			if holder != txKey {
+				return false
+			}
+		}
+		return true
+	}
+	// Shared: compatible unless another tx holds exclusive.
+	return rl.exclusive == "" || rl.exclusive == txKey
+}
+
+// grant must be called with lm.mu held.
+func (lm *lockManager) grant(rl *rowLock, key, txKey string, exclusive bool) {
+	already := rl.exclusive == txKey || rl.shared[txKey]
+	if exclusive {
+		delete(rl.shared, txKey)
+		rl.exclusive = txKey
+	} else if rl.exclusive != txKey {
+		if rl.shared == nil {
+			rl.shared = make(map[string]bool)
+		}
+		rl.shared[txKey] = true
+	}
+	if !already {
+		lm.txHoldings[txKey] = append(lm.txHoldings[txKey], key)
+	}
+}
+
+// Acquire blocks until the lock is granted or the wait times out.
+func (lm *lockManager) Acquire(txKey, key string, exclusive bool) error {
+	lm.mu.Lock()
+	rl := lm.rows[key]
+	if rl == nil {
+		rl = &rowLock{}
+		lm.rows[key] = rl
+	}
+	if rl.canGrant(txKey, exclusive) {
+		lm.grant(rl, key, txKey, exclusive)
+		lm.mu.Unlock()
+		return nil
+	}
+	w := &lockWaiter{txKey: txKey, exclusive: exclusive, ready: make(chan struct{})}
+	rl.waiters = append(rl.waiters, w)
+	lm.mu.Unlock()
+
+	timeout := clock.Timeout(lm.clk, lm.waitTimeout)
+	timedOut := false
+	clock.Idle(lm.clk, func() {
+		select {
+		case <-w.ready:
+		case <-timeout:
+			timedOut = true
+		}
+	})
+	if !timedOut {
+		return nil
+	}
+	{
+		lm.mu.Lock()
+		if w.granted {
+			// Lost the race: the grant arrived as we timed out; keep it.
+			lm.mu.Unlock()
+			clock.Idle(lm.clk, func() { <-w.ready })
+			return nil
+		}
+		// Remove ourselves from the wait queue.
+		for i, other := range rl.waiters {
+			if other == w {
+				rl.waiters = append(rl.waiters[:i], rl.waiters[i+1:]...)
+				break
+			}
+		}
+		lm.mu.Unlock()
+		return store.ErrLockTimeout
+	}
+}
+
+// promote wakes every waiter that is now grantable. Must be called with
+// lm.mu held.
+func (lm *lockManager) promote(rl *rowLock, key string) {
+	for {
+		progressed := false
+		remaining := rl.waiters[:0]
+		for i, w := range rl.waiters {
+			if rl.canGrant(w.txKey, w.exclusive) {
+				lm.grant(rl, key, w.txKey, w.exclusive)
+				w.granted = true
+				close(w.ready)
+				progressed = true
+				// Exclusive grant blocks everything behind it.
+				if w.exclusive {
+					remaining = append(remaining, rl.waiters[i+1:]...)
+					break
+				}
+			} else {
+				remaining = append(remaining, w)
+			}
+		}
+		rl.waiters = remaining
+		if !progressed {
+			return
+		}
+	}
+}
+
+// ReleaseAll releases every lock held by txKey and wakes waiters.
+func (lm *lockManager) ReleaseAll(txKey string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.releaseAllLocked(txKey)
+	delete(lm.ownerOfTx, txKey)
+}
+
+func (lm *lockManager) releaseAllLocked(txKey string) {
+	for _, key := range lm.txHoldings[txKey] {
+		rl := lm.rows[key]
+		if rl == nil {
+			continue
+		}
+		if rl.exclusive == txKey {
+			rl.exclusive = ""
+		}
+		delete(rl.shared, txKey)
+		lm.promote(rl, key)
+		if rl.exclusive == "" && len(rl.shared) == 0 && len(rl.waiters) == 0 {
+			delete(lm.rows, key)
+		}
+	}
+	delete(lm.txHoldings, txKey)
+}
+
+// ReleaseOwner force-releases locks of every transaction begun by owner
+// (crash cleanup).
+func (lm *lockManager) ReleaseOwner(owner string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for txKey, o := range lm.ownerOfTx {
+		if o == owner {
+			lm.releaseAllLocked(txKey)
+			delete(lm.ownerOfTx, txKey)
+		}
+	}
+}
+
+// heldLocks reports the number of row locks currently held (test hook).
+func (lm *lockManager) heldLocks() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	n := 0
+	for _, keys := range lm.txHoldings {
+		n += len(keys)
+	}
+	return n
+}

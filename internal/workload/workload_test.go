@@ -1,0 +1,411 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/faas"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+)
+
+// thin aliases keep the fault-injector test readable.
+type (
+	faasInstance          = faas.Instance
+	faasApp               = faas.App
+	faasDeploymentOptions = faas.DeploymentOptions
+)
+
+var (
+	faasNew = faas.New
+)
+
+func faasDefaultForTest() faas.Config {
+	cfg := faas.DefaultConfig()
+	cfg.ColdStart = 0
+	cfg.GatewayLatency = 0
+	cfg.IdleReclaim = 0
+	return cfg
+}
+
+type nopApp struct{}
+
+func (nopApp) HandleInvoke(p any) any { return p }
+func (nopApp) Shutdown(bool)          {}
+
+func TestSpotifyMixFrequencies(t *testing.T) {
+	// Table 2 reproduction check: sampled frequencies within 1 percentage
+	// point of the published ones, and 95.23% reads.
+	mix := SpotifyMix()
+	if got := mix.ReadFraction(); math.Abs(got-0.9523) > 0.0005 {
+		t.Fatalf("read fraction = %v, want 0.9523", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 200_000
+	counts := map[namespace.OpType]int{}
+	for i := 0; i < n; i++ {
+		counts[mix.Sample(rng)]++
+	}
+	want := map[namespace.OpType]float64{
+		namespace.OpCreate: 2.7, namespace.OpMkdirs: 0.02, namespace.OpDelete: 0.75,
+		namespace.OpMv: 1.3, namespace.OpRead: 69.22, namespace.OpStat: 17, namespace.OpLs: 9.01,
+	}
+	for op, pct := range want {
+		got := 100 * float64(counts[op]) / n
+		if math.Abs(got-pct) > 1.0 {
+			t.Errorf("%v sampled at %.2f%%, want %.2f%%", op, got, pct)
+		}
+	}
+}
+
+func TestSingleOpMix(t *testing.T) {
+	mix := SingleOpMix(namespace.OpLs)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if op := mix.Sample(rng); op != namespace.OpLs {
+			t.Fatalf("sampled %v", op)
+		}
+	}
+}
+
+func TestParetoLoadProperties(t *testing.T) {
+	p := NewParetoLoad(25_000, 42)
+	series := p.Series(300 * time.Second)
+	if len(series) != 20 {
+		t.Fatalf("series length = %d, want 20 intervals", len(series))
+	}
+	var max float64
+	for _, v := range series {
+		if v < 25_000 {
+			t.Fatalf("draw %v below scale (Pareto support starts at x_m)", v)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max > 7*25_000 {
+		t.Fatalf("draw %v exceeds the 7x spike cap", max)
+	}
+	// Determinism under a fixed seed.
+	p2 := NewParetoLoad(25_000, 42)
+	series2 := p2.Series(300 * time.Second)
+	for i := range series {
+		if series[i] != series2[i] {
+			t.Fatal("series not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestParetoBurstsOccur(t *testing.T) {
+	p := NewParetoLoad(25_000, 7)
+	series := p.Series(3000 * time.Second) // 200 draws
+	bursts := 0
+	for _, v := range series {
+		if v > 3*25_000 {
+			bursts++
+		}
+	}
+	// P(X > 3x_m) = (1/3)^2 ≈ 11% for α=2; expect some bursts in 200.
+	if bursts == 0 {
+		t.Fatal("no bursts in 200 Pareto draws")
+	}
+}
+
+func TestTreePoolOperations(t *testing.T) {
+	dirs, files := GenerateNamespace(4, 3)
+	tree := NewTree(dirs, files)
+	rng := rand.New(rand.NewSource(3))
+	if tree.FileCount() != 12 {
+		t.Fatalf("files = %d", tree.FileCount())
+	}
+	if f := tree.RandomFile(rng); f == "" {
+		t.Fatal("no random file")
+	}
+	if d := tree.RandomDir(rng); d == "" {
+		t.Fatal("no random dir")
+	}
+	p := tree.NewFilePath(rng)
+	if p == "" || tree.FileCount() != 13 {
+		t.Fatalf("new file %q, count %d", p, tree.FileCount())
+	}
+	tree.Remove(p)
+	if tree.FileCount() != 12 {
+		t.Fatal("remove failed")
+	}
+	taken := tree.TakeRandomFile(rng)
+	if taken == "" || tree.FileCount() != 11 {
+		t.Fatal("take failed")
+	}
+	tree.Add(taken)
+	if tree.FileCount() != 12 {
+		t.Fatal("add failed")
+	}
+	if mv := tree.RenameTarget("/bench0000/file00001"); namespace.ParentPath(mv) != "/bench0000" {
+		t.Fatalf("rename target %q not a sibling", mv)
+	}
+	nd := tree.NewDirPath(rng)
+	if nd == "" || len(tree.Dirs()) != 5 {
+		t.Fatalf("new dir %q dirs=%d", nd, len(tree.Dirs()))
+	}
+}
+
+func TestTreePoolConcurrent(t *testing.T) {
+	dirs, files := GenerateNamespace(8, 50)
+	tree := NewTree(dirs, files)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					tree.NewFilePath(rng)
+				case 1:
+					tree.TakeRandomFile(rng)
+				case 2:
+					tree.RandomFile(rng)
+				case 3:
+					if f := tree.TakeRandomFile(rng); f != "" {
+						tree.Add(f)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tree.FileCount() < 0 {
+		t.Fatal("pool corrupted")
+	}
+}
+
+func TestGenerateNamespaceShapes(t *testing.T) {
+	dirs, files := GenerateNamespace(10, 20)
+	if len(dirs) != 10 || len(files) != 200 {
+		t.Fatalf("generated %d dirs, %d files", len(dirs), len(files))
+	}
+	dd, df := DeepNamespace("/mvdir", 1000)
+	if len(df) != 1000 {
+		t.Fatalf("deep files = %d", len(df))
+	}
+	if dd[0] != "/mvdir" {
+		t.Fatalf("deep root = %q", dd[0])
+	}
+}
+
+func TestPreloadNDBResolvable(t *testing.T) {
+	clk := clock.NewScaled(0)
+	cfg := ndb.DefaultConfig()
+	cfg.RTT, cfg.ReadService, cfg.WriteService = 0, 0, 0
+	db := ndb.New(clk, cfg)
+	dirs, files := GenerateNamespace(5, 10)
+	PreloadNDB(db, dirs, files)
+	if db.INodeCount() != 1+5+50 {
+		t.Fatalf("inodes = %d", db.INodeCount())
+	}
+	chain, err := db.ResolvePath(files[len(files)-1])
+	if err != nil || len(chain) != 3 {
+		t.Fatalf("resolve preloaded: %v %v", chain, err)
+	}
+	if chain[2].Blocks == nil {
+		t.Fatal("preloaded file has no blocks")
+	}
+	// IDs must not collide with subsequent allocations.
+	if id := db.NextID(); id <= chain[2].ID {
+		t.Fatalf("NextID %d collides with preloaded %d", id, chain[2].ID)
+	}
+}
+
+// memFS is an in-memory FS for driver tests.
+type memFS struct {
+	mu    sync.Mutex
+	files map[string]bool
+	lat   time.Duration
+	clk   clock.Clock
+}
+
+func newMemFS(clk clock.Clock, files []string, lat time.Duration) *memFS {
+	m := &memFS{files: make(map[string]bool), lat: lat, clk: clk}
+	for _, f := range files {
+		m.files[f] = true
+	}
+	return m
+}
+
+func (m *memFS) Do(op namespace.OpType, path, dest string) (*namespace.Response, error) {
+	m.clk.Sleep(m.lat)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch op {
+	case namespace.OpCreate:
+		if m.files[path] {
+			return &namespace.Response{Err: namespace.ToWire(namespace.ErrExists)}, nil
+		}
+		m.files[path] = true
+	case namespace.OpDelete:
+		if !m.files[path] {
+			return &namespace.Response{Err: namespace.ToWire(namespace.ErrNotFound)}, nil
+		}
+		delete(m.files, path)
+	case namespace.OpMv:
+		if !m.files[path] {
+			return &namespace.Response{Err: namespace.ToWire(namespace.ErrNotFound)}, nil
+		}
+		delete(m.files, path)
+		m.files[dest] = true
+	case namespace.OpRead, namespace.OpStat:
+		if !m.files[path] && path != "/" {
+			return &namespace.Response{Err: namespace.ToWire(namespace.ErrNotFound)}, nil
+		}
+	}
+	return &namespace.Response{}, nil
+}
+
+func TestClosedLoopDriverCounts(t *testing.T) {
+	clk := clock.NewScaled(0)
+	dirs, files := GenerateNamespace(4, 25)
+	tree := NewTree(dirs, files)
+	fs := newMemFS(clk, files, 0)
+	rec := RunClosedLoop(clk, tree, SpotifyMix(), 8, 100, 1, func(int) FS { return fs })
+	if got := rec.Completed.Load(); got != 800 {
+		t.Fatalf("completed = %d, want 800", got)
+	}
+	if rec.TransportErrs.Load() != 0 {
+		t.Fatalf("transport errors = %d", rec.TransportErrs.Load())
+	}
+	// Low semantic-error rate: the pool keeps ops mostly valid.
+	if errs := rec.SemanticErrs.Load(); errs > 80 {
+		t.Fatalf("semantic errors = %d of 800", errs)
+	}
+	if rec.Overall.Count() == 0 || rec.MeanLatency() < 0 {
+		t.Fatal("latencies not recorded")
+	}
+}
+
+func TestRateDrivenRollover(t *testing.T) {
+	clk := clock.NewScaled(0.001)
+	dirs, files := GenerateNamespace(4, 50)
+	tree := NewTree(dirs, files)
+	// Service latency 20ms → a single client can do ~50 ops/sec; target
+	// 100 ops/sec forces rollover and a drain phase.
+	fs := newMemFS(clk, files, 20*time.Millisecond)
+	cfg := RateConfig{
+		Clients:  1,
+		Duration: 3 * time.Second,
+		Targets:  []float64{100},
+		Interval: 15 * time.Second,
+		Mix:      SingleOpMix(namespace.OpStat),
+		Seed:     1,
+	}
+	rec := RunRateDriven(clk, tree, cfg, func(int) FS { return fs })
+	done := rec.Completed.Load()
+	if done < 100 || done > 300 {
+		t.Fatalf("completed = %d, want backlog-limited progress", done)
+	}
+}
+
+func TestRateDrivenHitsTargetWhenFast(t *testing.T) {
+	clk := clock.NewScaled(0.001)
+	dirs, files := GenerateNamespace(4, 50)
+	tree := NewTree(dirs, files)
+	fs := newMemFS(clk, files, 0)
+	cfg := RateConfig{
+		Clients:  4,
+		Duration: 5 * time.Second,
+		Targets:  []float64{200},
+		Interval: 15 * time.Second,
+		Mix:      SingleOpMix(namespace.OpStat),
+		Seed:     1,
+	}
+	rec := RunRateDriven(clk, tree, cfg, func(int) FS { return fs })
+	if got := rec.Completed.Load(); got < 900 || got > 1100 {
+		t.Fatalf("completed = %d, want ~1000 (200/s x 5s)", got)
+	}
+	rates := rec.Throughput.Rate()
+	if len(rates) < 4 {
+		t.Fatalf("throughput series too short: %v", rates)
+	}
+}
+
+// treeTestMem implements TreeTestFS in memory.
+type treeTestMem struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func (f *treeTestMem) Mknod(p string) error {
+	f.mu.Lock()
+	f.m[p] = true
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *treeTestMem) Getattr(p string) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m[p], nil
+}
+
+func TestTreeTestDriver(t *testing.T) {
+	clk := clock.NewScaled(0)
+	fs := &treeTestMem{m: map[string]bool{}}
+	res := RunTreeTest(clk, TreeTestConfig{Clients: 4, WritesPerClient: 50, ReadsPerClient: 30, Seed: 1},
+		func(int) TreeTestFS { return fs })
+	if res.WriteOps != 200 || res.ReadOps != 120 {
+		t.Fatalf("ops = %d/%d", res.WriteOps, res.ReadOps)
+	}
+	if res.WriteErrs != 0 || res.ReadErrs != 0 {
+		t.Fatalf("errs = %d/%d", res.WriteErrs, res.ReadErrs)
+	}
+	if res.AggThroughput() < 0 {
+		t.Fatal("agg throughput negative")
+	}
+}
+
+func TestRecorderErrorAccounting(t *testing.T) {
+	rec := NewRecorder(clock.Epoch)
+	rec.Record(namespace.OpRead, clock.Epoch, time.Millisecond, namespace.ErrConnLost)
+	if rec.TransportErrs.Load() != 1 || rec.Completed.Load() != 0 {
+		t.Fatal("transport error misaccounted")
+	}
+	rec.Record(namespace.OpRead, clock.Epoch, time.Millisecond, nil)
+	if rec.Completed.Load() != 1 || rec.PerOp[namespace.OpRead].Count() != 1 {
+		t.Fatal("success misaccounted")
+	}
+}
+
+func TestFaultInjectorKillsRoundRobin(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	fcfg := faasDefaultForTest()
+	p := faasNew(clk, fcfg)
+	defer p.Close()
+	// Two deployments with pre-warmed instances.
+	for i := 0; i < 2; i++ {
+		p.Register("d", func(inst *faasInstance) faasApp { return nopApp{} },
+			faasDeploymentOptions{VCPU: 1, RAMGB: 1, ConcurrencyLevel: 1, MinInstances: 2})
+	}
+	stop := make(chan struct{})
+	fi := &FaultInjector{Platform: p, Interval: 10 * time.Millisecond, Deployments: 2}
+	done := make(chan struct{})
+	clock.Go(clk, func() { fi.Run(clk, stop); close(done) })
+	// Let several intervals elapse in virtual time.
+	clock.Run(clk, func() { clk.Sleep(100 * time.Millisecond) })
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fault injector did not stop")
+	}
+	if fi.Kills == 0 {
+		t.Fatal("no kills recorded")
+	}
+	if got := p.Stats().Kills; got == 0 {
+		t.Fatalf("platform kills = %d", got)
+	}
+}

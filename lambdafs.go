@@ -1,0 +1,278 @@
+// Package lambdafs is a from-scratch Go reproduction of λFS, the
+// serverless-function-based, elastic distributed file system metadata
+// service of Carver et al. (ASPLOS '23), together with every substrate its
+// evaluation depends on: an OpenWhisk-like FaaS platform, a MySQL-Cluster-
+// NDB-like transactional metadata store, a ZooKeeper-like coordinator,
+// DataNodes, and the HopsFS / HopsFS+Cache / InfiniCache / CephFS /
+// IndexFS baselines.
+//
+// The package runs entirely in-process on a virtual clock: a Cluster is a
+// complete λFS deployment (store, coordinator, FaaS platform, n NameNode
+// deployments), and Clients issue metadata operations through the paper's
+// hybrid HTTP/TCP RPC client library. See DESIGN.md for the architecture
+// and EXPERIMENTS.md for the reproduced evaluation.
+//
+//	cfg := lambdafs.DefaultConfig()
+//	cluster, _ := lambdafs.NewCluster(cfg)
+//	defer cluster.Close()
+//	client := cluster.NewClient("app-1")
+//	client.MkdirAll("/data/logs")
+//	client.Create("/data/logs/day1.log")
+//	entries, _ := client.List("/data/logs")
+package lambdafs
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/core"
+	"lambdafs/internal/faas"
+	"lambdafs/internal/metrics"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/rpc"
+)
+
+// CoordinatorKind selects the pluggable Coordinator backend (§3.1).
+type CoordinatorKind string
+
+// Supported coordinator backends.
+const (
+	CoordinatorZooKeeper CoordinatorKind = "zookeeper"
+	CoordinatorNDB       CoordinatorKind = "ndb"
+)
+
+// Config assembles a λFS cluster. Zero values fall back to the defaults
+// of DefaultConfig.
+type Config struct {
+	// Deployments is n, the number of serverless NameNode deployments
+	// the namespace is consistently hashed across (§3.3).
+	Deployments int
+	// NameNodeVCPU / NameNodeRAMGB shape each serverless NameNode.
+	NameNodeVCPU  float64
+	NameNodeRAMGB float64
+	// ConcurrencyLevel is the per-instance HTTP concurrency (§3.4).
+	ConcurrencyLevel int
+	// MaxInstancesPerDeployment caps intra-deployment auto-scaling
+	// (0 = unlimited; 1 reproduces the "no auto-scaling" ablation).
+	MaxInstancesPerDeployment int
+	// CacheBudgetBytes bounds each NameNode's metadata cache
+	// (0 = unlimited).
+	CacheBudgetBytes int64
+
+	// Platform shapes the FaaS substrate (resource pool, cold starts,
+	// gateway latency, reclamation).
+	Platform faas.Config
+	// Store shapes the NDB-like persistent metadata store.
+	Store ndb.Config
+	// RPC shapes the hybrid HTTP/TCP client library (§3.2, Appendices
+	// B-C).
+	RPC rpc.Config
+	// Coordinator selects the coordination backend.
+	Coordinator CoordinatorKind
+	// CoordinatorHop is the coordinator's one-way message latency.
+	CoordinatorHop time.Duration
+	// Engine tunes NameNode execution (CPU per op, subtree batching…).
+	Engine core.EngineConfig
+
+	// TimeScale selects the clock: 0 (default) runs on the
+	// discrete-event simulation clock (fast, exact virtual latencies);
+	// a positive value maps one virtual second onto TimeScale real
+	// seconds.
+	TimeScale float64
+}
+
+// DefaultConfig mirrors the paper's standard deployment: 16 deployments
+// of 6.25-vCPU/30-GB NameNodes over a 4-data-node NDB cluster with a
+// ZooKeeper coordinator.
+func DefaultConfig() Config {
+	return Config{
+		Deployments:      16,
+		NameNodeVCPU:     6.25,
+		NameNodeRAMGB:    30,
+		ConcurrencyLevel: 4,
+		Platform:         faas.DefaultConfig(),
+		Store:            ndb.DefaultConfig(),
+		RPC:              rpc.DefaultConfig(),
+		Coordinator:      CoordinatorZooKeeper,
+		CoordinatorHop:   500 * time.Microsecond,
+		Engine:           core.DefaultEngineConfig(),
+	}
+}
+
+// Cluster is a running λFS metadata service.
+type Cluster struct {
+	cfg      Config
+	clk      clock.Clock
+	sim      *clock.Sim // non-nil when running on the DES clock
+	db       *ndb.DB
+	coord    coordinator.Coordinator
+	platform *faas.Platform
+	sys      *core.System
+	vm       *rpc.VM
+
+	lambdaMeter      *metrics.LambdaMeter
+	provisionedMeter *metrics.ProvisionedMeter
+	clientSeq        atomic.Uint64
+	closed           atomic.Bool
+}
+
+// NewCluster starts a λFS cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	def := DefaultConfig()
+	if cfg.Deployments <= 0 {
+		cfg.Deployments = def.Deployments
+	}
+	if cfg.NameNodeVCPU <= 0 {
+		cfg.NameNodeVCPU = def.NameNodeVCPU
+	}
+	if cfg.NameNodeRAMGB <= 0 {
+		cfg.NameNodeRAMGB = def.NameNodeRAMGB
+	}
+	if cfg.ConcurrencyLevel <= 0 {
+		cfg.ConcurrencyLevel = def.ConcurrencyLevel
+	}
+	if cfg.Coordinator == "" {
+		cfg.Coordinator = def.Coordinator
+	}
+	if cfg.Store.DataNodes == 0 {
+		cfg.Store = def.Store
+	}
+	if cfg.Platform.TotalVCPU == 0 {
+		cfg.Platform = def.Platform
+	}
+	if cfg.RPC.MaxAttempts == 0 {
+		cfg.RPC = def.RPC
+	}
+	if cfg.Engine.SubtreeBatch == 0 {
+		cfg.Engine = def.Engine
+	}
+	if cfg.TimeScale < 0 {
+		return nil, errors.New("lambdafs: negative TimeScale")
+	}
+
+	c := &Cluster{cfg: cfg}
+	if cfg.TimeScale == 0 {
+		c.sim = clock.NewSim()
+		c.clk = c.sim
+	} else {
+		c.clk = clock.NewScaled(cfg.TimeScale)
+	}
+
+	c.db = ndb.New(c.clk, cfg.Store)
+
+	coordCfg := coordinator.DefaultConfig()
+	coordCfg.HopLatency = cfg.CoordinatorHop
+	coordCfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(c.db, id) }
+	switch cfg.Coordinator {
+	case CoordinatorZooKeeper:
+		c.coord = coordinator.NewZK(c.clk, coordCfg)
+	case CoordinatorNDB:
+		coordCfg.HopLatency = cfg.Store.RTT
+		c.coord = coordinator.NewNDB(c.clk, coordCfg, c.db)
+	default:
+		return nil, fmt.Errorf("lambdafs: unknown coordinator %q", cfg.Coordinator)
+	}
+
+	c.lambdaMeter = metrics.NewLambdaMeter(clock.Epoch)
+	c.provisionedMeter = metrics.NewProvisionedMeter(clock.Epoch)
+	pcfg := cfg.Platform
+	pcfg.Lambda = c.lambdaMeter
+	pcfg.Provisioned = c.provisionedMeter
+	c.platform = faas.New(c.clk, pcfg)
+
+	sysCfg := core.SystemConfig{
+		Deployments:               cfg.Deployments,
+		NameNodeVCPU:              cfg.NameNodeVCPU,
+		NameNodeRAMGB:             cfg.NameNodeRAMGB,
+		ConcurrencyLevel:          cfg.ConcurrencyLevel,
+		MaxInstancesPerDeployment: cfg.MaxInstancesPerDeployment,
+		Engine:                    cfg.Engine,
+		OffloadLatency:            time.Millisecond,
+	}
+	sysCfg.Engine.CacheBudget = cfg.CacheBudgetBytes
+	c.sys = core.NewSystem(c.clk, c.db, c.coord, c.platform, sysCfg)
+	c.vm = rpc.NewVM(c.clk, cfg.RPC)
+	return c, nil
+}
+
+// Clock exposes the cluster's virtual clock.
+func (c *Cluster) Clock() clock.Clock { return c.clk }
+
+// Store exposes the persistent metadata store.
+func (c *Cluster) Store() *ndb.DB { return c.db }
+
+// Platform exposes the FaaS platform (fault injection, scaling stats).
+func (c *Cluster) Platform() *faas.Platform { return c.platform }
+
+// System exposes the λFS core system (diagnostics).
+func (c *Cluster) System() *core.System { return c.sys }
+
+// VM exposes the default client VM (its TCP servers are shared by every
+// client created with NewClient).
+func (c *Cluster) VM() *rpc.VM { return c.vm }
+
+// NewVM creates an additional client VM (clients on distinct VMs do not
+// share TCP connections — Figure 4's sharing is per-VM).
+func (c *Cluster) NewVM() *rpc.VM { return rpc.NewVM(c.clk, c.cfg.RPC) }
+
+// Stats summarizes cluster-wide state.
+type Stats struct {
+	ActiveNameNodes int
+	VCPUInUse       float64
+	ColdStarts      uint64
+	Invocations     uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	Store           ndb.Stats
+	PayPerUseUSD    float64
+	ProvisionedUSD  float64
+}
+
+// Stats returns a snapshot.
+func (c *Cluster) Stats() Stats {
+	hits, misses := c.sys.CacheStats()
+	ps := c.platform.Stats()
+	return Stats{
+		ActiveNameNodes: c.platform.ActiveInstances(),
+		VCPUInUse:       c.platform.VCPUInUse(),
+		ColdStarts:      ps.ColdStarts,
+		Invocations:     ps.Invocations,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		Store:           c.db.Stats(),
+		PayPerUseUSD:    c.lambdaMeter.TotalUSD(),
+		ProvisionedUSD:  c.provisionedMeter.TotalUSD(),
+	}
+}
+
+// Meters exposes the billing meters (the evaluation's cost models).
+func (c *Cluster) Meters() (*metrics.LambdaMeter, *metrics.ProvisionedMeter) {
+	return c.lambdaMeter, c.provisionedMeter
+}
+
+// Run executes fn as a clock-registered task and waits for it: on the
+// default discrete-event clock, goroutines that sleep or pace against
+// virtual time (custom workload drivers) must run inside Run. Client
+// methods already do this internally; Run is for driver loops that call
+// Clock().Sleep themselves.
+func (c *Cluster) Run(fn func()) {
+	clock.Run(c.clk, fn)
+}
+
+// Close shuts the cluster down: terminates every NameNode instance and
+// stops the clock.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	// Teardown performs store transactions (coordinator deregistration);
+	// run it registered on the DES clock.
+	clock.Run(c.clk, c.platform.Close)
+	if c.sim != nil {
+		c.sim.Close()
+	}
+}

@@ -1,0 +1,221 @@
+package lambdafs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// quickConfig keeps public-API tests fast: tiny latencies, DES clock.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Deployments = 4
+	cfg.NameNodeVCPU = 2
+	cfg.NameNodeRAMGB = 2
+	cfg.Platform.ColdStart = time.Millisecond
+	cfg.Platform.GatewayLatency = time.Millisecond
+	cfg.Platform.IdleReclaim = 0
+	cfg.RPC.Hedging = false
+	return cfg
+}
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicAPILifecycle(t *testing.T) {
+	c := newTestCluster(t, quickConfig())
+	cl := c.NewClient("")
+
+	if err := cl.MkdirAll("/projects/alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/projects/alpha/readme.md"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/projects/alpha/readme.md"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	info, err := cl.Stat("/projects/alpha/readme.md")
+	if err != nil || info.IsDir {
+		t.Fatalf("stat: %+v %v", info, err)
+	}
+	if _, _, err := cl.Open("/projects/alpha/readme.md"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Open("/projects/alpha"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+	entries, err := cl.List("/projects/alpha")
+	if err != nil || len(entries) != 1 || entries[0].Name != "readme.md" {
+		t.Fatalf("list: %v %v", entries, err)
+	}
+	if err := cl.Rename("/projects/alpha/readme.md", "/projects/alpha/README.md"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat("/projects/alpha/readme.md"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("old name survived rename: %v", err)
+	}
+	if err := cl.Remove("/projects"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat("/projects/alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("subtree delete incomplete")
+	}
+}
+
+func TestClusterStatsPopulated(t *testing.T) {
+	c := newTestCluster(t, quickConfig())
+	cl := c.NewClient("stats")
+	for i := 0; i < 10; i++ {
+		if err := cl.MkdirAll(fmt.Sprintf("/s/%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Stat(fmt.Sprintf("/s/%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.ActiveNameNodes == 0 {
+		t.Fatal("no active NameNodes")
+	}
+	if st.Invocations == 0 {
+		t.Fatal("no invocations counted")
+	}
+	if st.Store.Commits == 0 {
+		t.Fatal("no store commits")
+	}
+	if st.PayPerUseUSD <= 0 {
+		t.Fatal("no pay-per-use cost accrued")
+	}
+	lm, pm := c.Meters()
+	if lm == nil || pm == nil {
+		t.Fatal("meters missing")
+	}
+}
+
+func TestNDBCoordinatorVariant(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Coordinator = CoordinatorNDB
+	c := newTestCluster(t, cfg)
+	cl := c.NewClient("ndbcoord")
+	if err := cl.MkdirAll("/co"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/co/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Coherence through the NDB-backed coordinator.
+	cl2 := c.NewClient("reader")
+	if _, err := cl2.Stat("/co/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove("/co/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.Stat("/co/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale read through NDB coordinator: %v", err)
+	}
+}
+
+func TestUnknownCoordinatorRejected(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Coordinator = CoordinatorKind("etcd")
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("unknown coordinator accepted")
+	}
+	cfg = quickConfig()
+	cfg.TimeScale = -1
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("negative TimeScale accepted")
+	}
+}
+
+func TestMultiVMClientsShareNothingAcrossVMs(t *testing.T) {
+	c := newTestCluster(t, quickConfig())
+	vm2 := c.NewVM()
+	a := c.NewClient("a")
+	b := c.NewClientOnVM(vm2, "b")
+	if err := a.MkdirAll("/vmtest"); err != nil {
+		t.Fatal(err)
+	}
+	// Both clients operate correctly despite separate TCP server pools.
+	if err := b.Create("/vmtest/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Stat("/vmtest/f"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().HTTPRPCs == 0 || b.Stats().HTTPRPCs == 0 {
+		t.Fatal("both VMs should have issued HTTP RPCs to bootstrap connections")
+	}
+}
+
+func TestConcurrentClientsOnSimClock(t *testing.T) {
+	c := newTestCluster(t, quickConfig())
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.NewClient(fmt.Sprintf("w%d", w))
+			dir := fmt.Sprintf("/conc/%d", w)
+			if err := cl.MkdirAll(dir); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if err := cl.Create(fmt.Sprintf("%s/f%d", dir, i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if entries, err := cl.List(dir); err != nil || len(entries) != 10 {
+				errs <- fmt.Errorf("list %s: %d entries, %v", dir, len(entries), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ht := c.Clock().Since(c.Clock().Now().Add(-time.Nanosecond)); ht < 0 {
+		t.Fatal("clock misbehaving")
+	}
+}
+
+func TestScaledClockVariant(t *testing.T) {
+	cfg := quickConfig()
+	cfg.TimeScale = 0.001 // 1000x faster than real time
+	c := newTestCluster(t, cfg)
+	cl := c.NewClient("scaled")
+	if err := cl.MkdirAll("/scaled"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat("/scaled"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotentAndTerminal(t *testing.T) {
+	c := newTestCluster(t, quickConfig())
+	cl := c.NewClient("x")
+	if err := cl.MkdirAll("/pre"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+	if got := c.Platform().ActiveInstances(); got != 0 {
+		t.Fatalf("instances alive after close: %d", got)
+	}
+}
