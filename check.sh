@@ -1,0 +1,30 @@
+#!/bin/sh
+# Repo health check: formatting, vet, build, full test suite, and the race
+# detector over the concurrency-heavy packages (tracer, metrics, FaaS
+# platform, RPC fabric). Run before sending changes.
+set -e
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . 2>/dev/null | grep -v '^related/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (trace, metrics, faas, rpc) =="
+go test -race ./internal/trace/ ./internal/metrics/ ./internal/faas/ ./internal/rpc/
+
+echo "all checks passed"

@@ -29,8 +29,9 @@ func main() {
 	full := flag.Bool("full", false, "run paper-scale op counts and durations (slow)")
 	seed := flag.Int64("seed", 1, "workload randomness seed")
 	csvDir := flag.String("csv", "", "also export each table as CSV into this directory")
+	traceDir := flag.String("trace", "", "dump raw trace/event JSONL from traced experiments into this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] list | all | <experiment>...\n\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
 		for _, e := range bench.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.Name, e.Brief)
@@ -64,7 +65,7 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout}
+	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout, TraceDir: *traceDir}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"
@@ -74,6 +75,12 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "csv dir:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "trace dir:", err)
 			os.Exit(1)
 		}
 	}

@@ -9,7 +9,7 @@
 //
 // Commands: mkdir <path> | create <path> | stat <path> | read <path> |
 // ls <path> | mv <src> <dst> | rm <path> | kill <deployment> | stats |
-// help
+// trace [n] | help
 package main
 
 import (
@@ -19,8 +19,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lambdafs"
+	"lambdafs/internal/clock"
+	"lambdafs/internal/trace"
 )
 
 func main() {
@@ -30,6 +33,7 @@ func main() {
 
 	cfg := lambdafs.DefaultConfig()
 	cfg.Deployments = *deployments
+	cfg.EnableTracing = true // the shell is a diagnostics tool: trace everything
 	cluster, err := lambdafs.NewCluster(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "start cluster:", err)
@@ -128,6 +132,14 @@ func main() {
 			} else {
 				fmt.Printf("no live NameNode in deployment %d\n", dep)
 			}
+		case "trace":
+			n := 1
+			if len(args) > 0 {
+				if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+					n = v
+				}
+			}
+			printTraces(cluster.Tracer(), n)
 		case "stats":
 			s := cluster.Stats()
 			fmt.Printf("NameNodes=%d vCPU=%.1f coldStarts=%d invocations=%d\n",
@@ -136,7 +148,7 @@ func main() {
 				s.CacheHits, s.CacheMisses, s.Store.Reads, s.Store.Writes, s.Store.Commits)
 			fmt.Printf("cost: pay-per-use $%.6f, provisioned $%.6f\n", s.PayPerUseUSD, s.ProvisionedUSD)
 		case "help":
-			fmt.Println("commands: mkdir create stat read ls mv rm kill stats help")
+			fmt.Println("commands: mkdir create stat read ls mv rm kill stats trace help")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}
@@ -151,6 +163,72 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		run(sc.Text())
+	}
+}
+
+// printTraces renders the n most recent traces as indented span trees,
+// followed by the most recent structured events.
+func printTraces(tr *trace.Tracer, n int) {
+	traces := tr.Traces()
+	if len(traces) == 0 {
+		fmt.Println("no traces recorded yet")
+		return
+	}
+	if n > len(traces) {
+		n = len(traces)
+	}
+	for _, t := range traces[len(traces)-n:] {
+		e2e := t.End().Sub(t.Start)
+		status := "ok"
+		if err := t.Err(); err != "" {
+			status = err
+		}
+		fmt.Printf("trace %d: %s %s client=%s t+%v e2e=%v (%s)\n",
+			t.ID, t.Op, t.Path, t.Client, t.Start.Sub(clock.Epoch).Round(time.Microsecond), e2e, status)
+		spans := t.Spans()
+		children := make(map[uint64][]trace.Span, len(spans))
+		for _, s := range spans {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+		var walk func(parent uint64, depth int)
+		walk = func(parent uint64, depth int) {
+			for _, s := range children[parent] {
+				tags := ""
+				if s.Deployment >= 0 {
+					tags += fmt.Sprintf(" dep=%d", s.Deployment)
+				}
+				if s.Shard >= 0 {
+					tags += fmt.Sprintf(" shard=%d", s.Shard)
+				}
+				if s.Instance != "" {
+					tags += " inst=" + s.Instance
+				}
+				if s.Detail != "" {
+					tags += " " + s.Detail
+				}
+				fmt.Printf("  %s%-18s %10v  +%v%s\n", strings.Repeat("  ", depth),
+					s.Kind, s.Dur, s.Start.Sub(t.Start), tags)
+				walk(s.ID, depth+1)
+			}
+		}
+		walk(0, 0)
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		return
+	}
+	const maxEvents = 10
+	if len(events) > maxEvents {
+		events = events[len(events)-maxEvents:]
+	}
+	fmt.Printf("recent events (%d):\n", len(events))
+	for _, ev := range events {
+		who := ev.Client
+		if ev.Instance != "" {
+			who = ev.Instance
+		}
+		fmt.Printf("  t+%-12v %-18s %s %s\n",
+			ev.Time.Sub(clock.Epoch).Round(time.Microsecond), ev.Type, who, ev.Detail)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"lambdafs/internal/metrics"
 	"lambdafs/internal/ndb"
 	"lambdafs/internal/rpc"
+	"lambdafs/internal/trace"
 	"lambdafs/internal/workload"
 )
 
@@ -43,6 +44,9 @@ type Options struct {
 	Seed int64
 	// Out receives the rendered tables (defaults to io.Discard when nil).
 	Out io.Writer
+	// TraceDir, when non-empty, receives raw trace/event JSONL dumps from
+	// the experiments that run with tracing enabled.
+	TraceDir string
 }
 
 func (o Options) out() io.Writer {
@@ -151,6 +155,7 @@ func All() []Experiment {
 		{"fig16", "Figure 16: λIndexFS vs IndexFS (tree-test)", RunFig16},
 		{"ablation-rpc", "Ablation: hybrid RPC and replacement probability", RunAblationRPC},
 		{"ablation-batch", "Ablation: subtree batch size and offloading", RunAblationBatch},
+		{"trace", "Observability: latency decomposition and structured event log", RunTrace},
 	}
 }
 
@@ -210,6 +215,7 @@ type lambdaParams struct {
 	evictForSpace  bool
 	coldStart      time.Duration
 	gatewayLatency time.Duration
+	tracer         *trace.Tracer
 }
 
 func defaultLambdaParams() lambdaParams {
@@ -250,6 +256,7 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 	fCfg.ReclaimInterval = 5 * time.Second
 	fCfg.Lambda = lambda
 	fCfg.Provisioned = prov
+	fCfg.Tracer = p.tracer
 	platform := faas.New(clk, fCfg)
 
 	eng := core.DefaultEngineConfig()
@@ -280,7 +287,9 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 		vms = 1
 	}
 	for i := 0; i < vms; i++ {
-		c.vms = append(c.vms, rpc.NewVM(clk, rCfg))
+		vm := rpc.NewVM(clk, rCfg)
+		vm.SetTracer(p.tracer) // before clients: they capture it at creation
+		c.vms = append(c.vms, vm)
 	}
 	return c
 }

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/trace"
+	"lambdafs/internal/workload"
+)
+
+// RunTrace runs the observability experiment: a traced λFS deployment
+// through three phases — a warm mixed workload, an instance-kill storm
+// (cold starts, retries, anti-thrashing), and an idle window (reclamation)
+// — then renders the per-op-type latency decomposition and the structured
+// event log. With Options.TraceDir set, the raw traces and events are
+// dumped as JSONL for external tooling.
+func RunTrace(opts Options) []*Table {
+	clk := clock.NewSim()
+	defer clk.Close()
+
+	tr := trace.New(clk, trace.Config{})
+	p := defaultLambdaParams()
+	p.clientVMs = 2
+	p.tracer = tr
+
+	d, f := microTreeShape(opts)
+	dirs, files := workload.GenerateNamespace(d, f)
+	var c *lambdaCluster
+	clock.Run(clk, func() {
+		c = newLambdaCluster(clk, p)
+		workload.PreloadNDB(c.db, dirs, files)
+	})
+	defer func() { clock.Run(clk, c.close) }()
+
+	clients, per := 32, 192
+	if opts.Tiny {
+		clients, per = 8, 64
+	} else if opts.Quick {
+		clients, per = 16, 96
+	}
+	// Write-heavier than Spotify so create/mv decompositions have enough
+	// samples to report.
+	mix := workload.Mix{
+		{Op: namespace.OpCreate, Weight: 12},
+		{Op: namespace.OpMv, Weight: 6},
+		{Op: namespace.OpDelete, Weight: 2},
+		{Op: namespace.OpRead, Weight: 35},
+		{Op: namespace.OpStat, Weight: 35},
+		{Op: namespace.OpLs, Weight: 10},
+	}
+	tree := workload.NewTree(dirs, files)
+	fss := make([]workload.FS, clients)
+	for i := range fss {
+		fss[i] = c.clientFor(i)
+	}
+	cached := func(i int) workload.FS { return fss[i] }
+
+	// Phase 1 — warm: connections established, instances provisioned,
+	// latency windows filled.
+	clock.Run(clk, func() {
+		workload.RunClosedLoop(clk, tree, mix, clients, per, opts.Seed, cached)
+	})
+
+	// Phase 2 — kill storm: dead connections force HTTP failover through
+	// fresh cold starts; the latency spikes push clients into
+	// anti-thrashing mode.
+	clock.Run(clk, func() {
+		for i := 0; i < 4; i++ {
+			c.platform.KillOneInstance(i % p.deployments)
+		}
+		workload.RunClosedLoop(clk, tree, mix, clients, per/2, opts.Seed+1, cached)
+		// Outlive the anti-thrashing hold, then issue a few more ops so
+		// the (lazy) exit events are observed and recorded.
+		clk.Sleep(c.rpcCfg.AntiThrashHold + time.Second)
+		workload.RunClosedLoop(clk, tree, mix, clients, 8, opts.Seed+2, cached)
+	})
+
+	// Phase 3 — idle: instances pass the idle-reclaim threshold and the
+	// platform scales in.
+	clock.Run(clk, func() {
+		clk.Sleep(45 * time.Second)
+	})
+
+	bd := trace.Aggregate(tr.Traces())
+	tables := []*Table{BreakdownTable(bd), eventTable(tr)}
+	for _, t := range tables {
+		t.Fprint(opts.out())
+	}
+	if opts.TraceDir != "" {
+		if err := dumpTraceJSONL(tr, opts.TraceDir); err != nil {
+			fmt.Fprintf(opts.out(), "trace dump failed: %v\n", err)
+		}
+	}
+	return tables
+}
+
+// BreakdownTable renders a latency decomposition with a stable column
+// order: fixed end-to-end columns first, then a (mean µs, % of latency)
+// pair per span kind in trace.KindOrder. The order is part of the CSV
+// contract (see TestBreakdownTableGolden).
+func BreakdownTable(b *trace.Breakdown) *Table {
+	kinds := b.KindsPresent()
+	cols := []string{"op", "count", "mean_us", "p50_us", "p99_us", "attributed_pct"}
+	for _, k := range kinds {
+		cols = append(cols, string(k)+"_mean_us", string(k)+"_pct")
+	}
+	t := &Table{
+		ID:      "trace-breakdown",
+		Title:   "Per-op latency decomposition by span kind (self time)",
+		Columns: cols,
+	}
+	for _, op := range b.OpNames() {
+		o := b.Op(op)
+		row := []string{
+			op,
+			fmt.Sprintf("%d", o.Count),
+			fmt.Sprintf("%d", o.E2E.Mean().Microseconds()),
+			fmt.Sprintf("%d", o.E2E.Quantile(0.5).Microseconds()),
+			fmt.Sprintf("%d", o.E2E.Quantile(0.99).Microseconds()),
+			fmt.Sprintf("%.1f", 100*o.AttributedFraction()),
+		}
+		for _, k := range kinds {
+			ks := o.Kind(k)
+			if ks == nil {
+				row = append(row, "0", "0.0")
+				continue
+			}
+			mean := time.Duration(int64(ks.Total) / int64(o.Count))
+			row = append(row,
+				fmt.Sprintf("%d", mean.Microseconds()),
+				fmt.Sprintf("%.1f", 100*o.MeanShare(k)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// eventTable summarizes the structured event stream.
+func eventTable(tr *trace.Tracer) *Table {
+	t := &Table{
+		ID:      "trace-events",
+		Title:   "Structured platform/client events (virtual time)",
+		Columns: []string{"event", "count", "first", "last"},
+	}
+	for _, typ := range []trace.EventType{
+		trace.EventColdStart, trace.EventReclaim, trace.EventEvict,
+		trace.EventKill, trace.EventHTTPReplace, trace.EventRetry,
+		trace.EventHedgedRetry, trace.EventAntiThrashEnter,
+		trace.EventAntiThrashExit, trace.EventCoherenceINV,
+		trace.EventSubtreeOffload,
+	} {
+		evs := tr.EventsOf(typ)
+		if len(evs) == 0 {
+			continue
+		}
+		first := evs[0].Time.Sub(clock.Epoch)
+		last := evs[len(evs)-1].Time.Sub(clock.Epoch)
+		t.Rows = append(t.Rows, []string{
+			string(typ), fmt.Sprintf("%d", len(evs)),
+			fmt.Sprintf("t+%s", fmtDur(first)), fmt.Sprintf("t+%s", fmtDur(last)),
+		})
+	}
+	return t
+}
+
+// dumpTraceJSONL writes the raw traces and events to dir/trace.jsonl.
+func dumpTraceJSONL(tr *trace.Tracer, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "trace.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteJSONL(f)
+}

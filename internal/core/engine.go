@@ -14,6 +14,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/partition"
 	"lambdafs/internal/store"
+	"lambdafs/internal/trace"
 )
 
 // CPU abstracts the compute capacity an Engine runs on: a faas.Instance
@@ -158,8 +160,15 @@ func (e *Engine) Execute(req namespace.Request) *namespace.Response {
 			return r
 		}
 	}
+	sp := req.TC.Start(trace.KindEngineExec)
+	sp.SetInstance(e.id)
+	sp.SetDeployment(e.dep)
+	tc := sp.Ctx() // nil when untraced: everything below no-ops on it
+	cpuSp := tc.Start(trace.KindEngineCPU)
 	e.cpu.AcquireCPU(e.cfg.OpCPUCost)
-	resp := e.execute(req)
+	cpuSp.End()
+	resp := e.execute(tc, req)
+	sp.End()
 	resp.ServedBy = e.id
 	if req.ClientID != "" {
 		e.results.put(req.Key(), resp)
@@ -167,32 +176,54 @@ func (e *Engine) Execute(req namespace.Request) *namespace.Response {
 	return resp
 }
 
-func (e *Engine) execute(req namespace.Request) *namespace.Response {
+func (e *Engine) execute(tc *trace.Ctx, req namespace.Request) *namespace.Response {
 	path, err := namespace.CleanPath(req.Path)
 	if err != nil {
 		return fail(err)
 	}
 	switch req.Op {
 	case namespace.OpRead:
-		return e.read(path)
+		return e.read(tc, path)
 	case namespace.OpStat:
-		return e.stat(path)
+		return e.stat(tc, path)
 	case namespace.OpLs:
-		return e.ls(path)
+		return e.ls(tc, path)
 	case namespace.OpCreate:
-		return e.create(path)
+		return e.create(tc, path)
 	case namespace.OpMkdirs:
-		return e.mkdirs(path)
+		return e.mkdirs(tc, path)
 	case namespace.OpDelete:
-		return e.del(path)
+		return e.del(tc, path)
 	case namespace.OpMv:
 		dest, derr := namespace.CleanPath(req.Dest)
 		if derr != nil {
 			return fail(derr)
 		}
-		return e.mv(path, dest)
+		return e.mv(tc, path, dest)
 	}
 	return fail(namespace.ErrInvalidState)
+}
+
+// begin opens a store transaction, attaching tc when the store implements
+// trace attribution. With a nil tc this is exactly e.st.Begin (the
+// fast path costs nothing beyond a nil check).
+func (e *Engine) begin(tc *trace.Ctx) store.Tx {
+	if tc != nil {
+		if ts, ok := e.st.(store.TracedStore); ok {
+			return ts.BeginTraced(e.id, tc)
+		}
+	}
+	return e.st.Begin(e.id)
+}
+
+// resolveStore is Store.ResolvePath with trace attribution when available.
+func (e *Engine) resolveStore(tc *trace.Ctx, path string) ([]*namespace.INode, error) {
+	if tc != nil {
+		if ts, ok := e.st.(store.TracedStore); ok {
+			return ts.ResolvePathTraced(path, tc)
+		}
+	}
+	return e.st.ResolvePath(path)
 }
 
 func fail(err error) *namespace.Response {
@@ -220,12 +251,12 @@ func (e *Engine) cachingAllowed(path string) bool {
 // misses (the staleness guard of §3.5: a concurrent writer's exclusive
 // locks serialize against the fill, and the chain is inserted before the
 // locks are released).
-func (e *Engine) resolve(path string) (chain []*namespace.INode, hit bool, err error) {
+func (e *Engine) resolve(tc *trace.Ctx, path string) (chain []*namespace.INode, hit bool, err error) {
 	if e.cachingAllowed(path) {
 		if chain, ok := e.cache.Lookup(path); ok {
 			return chain, true, nil
 		}
-		tx := e.st.Begin(e.id)
+		tx := e.begin(tc)
 		defer tx.Abort()
 		chain, err := tx.ResolvePath(path, store.LockShared)
 		if err != nil {
@@ -241,7 +272,7 @@ func (e *Engine) resolve(path string) (chain []*namespace.INode, hit bool, err e
 		}
 		return chain, false, nil
 	}
-	chain, err = e.st.ResolvePath(path)
+	chain, err = e.resolveStore(tc, path)
 	return chain, false, err
 }
 
@@ -258,8 +289,8 @@ func checkSubtreeLocks(chain []*namespace.INode, self string) error {
 
 // read resolves a file and returns its block locations (open /
 // getBlockLocations).
-func (e *Engine) read(path string) *namespace.Response {
-	chain, hit, err := e.resolve(path)
+func (e *Engine) read(tc *trace.Ctx, path string) *namespace.Response {
+	chain, hit, err := e.resolve(tc, path)
 	if err != nil {
 		return fail(err)
 	}
@@ -280,8 +311,8 @@ func (e *Engine) read(path string) *namespace.Response {
 }
 
 // stat resolves any path and returns its attributes.
-func (e *Engine) stat(path string) *namespace.Response {
-	chain, hit, err := e.resolve(path)
+func (e *Engine) stat(tc *trace.Ctx, path string) *namespace.Response {
+	chain, hit, err := e.resolve(tc, path)
 	if err != nil {
 		return fail(err)
 	}
@@ -297,14 +328,14 @@ func (e *Engine) stat(path string) *namespace.Response {
 // are served from the cache when a complete listing is cached; otherwise
 // the listing is fetched under shared locks and cached with the
 // completeness mark.
-func (e *Engine) ls(path string) *namespace.Response {
+func (e *Engine) ls(tc *trace.Ctx, path string) *namespace.Response {
 	allowed := e.cachingAllowed(path)
 	if allowed {
 		if kids, ok := e.cache.Listing(path); ok {
 			return &namespace.Response{Entries: toEntries(kids), CacheHit: true}
 		}
 	}
-	tx := e.st.Begin(e.id)
+	tx := e.begin(tc)
 	defer tx.Abort()
 	mode := store.LockNone
 	if allowed {
@@ -367,12 +398,23 @@ func (e *Engine) invTargets(paths ...string) []int {
 
 // invalidateAll runs the INV/ACK exchange for the given paths (remote
 // caches first — Algorithm 1 requires all ACKs before persisting) and
-// then updates the local cache identically.
-func (e *Engine) invalidateAll(deps []int, paths ...string) error {
+// then updates the local cache identically. When traced, the whole
+// exchange becomes a coherence.inv span and one coherence_inv event whose
+// duration is the ACK wait.
+func (e *Engine) invalidateAll(tc *trace.Ctx, deps []int, paths ...string) error {
+	sp := tc.Start(trace.KindCoherence)
+	var start time.Time
+	if tc != nil {
+		sp.SetDeployment(e.dep)
+		sp.SetInstance(e.id)
+		sp.SetDetail(fmt.Sprintf("deps=%d paths=%d", len(deps), len(paths)))
+		start = e.clk.Now()
+	}
 	for _, p := range paths {
 		if e.coord != nil {
 			inv := coordinator.Invalidation{Path: p, Writer: e.id}
 			if err := e.coord.Invalidate(deps, inv); err != nil {
+				sp.End()
 				return err
 			}
 		}
@@ -381,16 +423,24 @@ func (e *Engine) invalidateAll(deps []int, paths ...string) error {
 			e.cache.ClearComplete(namespace.ParentPath(p))
 		}
 	}
+	if tc != nil {
+		tc.Emit(trace.Event{
+			Type: trace.EventCoherenceINV, Deployment: e.dep, Instance: e.id,
+			Dur:    e.clk.Since(start),
+			Detail: fmt.Sprintf("deps=%d paths=%d", len(deps), len(paths)),
+		})
+	}
+	sp.End()
 	return nil
 }
 
 // retryWrite runs fn with lock-timeout retries, mirroring store.RunTx but
 // keeping the coherence protocol inside the critical section.
-func (e *Engine) retryWrite(fn func(tx store.Tx) error) error {
+func (e *Engine) retryWrite(tc *trace.Ctx, fn func(tx store.Tx) error) error {
 	const maxAttempts = 8
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		tx := e.st.Begin(e.id)
+		tx := e.begin(tc)
 		err := fn(tx)
 		if err == nil {
 			err = tx.Commit()

@@ -388,24 +388,24 @@ func TestConcurrentCreateSameFileOneWins(t *testing.T) {
 func TestSubtreeIsolationBlocksInnerOps(t *testing.T) {
 	a, b, _ := twoEngines(t, 1)
 	mustOK(t, a, namespace.OpMkdirs, "/iso/deep", "")
-	root, err := a.subtreeLock("/iso", namespace.OpDelete)
+	root, err := a.subtreeLock(nil, "/iso", namespace.OpDelete)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantErr(t, b, namespace.OpCreate, "/iso/deep/f", "", namespace.ErrSubtreeBusy)
 	wantErr(t, b, namespace.OpMv, "/iso/deep", "/elsewhere", namespace.ErrSubtreeBusy)
 	// Overlapping subtree op rejected too.
-	if _, err := b.subtreeLock("/iso", namespace.OpMv); !errors.Is(err, namespace.ErrSubtreeBusy) {
+	if _, err := b.subtreeLock(nil, "/iso", namespace.OpMv); !errors.Is(err, namespace.ErrSubtreeBusy) {
 		t.Fatalf("overlapping subtree lock: %v", err)
 	}
-	a.subtreeUnlock(root.ID)
+	a.subtreeUnlock(nil, root.ID)
 	mustOK(t, b, namespace.OpCreate, "/iso/deep/f", "")
 }
 
 func TestCrashCleanupReleasesSubtreeLock(t *testing.T) {
 	a, b, st := twoEngines(t, 1)
 	mustOK(t, a, namespace.OpMkdirs, "/crash/dir", "")
-	if _, err := a.subtreeLock("/crash", namespace.OpDelete); err != nil {
+	if _, err := a.subtreeLock(nil, "/crash", namespace.OpDelete); err != nil {
 		t.Fatal(err)
 	}
 	wantErr(t, b, namespace.OpCreate, "/crash/dir/f", "", namespace.ErrSubtreeBusy)
@@ -530,7 +530,7 @@ func TestNoCacheFillUnderForeignSubtreeLock(t *testing.T) {
 	a, b, _ := twoEngines(t, 1)
 	mustOK(t, a, namespace.OpMkdirs, "/locked", "")
 	mustOK(t, a, namespace.OpCreate, "/locked/f", "")
-	root, err := a.subtreeLock("/locked", namespace.OpDelete)
+	root, err := a.subtreeLock(nil, "/locked", namespace.OpDelete)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,6 +542,6 @@ func TestNoCacheFillUnderForeignSubtreeLock(t *testing.T) {
 	if b.Cache().Contains("/locked/f") || b.Cache().Contains("/locked") {
 		t.Fatal("cache filled under a foreign subtree lock")
 	}
-	a.subtreeUnlock(root.ID)
+	a.subtreeUnlock(nil, root.ID)
 	mustOK(t, b, namespace.OpStat, "/locked/f", "")
 }

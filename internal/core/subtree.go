@@ -12,6 +12,7 @@ import (
 	"lambdafs/internal/coordinator"
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/store"
+	"lambdafs/internal/trace"
 )
 
 // This file implements the subtree operation protocol (Appendix D),
@@ -35,9 +36,9 @@ type subtreeWalk struct {
 }
 
 // subtreeLock runs Phase 1 for op on rootPath, returning the locked root.
-func (e *Engine) subtreeLock(rootPath string, op namespace.OpType) (*namespace.INode, error) {
+func (e *Engine) subtreeLock(tc *trace.Ctx, rootPath string, op namespace.OpType) (*namespace.INode, error) {
 	var root *namespace.INode
-	err := e.retryWrite(func(tx store.Tx) error {
+	err := e.retryWrite(tc, func(tx store.Tx) error {
 		parent, err := e.lockParent(tx, rootPath)
 		if err != nil {
 			return err
@@ -68,8 +69,8 @@ func (e *Engine) subtreeLock(rootPath string, op namespace.OpType) (*namespace.I
 
 // subtreeUnlock clears Phase 1 state (used on mv completion and failure
 // paths; delete removes the root row itself).
-func (e *Engine) subtreeUnlock(rootID namespace.INodeID) {
-	_ = e.retryWrite(func(tx store.Tx) error {
+func (e *Engine) subtreeUnlock(tc *trace.Ctx, rootID namespace.INodeID) {
+	_ = e.retryWrite(tc, func(tx store.Tx) error {
 		r, err := tx.GetINode(rootID, store.LockExclusive)
 		if err != nil {
 			if errors.Is(err, namespace.ErrNotFound) {
@@ -88,7 +89,9 @@ func (e *Engine) subtreeUnlock(rootID namespace.INodeID) {
 // quiesce runs Phase 2: walk the subtree and compute the INV deployment
 // set — the owner of every INode in the subtree plus the owners of the
 // root and its parent (whose cached listing contains the root).
-func (e *Engine) quiesce(rootPath string, root *namespace.INode) (*subtreeWalk, error) {
+func (e *Engine) quiesce(tc *trace.Ctx, rootPath string, root *namespace.INode) (*subtreeWalk, error) {
+	sp := tc.Start(trace.KindSubtreeQuiesce)
+	defer sp.End()
 	nodes, err := e.st.ListSubtree(root.ID)
 	if err != nil {
 		return nil, err
@@ -101,6 +104,7 @@ func (e *Engine) quiesce(rootPath string, root *namespace.INode) (*subtreeWalk, 
 			depSet[e.ring.DeploymentForPath(p)] = true
 		}
 	}
+	sp.SetDetail(fmt.Sprintf("inodes=%d", len(nodes)))
 	addOwner(rootPath)
 	addOwner(namespace.ParentPath(rootPath))
 	for _, n := range nodes[1:] {
@@ -126,10 +130,19 @@ func (e *Engine) quiesce(rootPath string, root *namespace.INode) (*subtreeWalk, 
 
 // prefixInvalidate runs the subtree coherence protocol: one prefix INV to
 // every deployment in the set, then the same invalidation locally.
-func (e *Engine) prefixInvalidate(w *subtreeWalk, rootPath string) error {
+func (e *Engine) prefixInvalidate(tc *trace.Ctx, w *subtreeWalk, rootPath string) error {
+	sp := tc.Start(trace.KindCoherence)
+	var start time.Time
+	if tc != nil {
+		sp.SetDeployment(e.dep)
+		sp.SetInstance(e.id)
+		sp.SetDetail(fmt.Sprintf("prefix deps=%d", len(w.invDeps)))
+		start = e.clk.Now()
+	}
 	if e.coord != nil {
 		inv := coordinator.Invalidation{Path: rootPath, Prefix: true, Writer: e.id}
 		if err := e.coord.Invalidate(w.invDeps, inv); err != nil {
+			sp.End()
 			return err
 		}
 	}
@@ -137,13 +150,23 @@ func (e *Engine) prefixInvalidate(w *subtreeWalk, rootPath string) error {
 		e.cache.InvalidatePrefix(rootPath)
 		e.cache.ClearComplete(namespace.ParentPath(rootPath))
 	}
+	if tc != nil {
+		tc.Emit(trace.Event{
+			Type: trace.EventCoherenceINV, Deployment: e.dep, Instance: e.id,
+			Dur:    e.clk.Since(start),
+			Detail: fmt.Sprintf("prefix=%s deps=%d", rootPath, len(w.invDeps)),
+		})
+	}
+	sp.End()
 	return nil
 }
 
 // runBatches partitions items into SubtreeBatch-sized chunks and executes
 // them in parallel, offloading to helper NameNodes when an Offloader is
 // installed (Appendix D: "elastically offloading batched operations").
-func (e *Engine) runBatches(n int, exec func(start, end int, cpu CPU)) {
+func (e *Engine) runBatches(tc *trace.Ctx, n int, exec func(start, end int, cpu CPU)) {
+	sp := tc.Start(trace.KindSubtreeExec)
+	sp.SetDetail(fmt.Sprintf("items=%d batch=%d", n, e.cfg.SubtreeBatch))
 	batch := e.cfg.SubtreeBatch
 	var wg sync.WaitGroup
 	for start := 0; start < n; start += batch {
@@ -157,11 +180,16 @@ func (e *Engine) runBatches(n int, exec func(start, end int, cpu CPU)) {
 			exec(start, end, cpu)
 		}
 		if e.offload != nil && e.offload.OffloadBatch(e.dep, run) {
+			tc.Emit(trace.Event{
+				Type: trace.EventSubtreeOffload, Deployment: e.dep, Instance: e.id,
+				Detail: fmt.Sprintf("batch=%d-%d", start, end),
+			})
 			continue
 		}
 		clock.Go(e.clk, func() { run(e.cpu) })
 	}
 	clock.Idle(e.clk, wg.Wait)
+	sp.End()
 }
 
 // CleanupCrashedNameNode removes persistent state a crashed NameNode left
@@ -208,18 +236,18 @@ func cutSpace(s string) (before, after string, found bool) {
 }
 
 // deleteSubtree implements recursive directory delete.
-func (e *Engine) deleteSubtree(rootPath string) *namespace.Response {
-	root, err := e.subtreeLock(rootPath, namespace.OpDelete)
+func (e *Engine) deleteSubtree(tc *trace.Ctx, rootPath string) *namespace.Response {
+	root, err := e.subtreeLock(tc, rootPath, namespace.OpDelete)
 	if err != nil {
 		return fail(err)
 	}
-	w, err := e.quiesce(rootPath, root)
+	w, err := e.quiesce(tc, rootPath, root)
 	if err != nil {
-		e.subtreeUnlock(root.ID)
+		e.subtreeUnlock(tc, root.ID)
 		return fail(err)
 	}
-	if err := e.prefixInvalidate(w, rootPath); err != nil {
-		e.subtreeUnlock(root.ID)
+	if err := e.prefixInvalidate(tc, w, rootPath); err != nil {
+		e.subtreeUnlock(tc, root.ID)
 		return fail(err)
 	}
 	// Delete depth-first: children before parents. BFS order reversed
@@ -229,9 +257,9 @@ func (e *Engine) deleteSubtree(rootPath string) *namespace.Response {
 		victims = append(victims, w.nodes[i])
 	}
 	perINodeCPU := e.cfg.SubtreeCPUPerINode
-	e.runBatches(len(victims), func(start, end int, cpu CPU) {
+	e.runBatches(tc, len(victims), func(start, end int, cpu CPU) {
 		cpu.AcquireCPU(time.Duration(end-start) * perINodeCPU)
-		_ = e.retryWrite(func(tx store.Tx) error {
+		_ = e.retryWrite(tc, func(tx store.Tx) error {
 			for _, n := range victims[start:end] {
 				if err := tx.DeleteINode(n.ID); err != nil && !errors.Is(err, namespace.ErrNotFound) {
 					return err
@@ -242,7 +270,7 @@ func (e *Engine) deleteSubtree(rootPath string) *namespace.Response {
 	})
 	// Finally remove the root itself, the registry entry, and bump the
 	// parent's mtime.
-	err = e.retryWrite(func(tx store.Tx) error {
+	err = e.retryWrite(tc, func(tx store.Tx) error {
 		parent, err := e.lockParent(tx, rootPath)
 		if err != nil {
 			return err
@@ -257,7 +285,7 @@ func (e *Engine) deleteSubtree(rootPath string) *namespace.Response {
 		return tx.KVDelete(store.TableSubtreeOps, fmt.Sprintf("%d", root.ID))
 	})
 	if err != nil {
-		e.subtreeUnlock(root.ID)
+		e.subtreeUnlock(tc, root.ID)
 		return fail(err)
 	}
 	return &namespace.Response{}
@@ -267,14 +295,14 @@ func (e *Engine) deleteSubtree(rootPath string) *namespace.Response {
 // children by parent ID, so the data change is a single row update on the
 // subtree root; the cost is the quiesce (per-INode write locks taken and
 // released in batches, as in HopsFS Phase 2) and the coherence protocol.
-func (e *Engine) mvSubtree(src, dest string) *namespace.Response {
-	root, err := e.subtreeLock(src, namespace.OpMv)
+func (e *Engine) mvSubtree(tc *trace.Ctx, src, dest string) *namespace.Response {
+	root, err := e.subtreeLock(tc, src, namespace.OpMv)
 	if err != nil {
 		return fail(err)
 	}
-	w, err := e.quiesce(src, root)
+	w, err := e.quiesce(tc, src, root)
 	if err != nil {
-		e.subtreeUnlock(root.ID)
+		e.subtreeUnlock(tc, root.ID)
 		return fail(err)
 	}
 	// The destination's owners see a new entry appear.
@@ -292,17 +320,17 @@ func (e *Engine) mvSubtree(src, dest string) *namespace.Response {
 		}
 		sort.Ints(w.invDeps)
 	}
-	if err := e.prefixInvalidate(w, src); err != nil {
-		e.subtreeUnlock(root.ID)
+	if err := e.prefixInvalidate(tc, w, src); err != nil {
+		e.subtreeUnlock(tc, root.ID)
 		return fail(err)
 	}
 	// Quiesce sub-operations: take and release write locks on every
 	// INode in the subtree, batched and in parallel.
 	perINodeCPU := e.cfg.SubtreeCPUPerINode
 	nodes := w.nodes[1:]
-	e.runBatches(len(nodes), func(start, end int, cpu CPU) {
+	e.runBatches(tc, len(nodes), func(start, end int, cpu CPU) {
 		cpu.AcquireCPU(time.Duration(end-start) * perINodeCPU)
-		tx := e.st.Begin(e.id)
+		tx := e.begin(tc)
 		for _, n := range nodes[start:end] {
 			if _, err := tx.GetINode(n.ID, store.LockExclusive); err != nil &&
 				!errors.Is(err, namespace.ErrNotFound) {
@@ -312,7 +340,7 @@ func (e *Engine) mvSubtree(src, dest string) *namespace.Response {
 		tx.Abort() // releases the quiesce locks
 	})
 	// The actual move: relink the root, clear the subtree lock.
-	err = e.retryWrite(func(tx store.Tx) error {
+	err = e.retryWrite(tc, func(tx store.Tx) error {
 		dstParent, err := e.lockParent(tx, dest)
 		if err != nil {
 			return err
@@ -351,7 +379,7 @@ func (e *Engine) mvSubtree(src, dest string) *namespace.Response {
 		return tx.KVDelete(store.TableSubtreeOps, fmt.Sprintf("%d", root.ID))
 	})
 	if err != nil {
-		e.subtreeUnlock(root.ID)
+		e.subtreeUnlock(tc, root.ID)
 		return fail(err)
 	}
 	return &namespace.Response{ID: root.ID}

@@ -5,6 +5,7 @@ import (
 
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/store"
+	"lambdafs/internal/trace"
 )
 
 // lockParent resolves path's parent chain (ancestors shared-locked) and
@@ -45,12 +46,12 @@ func (e *Engine) lockParent(tx store.Tx, path string) (*namespace.INode, error) 
 
 // create makes a new file at path, running the single-INode coherence
 // protocol (Algorithm 1): exclusive store locks → INV/ACK → persist.
-func (e *Engine) create(path string) *namespace.Response {
+func (e *Engine) create(tc *trace.Ctx, path string) *namespace.Response {
 	if path == "/" {
 		return fail(namespace.ErrExists)
 	}
 	var created *namespace.INode
-	err := e.retryWrite(func(tx store.Tx) error {
+	err := e.retryWrite(tc, func(tx store.Tx) error {
 		parent, err := e.lockParent(tx, path)
 		if err != nil {
 			return err
@@ -87,7 +88,7 @@ func (e *Engine) create(path string) *namespace.Response {
 			return err
 		}
 		// Locks held: run the coherence protocol before persisting.
-		return e.invalidateAll(e.invTargets(path), path)
+		return e.invalidateAll(tc, e.invTargets(path), path)
 	})
 	if err != nil {
 		return fail(err)
@@ -97,17 +98,17 @@ func (e *Engine) create(path string) *namespace.Response {
 
 // mkdirs creates the directory at path along with any missing ancestors
 // (HDFS mkdirs semantics). Creating an existing directory succeeds.
-func (e *Engine) mkdirs(path string) *namespace.Response {
+func (e *Engine) mkdirs(tc *trace.Ctx, path string) *namespace.Response {
 	if path == "/" {
 		return &namespace.Response{ID: namespace.RootID}
 	}
 	var dirID namespace.INodeID
-	err := e.retryWrite(func(tx store.Tx) error {
+	err := e.retryWrite(tc, func(tx store.Tx) error {
 		// Lock-free peek to find the deepest existing component; the
 		// authoritative re-check happens below under exclusive locks.
 		// Taking shared locks here would deadlock concurrent mkdirs on a
 		// shared→exclusive upgrade.
-		chain, err := e.st.ResolvePath(path)
+		chain, err := e.resolveStore(tc, path)
 		if err == nil {
 			target := chain[len(chain)-1]
 			if !target.IsDir {
@@ -182,7 +183,7 @@ func (e *Engine) mkdirs(path string) *namespace.Response {
 		}
 		// Fresh directories cannot be cached anywhere; the INVs exist to
 		// clear stale listing-completeness on the parents' owners.
-		return e.invalidateAll(e.invTargets(createdPaths...), createdPaths...)
+		return e.invalidateAll(tc, e.invTargets(createdPaths...), createdPaths...)
 	})
 	if err != nil {
 		return fail(err)
@@ -192,21 +193,21 @@ func (e *Engine) mkdirs(path string) *namespace.Response {
 
 // del deletes a file or (recursively) a directory. Directories route
 // through the subtree protocol.
-func (e *Engine) del(path string) *namespace.Response {
+func (e *Engine) del(tc *trace.Ctx, path string) *namespace.Response {
 	if path == "/" {
 		return fail(namespace.ErrPermission)
 	}
 	// Peek at the target to decide file vs subtree.
-	chain, _, err := e.resolve(path)
+	chain, _, err := e.resolve(tc, path)
 	if err != nil {
 		return fail(err)
 	}
 	target := chain[len(chain)-1]
 	if target.IsDir {
-		return e.deleteSubtree(path)
+		return e.deleteSubtree(tc, path)
 	}
 
-	err = e.retryWrite(func(tx store.Tx) error {
+	err = e.retryWrite(tc, func(tx store.Tx) error {
 		parent, err := e.lockParent(tx, path)
 		if err != nil {
 			return err
@@ -226,7 +227,7 @@ func (e *Engine) del(path string) *namespace.Response {
 		if err := tx.PutINode(parent); err != nil {
 			return err
 		}
-		return e.invalidateAll(e.invTargets(path), path)
+		return e.invalidateAll(tc, e.invTargets(path), path)
 	})
 	if err != nil {
 		return fail(err)
@@ -237,22 +238,22 @@ func (e *Engine) del(path string) *namespace.Response {
 // mv renames path to dest. Directory moves route through the subtree
 // protocol; file moves run the single-INode coherence protocol across
 // both the source and destination owner deployments.
-func (e *Engine) mv(src, dest string) *namespace.Response {
+func (e *Engine) mv(tc *trace.Ctx, src, dest string) *namespace.Response {
 	if src == "/" || dest == "/" {
 		return fail(namespace.ErrPermission)
 	}
 	if namespace.HasPathPrefix(dest, src) {
 		return fail(namespace.ErrMvIntoSelf)
 	}
-	chain, _, err := e.resolve(src)
+	chain, _, err := e.resolve(tc, src)
 	if err != nil {
 		return fail(err)
 	}
 	if chain[len(chain)-1].IsDir {
-		return e.mvSubtree(src, dest)
+		return e.mvSubtree(tc, src, dest)
 	}
 
-	err = e.retryWrite(func(tx store.Tx) error {
+	err = e.retryWrite(tc, func(tx store.Tx) error {
 		// Lock parents in path order to avoid mv/mv deadlocks.
 		srcParentPath := namespace.ParentPath(src)
 		dstParentPath := namespace.ParentPath(dest)
@@ -305,7 +306,7 @@ func (e *Engine) mv(src, dest string) *namespace.Response {
 				return err
 			}
 		}
-		return e.invalidateAll(e.invTargets(src, dest), src, dest)
+		return e.invalidateAll(tc, e.invTargets(src, dest), src, dest)
 	})
 	if err != nil {
 		return fail(err)

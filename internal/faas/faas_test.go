@@ -9,6 +9,7 @@ import (
 
 	"lambdafs/internal/clock"
 	"lambdafs/internal/metrics"
+	"lambdafs/internal/trace"
 )
 
 // echoApp is a trivial App that records invocations and can block.
@@ -248,7 +249,7 @@ func TestIdleReclaimScalesIn(t *testing.T) {
 	if d.AliveInstances() != 0 {
 		t.Fatal("idle instance was not reclaimed")
 	}
-	if p.Stats().Reclaims == 0 {
+	if p.Stats().Reclamations == 0 {
 		t.Fatal("reclaim not counted")
 	}
 	if tr.apps[0].shutdown.Load() != 1 || tr.apps[0].crashed.Load() {
@@ -474,5 +475,77 @@ func TestNuclioProfile(t *testing.T) {
 	d := p.Register("fn", tr.factory(nil, 0), DeploymentOptions{VCPU: 1, RAMGB: 1, ConcurrencyLevel: 2})
 	if resp, err := d.Invoke("ping"); err != nil || resp != "ping" {
 		t.Fatalf("nuclio-profile invoke: %v %v", resp, err)
+	}
+}
+
+// TestConcurrentInvokeStats hammers two deployments from many goroutines
+// and checks the extended Stats snapshot stays internally consistent:
+// cumulative cold-start time, per-deployment instance high-water marks,
+// and structured cold-start events all line up with the counters.
+func TestConcurrentInvokeStats(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ColdStart = 2 * time.Millisecond
+	clk := clock.NewScaled(0)
+	evTr := trace.New(clk, trace.Config{})
+	cfg.Tracer = evTr
+	p := New(clk, cfg)
+	defer p.Close()
+	tr := &appTracker{}
+	const deps = 2
+	for i := 0; i < deps; i++ {
+		p.Register(fmt.Sprintf("nn%d", i), tr.factory(nil, 0), DeploymentOptions{VCPU: 1, RAMGB: 1, ConcurrencyLevel: 2})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				if _, err := p.Invoke(i%deps, i); err != nil {
+					t.Errorf("invoke: %v", err)
+				}
+				// Concurrent Stats reads must observe a coherent snapshot.
+				st := p.Stats()
+				if st.ColdStartTime != time.Duration(st.ColdStarts)*cfg.ColdStart {
+					t.Errorf("cold start time %v != %d starts * %v",
+						st.ColdStartTime, st.ColdStarts, cfg.ColdStart)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.total() != 64*4 {
+		t.Fatalf("total invokes = %d", tr.total())
+	}
+	st := p.Stats()
+	if st.ColdStarts == 0 || st.ColdStartTime == 0 {
+		t.Fatalf("no cold starts recorded: %+v", st)
+	}
+	if len(st.Deployments) != deps {
+		t.Fatalf("deployment stats = %d", len(st.Deployments))
+	}
+	var peakSum int
+	for i, ds := range st.Deployments {
+		if ds.Name != fmt.Sprintf("nn%d", i) {
+			t.Fatalf("deployment %d name = %q", i, ds.Name)
+		}
+		if ds.PeakInstances < 1 || ds.PeakInstances < ds.Alive {
+			t.Fatalf("deployment %d peak %d alive %d", i, ds.PeakInstances, ds.Alive)
+		}
+		peakSum += ds.PeakInstances
+	}
+	// Every cold start created an instance; the high-water marks cannot
+	// exceed the total ever provisioned.
+	if uint64(peakSum) > st.ColdStarts {
+		t.Fatalf("peak sum %d exceeds cold starts %d", peakSum, st.ColdStarts)
+	}
+	evs := evTr.EventsOf(trace.EventColdStart)
+	if uint64(len(evs)) != st.ColdStarts {
+		t.Fatalf("cold_start events %d != counter %d", len(evs), st.ColdStarts)
+	}
+	for _, ev := range evs {
+		if ev.Dur != cfg.ColdStart {
+			t.Fatalf("cold_start event dur = %v", ev.Dur)
+		}
 	}
 }

@@ -182,7 +182,7 @@ func (inst *Instance) serveHTTP(payload any) any {
 		// Terminated between admission and execution: the platform
 		// retries admission.
 		if retry := inst.d; retry != nil {
-			if next, err := retry.admit(); err == nil {
+			if next, err := retry.admit(nil); err == nil {
 				return next.serveHTTP(payload)
 			}
 		}

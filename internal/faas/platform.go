@@ -20,6 +20,7 @@ import (
 
 	"lambdafs/internal/clock"
 	"lambdafs/internal/metrics"
+	"lambdafs/internal/trace"
 )
 
 // App is the code running inside a function instance.
@@ -70,6 +71,11 @@ type Config struct {
 	// Meters receive billing events when non-nil.
 	Lambda      *metrics.LambdaMeter
 	Provisioned *metrics.ProvisionedMeter
+
+	// Tracer, when non-nil, receives platform lifecycle events (cold
+	// starts, reclamations, evictions, kills) and attaches gateway /
+	// admission / cold-start spans to traced invocations.
+	Tracer *trace.Tracer
 }
 
 // NuclioConfig returns a Nuclio-flavoured platform profile (§4: λFS also
@@ -128,13 +134,34 @@ var (
 
 // Stats counts platform activity.
 type Stats struct {
-	Invocations  uint64
-	ColdStarts   uint64
-	Reclaims     uint64 // idle scale-in events
-	Evictions    uint64 // instances evicted to make room (thrashing)
-	Kills        uint64 // fault injections
-	Rejections   uint64 // invocations shed after queue timeout
-	PeakVCPUUsed float64
+	Invocations   uint64
+	ColdStarts    uint64
+	ColdStartTime time.Duration // cumulative virtual time spent provisioning
+	Reclamations  uint64        // idle scale-in events
+	Evictions     uint64        // instances evicted to make room (thrashing)
+	Kills         uint64        // fault injections
+	Rejections    uint64        // invocations shed after queue timeout
+	PeakVCPUUsed  float64
+	Deployments   []DeploymentStats // per-deployment snapshot, by index
+}
+
+// DeploymentStats is the per-deployment slice of a Stats snapshot.
+type DeploymentStats struct {
+	Name          string
+	Alive         int // currently live instances
+	PeakInstances int // high-water mark of concurrently live instances
+}
+
+// traceCarrier lets the platform lift a trace context out of an opaque
+// invocation payload without importing the RPC package (rpc.Payload
+// implements it).
+type traceCarrier interface{ TraceCtx() *trace.Ctx }
+
+func traceOf(payload any) *trace.Ctx {
+	if c, ok := payload.(traceCarrier); ok {
+		return c.TraceCtx()
+	}
+	return nil
 }
 
 // Platform is the FaaS control plane.
@@ -164,9 +191,10 @@ type Deployment struct {
 	factory AppFactory
 	opts    DeploymentOptions
 
-	mu        sync.Mutex
-	instances []*Instance
-	slotFreed chan struct{} // signalled when an HTTP slot or capacity frees
+	mu            sync.Mutex
+	instances     []*Instance
+	peakInstances int           // high-water mark of live instances
+	slotFreed     chan struct{} // signalled when an HTTP slot or capacity frees
 }
 
 // New creates a platform and starts its reclaimer.
@@ -276,9 +304,19 @@ func (d *Deployment) Invoke(payload any) (any, error) {
 	p.stats.Invocations++
 	p.mu.Unlock()
 
+	tc := traceOf(payload)
+	gsp := tc.Start(trace.KindGateway)
+	gsp.SetDeployment(d.index)
 	p.clk.Sleep(p.cfg.GatewayLatency)
-	inst, err := d.admit()
+	gsp.End()
+	asp := tc.Start(trace.KindAdmit)
+	asp.SetDeployment(d.index)
+	// Admission's child context: a cold start triggered by this admission
+	// nests under the admit span (self time must not double-count).
+	inst, err := d.admit(asp.Ctx())
 	if err != nil {
+		asp.SetDetail("rejected")
+		asp.End()
 		p.mu.Lock()
 		p.stats.Rejections++
 		p.mu.Unlock()
@@ -297,18 +335,23 @@ func (d *Deployment) Invoke(payload any) (any, error) {
 		}
 		return nil, err
 	}
+	asp.SetInstance(inst.id)
+	asp.End()
 	if p.cfg.Lambda != nil {
 		p.cfg.Lambda.BillRequest(p.clk.Now())
 	}
 	resp := inst.serveHTTP(payload)
+	gsp = tc.Start(trace.KindGateway)
+	gsp.SetDeployment(d.index)
 	p.clk.Sleep(p.cfg.GatewayLatency)
+	gsp.End()
 	return resp, nil
 }
 
 // admit finds or creates an instance with a free HTTP concurrency slot,
 // waiting for capacity up to the queue timeout. The wait is measured in
 // virtual time so queueing delay is part of the latency model.
-func (d *Deployment) admit() (*Instance, error) {
+func (d *Deployment) admit(tc *trace.Ctx) (*Instance, error) {
 	clk := d.p.clk
 	deadline := clk.Now().Add(d.p.cfg.InvokeQueueTimeout)
 	for {
@@ -317,7 +360,7 @@ func (d *Deployment) admit() (*Instance, error) {
 			return inst, nil
 		}
 		// 2. Scale out.
-		if inst := d.provision(true); inst != nil {
+		if inst := d.provisionT(true, tc); inst != nil {
 			return inst, nil
 		}
 		// 3. Wait for a slot or capacity to free.
@@ -369,6 +412,13 @@ func (d *Deployment) pickWarm() *Instance {
 // instance is returned with one HTTP slot pre-claimed when
 // chargeColdStart is true.
 func (d *Deployment) provision(chargeColdStart bool) *Instance {
+	return d.provisionT(chargeColdStart, nil)
+}
+
+// provisionT is provision with the requesting invocation's trace context
+// (nil outside traced request paths); the cold start becomes a span on the
+// trace and a cold_start event on the platform tracer.
+func (d *Deployment) provisionT(chargeColdStart bool, tc *trace.Ctx) *Instance {
 	p := d.p
 	p.mu.Lock()
 	if p.closed {
@@ -409,6 +459,7 @@ func (d *Deployment) provision(chargeColdStart bool) *Instance {
 	p.instSeq++
 	id := fmt.Sprintf("%s/i%04d", d.name, p.instSeq)
 	p.stats.ColdStarts++
+	p.stats.ColdStartTime += p.cfg.ColdStart
 	p.mu.Unlock()
 
 	inst := newInstance(d, id)
@@ -417,9 +468,26 @@ func (d *Deployment) provision(chargeColdStart bool) *Instance {
 	}
 	d.mu.Lock()
 	d.instances = append(d.instances, inst)
+	live := 0
+	for _, i := range d.instances {
+		if i.aliveLocked() {
+			live++
+		}
+	}
+	if live > d.peakInstances {
+		d.peakInstances = live
+	}
 	d.mu.Unlock()
 
+	p.cfg.Tracer.Emit(trace.Event{
+		Type: trace.EventColdStart, Deployment: d.index, Instance: id,
+		Dur: p.cfg.ColdStart,
+	})
+	csp := tc.Start(trace.KindColdStart)
+	csp.SetDeployment(d.index)
+	csp.SetInstance(id)
 	p.clk.Sleep(p.cfg.ColdStart)
+	csp.End()
 	inst.start()
 	p.sampleGauge()
 	return inst
@@ -463,6 +531,11 @@ func (p *Platform) evictIdleLocked(requester *Deployment) bool {
 		return false
 	}
 	p.stats.Evictions++
+	p.cfg.Tracer.Emit(trace.Event{
+		Type: trace.EventEvict, Deployment: victim.d.index, Instance: victim.id,
+		Dur:    victimIdle,
+		Detail: "evicted for " + requester.name,
+	})
 	// terminate releases resources; it re-acquires p.mu, so drop it.
 	p.mu.Unlock()
 	victim.terminate(false)
@@ -517,8 +590,12 @@ func (p *Platform) reclaimLoop() {
 			d.mu.Unlock()
 			for _, v := range victims {
 				p.mu.Lock()
-				p.stats.Reclaims++
+				p.stats.Reclamations++
 				p.mu.Unlock()
+				p.cfg.Tracer.Emit(trace.Event{
+					Type: trace.EventReclaim, Deployment: d.index, Instance: v.id,
+					Dur: now.Sub(v.lastActive),
+				})
 				v.terminate(false)
 			}
 		}
@@ -554,6 +631,9 @@ func (p *Platform) killOneInstance(dep int) bool {
 	p.mu.Lock()
 	p.stats.Kills++
 	p.mu.Unlock()
+	p.cfg.Tracer.Emit(trace.Event{
+		Type: trace.EventKill, Deployment: d.index, Instance: victim.id,
+	})
 	victim.terminate(true)
 	return true
 }
@@ -612,11 +692,29 @@ func (p *Platform) VCPUInUse() float64 {
 	return p.vcpuUsed
 }
 
-// Stats returns a snapshot of platform counters.
+// Stats returns a snapshot of platform counters, including per-deployment
+// instance counts and high-water marks. The whole snapshot is taken under
+// the platform mutex (deployment marks under each deployment's mutex, in
+// the established p.mu → d.mu order), so counters are mutually consistent.
 func (p *Platform) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	s.Deployments = make([]DeploymentStats, len(p.deployments))
+	for i, d := range p.deployments {
+		d.mu.Lock()
+		alive := 0
+		for _, inst := range d.instances {
+			if inst.aliveLocked() {
+				alive++
+			}
+		}
+		s.Deployments[i] = DeploymentStats{
+			Name: d.name, Alive: alive, PeakInstances: d.peakInstances,
+		}
+		d.mu.Unlock()
+	}
+	return s
 }
 
 // Clock returns the platform's clock (Apps use it for timers).

@@ -57,6 +57,11 @@ func bucketFor(d time.Duration) int {
 	if i < 0 {
 		i = 0
 	}
+	// Samples beyond the last bound (~5h) go to the overflow bucket;
+	// without the clamp the raw log index would run past the counts slice.
+	if i > histBucket {
+		return histBucket
+	}
 	// Log arithmetic can land one bucket low; fix up.
 	for i < histBucket && histBounds[i] < d {
 		i++

@@ -260,3 +260,50 @@ func TestPerfPerCost(t *testing.T) {
 		t.Fatalf("series = %v", s)
 	}
 }
+
+// TestBucketForBoundaries pins down the log-arithmetic fix-up in
+// bucketFor: exact bucket upper bounds must land in their own bucket, one
+// nanosecond more must land in the next, and samples beyond the last bound
+// (~5h) must fall into the overflow bucket, where quantiles degrade to the
+// observed max.
+func TestBucketForBoundaries(t *testing.T) {
+	if bucketFor(0) != 0 || bucketFor(histMin) != 0 {
+		t.Fatalf("minimum bucket: bucketFor(0)=%d bucketFor(histMin)=%d",
+			bucketFor(0), bucketFor(histMin))
+	}
+	for i, bound := range histBounds {
+		if got := bucketFor(bound); got != i {
+			t.Fatalf("bucketFor(bound %d = %v) = %d", i, bound, got)
+		}
+		if got := bucketFor(bound + 1); got != i+1 {
+			t.Fatalf("bucketFor(bound %d + 1ns) = %d, want %d", i, got, i+1)
+		}
+	}
+	// Beyond the last bound everything lands in the overflow bucket.
+	over := []time.Duration{histBounds[histBucket-1] + 1, 6 * time.Hour, 24 * time.Hour}
+	for _, d := range over {
+		if got := bucketFor(d); got != histBucket {
+			t.Fatalf("bucketFor(%v) = %d, want overflow %d", d, got, histBucket)
+		}
+	}
+	// Monotonicity across a sweep of magnitudes.
+	prev := -1
+	for d := time.Duration(1); d < 10*time.Hour; d = d*3 + 7 {
+		b := bucketFor(d)
+		if b < prev {
+			t.Fatalf("bucketFor not monotone at %v: %d < %d", d, b, prev)
+		}
+		prev = b
+	}
+	// Overflow samples: quantiles report the observed max rather than a
+	// (nonexistent) bucket bound.
+	h := NewHistogram()
+	h.Observe(6 * time.Hour)
+	h.Observe(7 * time.Hour)
+	if got := h.Quantile(0.99); got != 7*time.Hour {
+		t.Fatalf("overflow quantile = %v, want observed max 7h", got)
+	}
+	if h.Max() != 7*time.Hour || h.Count() != 2 {
+		t.Fatalf("overflow stats: max=%v count=%d", h.Max(), h.Count())
+	}
+}

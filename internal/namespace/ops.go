@@ -1,6 +1,10 @@
 package namespace
 
-import "fmt"
+import (
+	"fmt"
+
+	"lambdafs/internal/trace"
+)
 
 // OpType enumerates the metadata operations of the evaluation (Table 2 and
 // the microbenchmarks): create file, mkdirs, delete, mv, read (open /
@@ -60,6 +64,12 @@ type Request struct {
 	// instead of re-executing (§3.2).
 	ClientID string
 	Seq      uint64
+
+	// TC is the request's trace context; nil when tracing is off (the
+	// nil-context fast path — every trace method no-ops on nil). The RPC
+	// client re-points it at the transport span before handing the
+	// request to a NameNode, so server-side spans nest correctly.
+	TC *trace.Ctx
 }
 
 // Key returns the deduplication key of the request.

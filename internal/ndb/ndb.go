@@ -19,6 +19,7 @@ import (
 	"lambdafs/internal/clock"
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/store"
+	"lambdafs/internal/trace"
 )
 
 // Config sets the capacity/latency model of the store.
@@ -85,7 +86,10 @@ type DB struct {
 	statsMu sync.Mutex
 }
 
-var _ store.Store = (*DB)(nil)
+var (
+	_ store.Store       = (*DB)(nil)
+	_ store.TracedStore = (*DB)(nil)
+)
 
 // shard is one data node's service queue: a fixed worker pool consuming
 // service-time tasks, which is what gives the store a finite capacity.
@@ -96,6 +100,10 @@ type shard struct {
 type task struct {
 	dur  time.Duration
 	done chan struct{}
+	// started, when non-nil (traced requests only), receives a signal the
+	// moment a worker dequeues the task, letting the enqueuer split queue
+	// wait from service time.
+	started chan struct{}
 }
 
 // New creates a store containing only the root directory.
@@ -140,6 +148,9 @@ func (sh *shard) run(clk clock.Clock) {
 		if !ok {
 			return
 		}
+		if t.started != nil {
+			t.started <- struct{}{} // buffered; marks end of queue wait
+		}
 		clk.Sleep(t.dur)
 		close(t.done)
 	}
@@ -149,20 +160,47 @@ func (sh *shard) run(clk clock.Clock) {
 // until served; RTT is charged on top. This is the single point where the
 // store's capacity model applies.
 func (db *DB) service(key string, dur time.Duration) {
+	db.serviceT(key, dur, nil)
+}
+
+// serviceT is service with per-phase trace attribution: the network round
+// trip (ndb.rtt), the wait for a shard worker (ndb.queue), and the shard
+// service time (ndb.service) become separate spans tagged with the shard
+// index. With a nil context it is exactly service (no extra allocation,
+// no started channel).
+func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
 	if db.cfg.RTT > 0 {
+		sp := tc.Start(trace.KindStoreRTT)
 		db.clk.Sleep(db.cfg.RTT)
+		sp.End()
 	}
 	if dur <= 0 {
 		return
 	}
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	sh := db.shards[h.Sum32()%uint32(len(db.shards))]
+	idx := int(h.Sum32() % uint32(len(db.shards)))
+	sh := db.shards[idx]
 	t := task{dur: dur, done: make(chan struct{})}
+	if tc == nil {
+		clock.Idle(db.clk, func() {
+			sh.tasks <- t
+			<-t.done
+		})
+		return
+	}
+	t.started = make(chan struct{}, 1)
+	qsp := tc.Start(trace.KindStoreQueue)
+	qsp.SetShard(idx)
 	clock.Idle(db.clk, func() {
 		sh.tasks <- t
-		<-t.done
+		<-t.started
 	})
+	qsp.End()
+	ssp := tc.Start(trace.KindStoreService)
+	ssp.SetShard(idx)
+	clock.Idle(db.clk, func() { <-t.done })
+	ssp.End()
 }
 
 func (db *DB) bumpStat(f func(*Stats)) {
@@ -185,9 +223,15 @@ func (db *DB) NextID() namespace.INodeID {
 
 // Begin opens a transaction on behalf of owner.
 func (db *DB) Begin(owner string) store.Tx {
+	return db.BeginTraced(owner, nil)
+}
+
+// BeginTraced opens a transaction whose store accesses attach spans to tc
+// (store.TracedStore). A nil tc is exactly Begin.
+func (db *DB) BeginTraced(owner string, tc *trace.Ctx) store.Tx {
 	key := fmt.Sprintf("%s#%d", owner, db.txSeq.Add(1))
 	db.locks.registerTx(key, owner)
-	return &tx{db: db, key: key, owner: owner}
+	return &tx{db: db, key: key, owner: owner, tc: tc}
 }
 
 // ReleaseOwner force-releases all locks held by a crashed owner.
@@ -199,13 +243,19 @@ func (db *DB) ReleaseOwner(owner string) {
 // component chain is fetched with one RTT and one read service slot per
 // BatchRows components (HopsFS's INode-hint-cache fast path).
 func (db *DB) ResolvePath(path string) ([]*namespace.INode, error) {
+	return db.ResolvePathTraced(path, nil)
+}
+
+// ResolvePathTraced is ResolvePath with trace attribution for the store
+// round trip and shard service (store.TracedStore).
+func (db *DB) ResolvePathTraced(path string, tc *trace.Ctx) ([]*namespace.INode, error) {
 	p, err := namespace.CleanPath(path)
 	if err != nil {
 		return nil, err
 	}
 	comps := namespace.SplitPath(p)
 	batches := 1 + len(comps)/db.cfg.BatchRows
-	db.service(p, time.Duration(batches)*db.cfg.ReadService)
+	db.serviceT(p, time.Duration(batches)*db.cfg.ReadService, tc)
 	db.bumpStat(func(s *Stats) { s.Reads++ })
 
 	db.mu.RLock()

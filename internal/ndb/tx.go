@@ -1,6 +1,7 @@
 package ndb
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"lambdafs/internal/clock"
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/store"
+	"lambdafs/internal/trace"
 )
 
 // tx is one ACID transaction. A transaction must be used from a single
@@ -19,6 +21,7 @@ type tx struct {
 	key   string
 	owner string
 	done  bool
+	tc    *trace.Ctx // nil when untraced
 
 	putINodes map[namespace.INodeID]*namespace.INode
 	delINodes map[namespace.INodeID]bool
@@ -47,7 +50,7 @@ func (t *tx) GetINode(id namespace.INodeID, mode store.LockMode) (*namespace.INo
 	if err := t.lock(inodeKey(id), mode); err != nil {
 		return nil, err
 	}
-	t.db.service(inodeKey(id), t.db.cfg.ReadService)
+	t.db.serviceT(inodeKey(id), t.db.cfg.ReadService, t.tc)
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	if t.delINodes[id] {
 		return nil, namespace.ErrNotFound
@@ -85,7 +88,7 @@ func (t *tx) GetChild(parent namespace.INodeID, name string, mode store.LockMode
 	if err := t.lock(childKey(parent, name), mode); err != nil {
 		return nil, err
 	}
-	t.db.service(childKey(parent, name), t.db.cfg.ReadService)
+	t.db.serviceT(childKey(parent, name), t.db.cfg.ReadService, t.tc)
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	if n := t.bufferedChild(parent, name); n != nil {
 		if err := t.lock(inodeKey(n.ID), mode); err != nil {
@@ -132,7 +135,7 @@ func (t *tx) ResolvePath(path string, mode store.LockMode) ([]*namespace.INode, 
 	}
 	comps := namespace.SplitPath(p)
 	batches := 1 + len(comps)/t.db.cfg.BatchRows
-	t.db.service(p, time.Duration(batches)*t.db.cfg.ReadService)
+	t.db.serviceT(p, time.Duration(batches)*t.db.cfg.ReadService, t.tc)
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 
 	chain := make([]*namespace.INode, 0, len(comps)+1)
@@ -241,7 +244,7 @@ func (t *tx) ListChildren(dir namespace.INodeID) ([]*namespace.INode, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	batches := 1 + len(out)/t.db.cfg.BatchRows
-	t.db.service(inodeKey(dir), time.Duration(batches)*t.db.cfg.ReadService)
+	t.db.serviceT(inodeKey(dir), time.Duration(batches)*t.db.cfg.ReadService, t.tc)
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	return out, nil
 }
@@ -317,7 +320,7 @@ func (t *tx) KVGet(table, key string, mode store.LockMode) ([]byte, bool, error)
 	if err := t.lock(kvKey(table, key), mode); err != nil {
 		return nil, false, err
 	}
-	t.db.service(kvKey(table, key), t.db.cfg.ReadService)
+	t.db.serviceT(kvKey(table, key), t.db.cfg.ReadService, t.tc)
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	if t.kvDels[table][key] {
 		return nil, false, nil
@@ -399,7 +402,7 @@ func (t *tx) KVScan(table, prefix string) (map[string][]byte, error) {
 		delete(out, k)
 	}
 	batches := 1 + len(out)/t.db.cfg.BatchRows
-	t.db.service(kvKey(table, prefix), time.Duration(batches)*t.db.cfg.ReadService)
+	t.db.serviceT(kvKey(table, prefix), time.Duration(batches)*t.db.cfg.ReadService, t.tc)
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	return out, nil
 }
@@ -425,7 +428,10 @@ func (t *tx) Commit() error {
 	t.done = true
 	writes := t.writeCount()
 	if writes > 0 {
+		sp := t.tc.Start(trace.KindStoreCommit)
+		sp.SetDetail(fmt.Sprintf("writes=%d", writes))
 		t.chargeCommit(writes)
+		sp.End()
 	}
 	t.apply()
 	t.db.locks.ReleaseAll(t.key)

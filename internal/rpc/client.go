@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"lambdafs/internal/metrics"
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/partition"
+	"lambdafs/internal/trace"
 )
 
 // Client is one λFS client. Clients are cheap; a workload driver creates
@@ -26,10 +28,12 @@ type Client struct {
 
 	seq    atomic.Uint64
 	window *metrics.MovingWindow
+	tracer *trace.Tracer // nil when tracing is off
 
 	mu              sync.Mutex
 	rng             *rand.Rand
 	antiThrashUntil time.Time
+	atEngaged       bool // anti-thrash mode entered and exit not yet emitted
 
 	stats struct {
 		tcp, http, retries, hedges, failovers, antiThrash atomic.Uint64
@@ -46,6 +50,7 @@ func (vm *VM) NewClient(id string, ring *partition.Ring, inv Invoker) *Client {
 		inv:    inv,
 		cfg:    vm.cfg,
 		window: metrics.NewMovingWindow(vm.cfg.LatencyWindow),
+		tracer: vm.Tracer(),
 		rng:    rand.New(rand.NewSource(int64(hashID(id)))),
 	}
 }
@@ -85,7 +90,24 @@ func (c *Client) randFloat() float64 {
 func (c *Client) inAntiThrash() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.vm.clk.Now().Before(c.antiThrashUntil)
+	return c.inAntiThrashLocked()
+}
+
+// inAntiThrashLocked reports the mode and lazily emits the exit event when
+// the hold expired since the last check. The mode ends passively at
+// antiThrashUntil, so the event is stamped with that (virtual) instant
+// rather than the observation time. Caller holds c.mu.
+func (c *Client) inAntiThrashLocked() bool {
+	if c.vm.clk.Now().Before(c.antiThrashUntil) {
+		return true
+	}
+	if c.atEngaged {
+		c.atEngaged = false
+		c.tracer.Emit(trace.Event{
+			Type: trace.EventAntiThrashExit, Client: c.id, Time: c.antiThrashUntil,
+		})
+	}
+	return false
 }
 
 func (c *Client) noteLatency(lat time.Duration) {
@@ -96,7 +118,19 @@ func (c *Client) noteLatency(lat time.Duration) {
 	}
 	if float64(lat) > c.cfg.AntiThrashThreshold*float64(mean) && lat > c.cfg.StragglerFloor/2 {
 		c.mu.Lock()
-		c.antiThrashUntil = c.vm.clk.Now().Add(c.cfg.AntiThrashHold)
+		// Flush a pending exit first so re-triggering after an expired hold
+		// yields exit-then-enter in timestamp order.
+		engaged := c.inAntiThrashLocked()
+		now := c.vm.clk.Now()
+		c.antiThrashUntil = now.Add(c.cfg.AntiThrashHold)
+		if !engaged {
+			c.atEngaged = true
+			c.tracer.Emit(trace.Event{
+				Type: trace.EventAntiThrashEnter, Client: c.id, Time: now,
+				Dur:    c.cfg.AntiThrashHold,
+				Detail: fmt.Sprintf("lat=%v mean=%v", lat, mean),
+			})
+		}
 		c.mu.Unlock()
 		c.stats.antiThrash.Add(1)
 	}
@@ -111,22 +145,39 @@ func (c *Client) Do(op namespace.OpType, path, dest string) (*namespace.Response
 		Op: op, Path: path, Dest: dest,
 		ClientID: c.id, Seq: c.seq.Add(1),
 	}
+	tc := c.tracer.StartTrace(op.String(), path, c.id)
 	dep := c.ring.DeploymentForPath(path)
 	start := c.vm.clk.Now()
-	resp, err := c.attempt(dep, req)
+	resp, err := c.attempt(tc, dep, req)
 	if err == nil {
 		c.noteLatency(c.vm.clk.Since(start))
+	}
+	if tc != nil {
+		switch {
+		case err != nil:
+			tc.Finish(err.Error())
+		case resp != nil:
+			tc.Finish(resp.Err)
+		default:
+			tc.Finish("")
+		}
 	}
 	return resp, err
 }
 
 // attempt runs the retry loop.
-func (c *Client) attempt(dep int, req namespace.Request) (*namespace.Response, error) {
+func (c *Client) attempt(tc *trace.Ctx, dep int, req namespace.Request) (*namespace.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.stats.retries.Add(1)
+			tc.Emit(trace.Event{
+				Type: trace.EventRetry, Client: c.id, Deployment: dep,
+				Detail: fmt.Sprintf("attempt=%d", attempt),
+			})
+			bsp := tc.Start(trace.KindBackoff)
 			c.backoff(attempt)
+			bsp.End()
 		}
 		conn, _ := c.vm.findConn(dep, c.tcp, nil)
 		useHTTP := conn == nil
@@ -135,13 +186,14 @@ func (c *Client) attempt(dep int, req namespace.Request) (*namespace.Response, e
 		if !useHTTP && !c.inAntiThrash() && c.cfg.HTTPReplaceProb > 0 &&
 			c.randFloat() < c.cfg.HTTPReplaceProb {
 			useHTTP = true
+			tc.Emit(trace.Event{Type: trace.EventHTTPReplace, Client: c.id, Deployment: dep})
 		}
 		var resp *namespace.Response
 		var err error
 		if useHTTP {
-			resp, err = c.callHTTP(dep, req)
+			resp, err = c.callHTTP(tc, dep, req)
 		} else {
-			resp, err = c.callTCPHedged(dep, conn, req)
+			resp, err = c.callTCPHedged(tc, dep, conn, req)
 		}
 		if err == nil {
 			return resp, nil
@@ -170,12 +222,20 @@ func (c *Client) backoff(attempt int) {
 // callHTTP performs the gateway-routed invocation; the serving NameNode
 // establishes a TCP connection back to the client's server as a side
 // effect (handled by the NameNode via Payload.ReplyTo).
-func (c *Client) callHTTP(dep int, req namespace.Request) (*namespace.Response, error) {
+func (c *Client) callHTTP(tc *trace.Ctx, dep int, req namespace.Request) (*namespace.Response, error) {
 	c.stats.http.Add(1)
-	v, err := c.inv.Invoke(dep, Payload{Req: req, ReplyTo: c.tcp})
+	sp := tc.Start(trace.KindRPCHTTP)
+	sp.SetDeployment(dep)
+	// Re-point the request's context at the transport span so server-side
+	// spans (gateway, cold start, engine, store) nest under it.
+	req.TC = sp.Ctx()
+	v, err := c.inv.Invoke(dep, Payload{Req: req, ReplyTo: c.tcp, TC: sp.Ctx()})
 	if err != nil {
+		sp.SetDetail(err.Error())
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 	resp, ok := v.(*namespace.Response)
 	if !ok || resp == nil {
 		return nil, namespace.ErrUnavailable
@@ -184,14 +244,25 @@ func (c *Client) callHTTP(dep int, req namespace.Request) (*namespace.Response, 
 }
 
 // callTCP performs a raw TCP RPC on conn.
-func (c *Client) callTCP(conn *Conn, req namespace.Request) (*namespace.Response, error) {
+func (c *Client) callTCP(tc *trace.Ctx, conn *Conn, req namespace.Request) (*namespace.Response, error) {
 	c.stats.tcp.Add(1)
+	sp := tc.Start(trace.KindRPCTCP)
+	sp.SetDeployment(conn.inst.DeploymentIndex())
+	sp.SetInstance(conn.InstanceID())
+	req.TC = sp.Ctx()
+	nsp := sp.Ctx().Start(trace.KindRPCTCPNet)
 	c.vm.clk.Sleep(c.cfg.TCPOneWay)
+	nsp.End()
 	v, err := conn.inst.Serve(func() any { return conn.srv.Execute(req) })
 	if err != nil {
+		sp.SetDetail("conn lost")
+		sp.End()
 		return nil, namespace.ErrConnLost
 	}
+	nsp = sp.Ctx().Start(trace.KindRPCTCPNet)
 	c.vm.clk.Sleep(c.cfg.TCPOneWay)
+	nsp.End()
+	sp.End()
 	resp, ok := v.(*namespace.Response)
 	if !ok || resp == nil {
 		return nil, namespace.ErrUnavailable
@@ -204,10 +275,10 @@ func (c *Client) callTCP(conn *Conn, req namespace.Request) (*namespace.Response
 // attempt is fired at a different NameNode (or over HTTP) and the first
 // response wins. Only read operations hedge — a hedged write could
 // execute twice.
-func (c *Client) callTCPHedged(dep int, conn *Conn, req namespace.Request) (*namespace.Response, error) {
+func (c *Client) callTCPHedged(tc *trace.Ctx, dep int, conn *Conn, req namespace.Request) (*namespace.Response, error) {
 	hedge := c.cfg.Hedging && !req.Op.IsWrite() && c.window.Len() >= c.cfg.LatencyWindow/2
 	if !hedge {
-		return c.tcpWithFailover(dep, conn, req)
+		return c.tcpWithFailover(tc, dep, conn, req)
 	}
 	threshold := time.Duration(c.cfg.StragglerThreshold * float64(c.window.Mean()))
 	if threshold < c.cfg.StragglerFloor {
@@ -219,7 +290,7 @@ func (c *Client) callTCPHedged(dep int, conn *Conn, req namespace.Request) (*nam
 	}
 	ch := make(chan result, 2)
 	clock.Go(c.vm.clk, func() {
-		resp, err := c.callTCP(conn, req)
+		resp, err := c.callTCP(tc, conn, req)
 		ch <- result{resp, err}
 	})
 	var primary *result
@@ -240,13 +311,18 @@ func (c *Client) callTCPHedged(dep int, conn *Conn, req namespace.Request) (*nam
 	}
 	// Straggler: hedge on a different instance, falling back to HTTP.
 	c.stats.hedges.Add(1)
+	tc.Emit(trace.Event{
+		Type: trace.EventHedgedRetry, Client: c.id, Deployment: dep,
+		Instance: conn.InstanceID(), Dur: threshold,
+		Detail: fmt.Sprintf("threshold=%v", threshold),
+	})
 	clock.Go(c.vm.clk, func() {
 		if alt, _ := c.vm.findConn(dep, c.tcp, conn); alt != nil {
-			resp, err := c.callTCP(alt, req)
+			resp, err := c.callTCP(tc, alt, req)
 			ch <- result{resp, err}
 			return
 		}
-		resp, err := c.callHTTP(dep, req)
+		resp, err := c.callHTTP(tc, dep, req)
 		ch <- result{resp, err}
 	})
 	var firstErr error
@@ -267,15 +343,15 @@ func (c *Client) callTCPHedged(dep int, conn *Conn, req namespace.Request) (*nam
 // tcpWithFailover runs one TCP RPC, failing over across the VM's other
 // live connections before surfacing the error (the reconnection walk of
 // §3.2).
-func (c *Client) tcpWithFailover(dep int, conn *Conn, req namespace.Request) (*namespace.Response, error) {
-	resp, err := c.callTCP(conn, req)
+func (c *Client) tcpWithFailover(tc *trace.Ctx, dep int, conn *Conn, req namespace.Request) (*namespace.Response, error) {
+	resp, err := c.callTCP(tc, conn, req)
 	if err == nil {
 		return resp, nil
 	}
 	c.connBroken(dep, conn)
 	c.stats.failovers.Add(1)
 	if alt, _ := c.vm.findConn(dep, c.tcp, conn); alt != nil {
-		if resp, err2 := c.callTCP(alt, req); err2 == nil {
+		if resp, err2 := c.callTCP(tc, alt, req); err2 == nil {
 			return resp, nil
 		}
 		c.connBroken(dep, alt)

@@ -23,6 +23,7 @@ import (
 	"lambdafs/internal/clock"
 	"lambdafs/internal/faas"
 	"lambdafs/internal/namespace"
+	"lambdafs/internal/trace"
 )
 
 // Server executes metadata requests; λFS NameNodes implement it.
@@ -44,7 +45,14 @@ type Payload struct {
 	// ReplyTo is the issuing client's TCP server; the serving NameNode
 	// connects back to it after handling the request.
 	ReplyTo *TCPServer
+	// TC is the invocation's trace context (nil when untraced); the FaaS
+	// platform attaches gateway/admission/cold-start spans to it.
+	TC *trace.Ctx
 }
+
+// TraceCtx exposes the trace context to the platform (faas's carrier
+// interface) without faas importing this package.
+func (p Payload) TraceCtx() *trace.Ctx { return p.TC }
 
 // Config tunes the RPC fabric.
 type Config struct {
@@ -201,6 +209,22 @@ type VM struct {
 	mu         sync.Mutex
 	servers    []*TCPServer
 	numClients int
+	tracer     *trace.Tracer
+}
+
+// SetTracer installs the tracer inherited by clients created on this VM
+// afterwards (nil disables tracing for new clients).
+func (vm *VM) SetTracer(tr *trace.Tracer) {
+	vm.mu.Lock()
+	vm.tracer = tr
+	vm.mu.Unlock()
+}
+
+// Tracer returns the VM's tracer (nil when tracing is off).
+func (vm *VM) Tracer() *trace.Tracer {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.tracer
 }
 
 // NewVM creates a client VM.

@@ -351,7 +351,7 @@ func TestTCPServerOfferDedupes(t *testing.T) {
 	cfg2.HTTPReplaceProb = 1
 	c2 := h.vm.NewClient("c2", h.ring, platformInvoker{h.p})
 	_ = c2
-	if _, err := c.callHTTP(0, namespace.Request{Op: namespace.OpStat, Path: "/a", ClientID: "c1", Seq: 99}); err != nil {
+	if _, err := c.callHTTP(nil, 0, namespace.Request{Op: namespace.OpStat, Path: "/a", ClientID: "c1", Seq: 99}); err != nil {
 		t.Fatal(err)
 	}
 	if s.ConnCount(0) != 1 {
@@ -380,7 +380,7 @@ func TestConnRotationSpreadsLoad(t *testing.T) {
 	}
 	// Force a second instance via a direct second HTTP call while the
 	// first connection exists (replacement path).
-	if _, err := c.callHTTP(0, namespace.Request{Op: namespace.OpStat, Path: "/a", ClientID: "c1", Seq: 1000}); err != nil {
+	if _, err := c.callHTTP(nil, 0, namespace.Request{Op: namespace.OpStat, Path: "/a", ClientID: "c1", Seq: 1000}); err != nil {
 		t.Fatal(err)
 	}
 	s := c.TCPServerRef()

@@ -13,6 +13,7 @@ import (
 	"errors"
 
 	"lambdafs/internal/namespace"
+	"lambdafs/internal/trace"
 )
 
 // LockMode selects row locking for reads inside a transaction.
@@ -117,6 +118,20 @@ type Store interface {
 	// ReleaseOwner force-releases all locks held by a crashed owner
 	// (invoked by the Coordinator's failure detector, §3.6).
 	ReleaseOwner(owner string)
+}
+
+// TracedStore is an optional extension a Store may implement to attribute
+// its internal latency (round trips, per-shard queueing, service time) to
+// a request's trace. Callers type-assert and fall back to the untraced
+// methods; implementations must treat a nil context exactly like the
+// untraced call.
+type TracedStore interface {
+	Store
+	// BeginTraced is Begin with a trace context: spans for every store
+	// access inside the transaction attach to tc.
+	BeginTraced(owner string, tc *trace.Ctx) Tx
+	// ResolvePathTraced is ResolvePath with a trace context.
+	ResolvePathTraced(path string, tc *trace.Ctx) ([]*namespace.INode, error)
 }
 
 // RunTx runs fn inside a transaction with automatic retry on lock

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"lambdafs/internal/metrics"
+)
+
+// This file collapses raw traces into per-op-type latency decompositions:
+// for each operation type, how much of the mean end-to-end latency each
+// span kind accounts for. Attribution uses *self time* (a span's duration
+// minus its direct children's durations, clamped at zero) so nested spans
+// never double-count: the sum of self times over a trace's span tree is
+// bounded by the durations of its top-level spans, and the fraction of
+// end-to-end latency attributed tells you how much of the request is
+// explained by named spans versus untraced gaps.
+
+// KindStat aggregates one span kind's self time within an operation type.
+type KindStat struct {
+	Kind  Kind
+	Count uint64             // traces in which the kind appeared
+	Total time.Duration      // total self time across traces
+	Hist  *metrics.Histogram // per-trace self time distribution
+}
+
+// OpStats aggregates one operation type.
+type OpStats struct {
+	Op         string
+	Count      int
+	E2E        *metrics.Histogram // end-to-end latency
+	E2ETotal   time.Duration
+	Attributed time.Duration // total self time summed over all kinds
+	kinds      map[Kind]*KindStat
+}
+
+// Kind returns the aggregate for kind k (nil when the kind never appeared
+// for this operation type).
+func (o *OpStats) Kind(k Kind) *KindStat { return o.kinds[k] }
+
+// Kinds returns the present kinds in canonical order (KindOrder first,
+// then any unknown kinds alphabetically).
+func (o *OpStats) Kinds() []*KindStat {
+	var out []*KindStat
+	seen := make(map[Kind]bool, len(o.kinds))
+	for _, k := range KindOrder {
+		if ks := o.kinds[k]; ks != nil {
+			out = append(out, ks)
+			seen[k] = true
+		}
+	}
+	var extra []*KindStat
+	for k, ks := range o.kinds {
+		if !seen[k] {
+			extra = append(extra, ks)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Kind < extra[j].Kind })
+	return append(out, extra...)
+}
+
+// AttributedFraction is the share of total end-to-end latency explained by
+// named spans (0..1; may marginally exceed 1 when hedged attempts overlap).
+func (o *OpStats) AttributedFraction() float64 {
+	if o.E2ETotal <= 0 {
+		return 0
+	}
+	return float64(o.Attributed) / float64(o.E2ETotal)
+}
+
+// MeanShare is the share of the op's total end-to-end latency spent in
+// kind k (0 when the kind never appeared).
+func (o *OpStats) MeanShare(k Kind) float64 {
+	ks := o.kinds[k]
+	if ks == nil || o.E2ETotal <= 0 {
+		return 0
+	}
+	return float64(ks.Total) / float64(o.E2ETotal)
+}
+
+// Breakdown is the per-op-type latency decomposition over a set of traces.
+type Breakdown struct {
+	ops map[string]*OpStats
+}
+
+// OpNames returns the operation types present, sorted.
+func (b *Breakdown) OpNames() []string {
+	out := make([]string, 0, len(b.ops))
+	for op := range b.ops {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Op returns the aggregate for one operation type (nil when absent).
+func (b *Breakdown) Op(name string) *OpStats { return b.ops[name] }
+
+// KindsPresent returns every kind appearing anywhere in the breakdown, in
+// canonical order (stable CSV column order).
+func (b *Breakdown) KindsPresent() []Kind {
+	present := make(map[Kind]bool)
+	for _, o := range b.ops {
+		for k := range o.kinds {
+			present[k] = true
+		}
+	}
+	var out []Kind
+	for _, k := range KindOrder {
+		if present[k] {
+			out = append(out, k)
+			delete(present, k)
+		}
+	}
+	var extra []Kind
+	for k := range present {
+		extra = append(extra, k)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(out, extra...)
+}
+
+// Aggregate builds the decomposition from finished traces (unfinished
+// traces are skipped).
+func Aggregate(traces []*Trace) *Breakdown {
+	b := &Breakdown{ops: make(map[string]*OpStats)}
+	for _, t := range traces {
+		end := t.End()
+		if end.IsZero() {
+			continue
+		}
+		e2e := end.Sub(t.Start)
+		if e2e < 0 {
+			continue
+		}
+		o := b.ops[t.Op]
+		if o == nil {
+			o = &OpStats{Op: t.Op, E2E: metrics.NewHistogram(), kinds: make(map[Kind]*KindStat)}
+			b.ops[t.Op] = o
+		}
+		o.Count++
+		o.E2E.Observe(e2e)
+		o.E2ETotal += e2e
+
+		kindSelf := selfTimes(t, end)
+		for k, d := range kindSelf {
+			ks := o.kinds[k]
+			if ks == nil {
+				ks = &KindStat{Kind: k, Hist: metrics.NewHistogram()}
+				o.kinds[k] = ks
+			}
+			ks.Count++
+			ks.Total += d
+			ks.Hist.Observe(d)
+			o.Attributed += d
+		}
+	}
+	return b
+}
+
+// selfTimes computes per-kind self time for one trace, clipping spans to
+// the trace window (a hedged primary's spans may end after the trace
+// finished; only the in-window portion explains the client's latency).
+func selfTimes(t *Trace, end time.Time) map[Kind]time.Duration {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	// Clip spans to [t.Start, end].
+	clipped := spans[:0]
+	for _, s := range spans {
+		if !s.Start.Before(end) {
+			continue
+		}
+		if s.Start.Before(t.Start) {
+			s.Dur -= t.Start.Sub(s.Start)
+			s.Start = t.Start
+		}
+		if over := s.Start.Add(s.Dur).Sub(end); over > 0 {
+			s.Dur -= over
+		}
+		if s.Dur < 0 {
+			s.Dur = 0
+		}
+		clipped = append(clipped, s)
+	}
+	childSum := make(map[uint64]time.Duration, len(clipped))
+	for _, s := range clipped {
+		if s.Parent != 0 {
+			childSum[s.Parent] += s.Dur
+		}
+	}
+	out := make(map[Kind]time.Duration, 8)
+	for _, s := range clipped {
+		self := s.Dur - childSum[s.ID]
+		if self < 0 {
+			self = 0
+		}
+		out[s.Kind] += self
+	}
+	return out
+}

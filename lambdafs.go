@@ -34,6 +34,7 @@ import (
 	"lambdafs/internal/metrics"
 	"lambdafs/internal/ndb"
 	"lambdafs/internal/rpc"
+	"lambdafs/internal/trace"
 )
 
 // CoordinatorKind selects the pluggable Coordinator backend (§3.1).
@@ -83,6 +84,16 @@ type Config struct {
 	// a positive value maps one virtual second onto TimeScale real
 	// seconds.
 	TimeScale float64
+
+	// EnableTracing turns on the virtual-time distributed tracer: every
+	// request carries a trace context through the RPC fabric, FaaS
+	// platform, NameNode engine, and store, and platform/client lifecycle
+	// transitions are recorded as structured events. Off by default (the
+	// nil-context fast path costs nothing per request).
+	EnableTracing bool
+	// Trace tunes the tracer (sampling, retention caps) when
+	// EnableTracing is set; zero values use trace.DefaultConfig.
+	Trace trace.Config
 }
 
 // DefaultConfig mirrors the paper's standard deployment: 16 deployments
@@ -113,6 +124,7 @@ type Cluster struct {
 	platform *faas.Platform
 	sys      *core.System
 	vm       *rpc.VM
+	tracer   *trace.Tracer // nil when tracing is off
 
 	lambdaMeter      *metrics.LambdaMeter
 	provisionedMeter *metrics.ProvisionedMeter
@@ -179,9 +191,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	c.lambdaMeter = metrics.NewLambdaMeter(clock.Epoch)
 	c.provisionedMeter = metrics.NewProvisionedMeter(clock.Epoch)
+	if cfg.EnableTracing {
+		c.tracer = trace.New(c.clk, cfg.Trace)
+	}
 	pcfg := cfg.Platform
 	pcfg.Lambda = c.lambdaMeter
 	pcfg.Provisioned = c.provisionedMeter
+	pcfg.Tracer = c.tracer
 	c.platform = faas.New(c.clk, pcfg)
 
 	sysCfg := core.SystemConfig{
@@ -196,6 +212,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	sysCfg.Engine.CacheBudget = cfg.CacheBudgetBytes
 	c.sys = core.NewSystem(c.clk, c.db, c.coord, c.platform, sysCfg)
 	c.vm = rpc.NewVM(c.clk, cfg.RPC)
+	c.vm.SetTracer(c.tracer)
 	return c, nil
 }
 
@@ -217,7 +234,15 @@ func (c *Cluster) VM() *rpc.VM { return c.vm }
 
 // NewVM creates an additional client VM (clients on distinct VMs do not
 // share TCP connections — Figure 4's sharing is per-VM).
-func (c *Cluster) NewVM() *rpc.VM { return rpc.NewVM(c.clk, c.cfg.RPC) }
+func (c *Cluster) NewVM() *rpc.VM {
+	vm := rpc.NewVM(c.clk, c.cfg.RPC)
+	vm.SetTracer(c.tracer)
+	return vm
+}
+
+// Tracer exposes the cluster's tracer (nil when Config.EnableTracing is
+// false; a nil *trace.Tracer is safe to use as a no-op).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
 
 // Stats summarizes cluster-wide state.
 type Stats struct {
