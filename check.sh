@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repo health check: formatting, vet, build, full test suite, and the race
+# Repo health check: formatting, vet, build, full test suite, the race
 # detector over the concurrency-heavy packages (tracer, metrics, FaaS
-# platform, RPC fabric). Run before sending changes.
+# platform, RPC fabric, chaos harness, coordinator), and a bounded
+# fixed-seed chaos smoke run. Run before sending changes.
 set -e
 
 cd "$(dirname "$0")"
@@ -24,7 +25,10 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (trace, metrics, faas, rpc) =="
-go test -race ./internal/trace/ ./internal/metrics/ ./internal/faas/ ./internal/rpc/
+echo "== go test -race (trace, metrics, faas, rpc, chaos, coordinator) =="
+go test -race ./internal/trace/ ./internal/metrics/ ./internal/faas/ ./internal/rpc/ ./internal/chaos/ ./internal/coordinator/
+
+echo "== chaos smoke (bounded, fixed seed) =="
+go test ./internal/chaos/ -run TestChaosRandomized -chaosseed 3 -count=1
 
 echo "all checks passed"

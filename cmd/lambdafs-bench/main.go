@@ -30,8 +30,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload randomness seed")
 	csvDir := flag.String("csv", "", "also export each table as CSV into this directory")
 	traceDir := flag.String("trace", "", "dump raw trace/event JSONL from traced experiments into this directory")
+	chaosSeed := flag.Int64("chaosseed", 0, "replay a single chaos episode with this seed (0 = full chaos experiment; use the seed a failing run printed)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] list | all | <experiment>...\n\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-chaosseed N] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
 		for _, e := range bench.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.Name, e.Brief)
@@ -65,7 +66,7 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout, TraceDir: *traceDir}
+	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout, TraceDir: *traceDir, ChaosSeed: *chaosSeed}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"

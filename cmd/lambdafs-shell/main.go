@@ -9,7 +9,7 @@
 //
 // Commands: mkdir <path> | create <path> | stat <path> | read <path> |
 // ls <path> | mv <src> <dst> | rm <path> | kill <deployment> | stats |
-// trace [n] | help
+// trace [n] | chaos [episodes] [seed] | help
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lambdafs"
+	"lambdafs/internal/chaos"
 	"lambdafs/internal/clock"
 	"lambdafs/internal/trace"
 )
@@ -140,6 +141,21 @@ func main() {
 				}
 			}
 			printTraces(cluster.Tracer(), n)
+		case "chaos":
+			// chaos [episodes] [seed]: run deterministic fault-injection
+			// episodes (separate model-checked mini-clusters, not this one).
+			episodes, seed := 3, int64(1)
+			if len(args) > 0 {
+				if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+					episodes = v
+				}
+			}
+			if len(args) > 1 {
+				if v, err := strconv.ParseInt(args[1], 10, 64); err == nil {
+					seed = v
+				}
+			}
+			runChaosEpisodes(episodes, seed)
 		case "stats":
 			s := cluster.Stats()
 			fmt.Printf("NameNodes=%d vCPU=%.1f coldStarts=%d invocations=%d\n",
@@ -148,7 +164,7 @@ func main() {
 				s.CacheHits, s.CacheMisses, s.Store.Reads, s.Store.Writes, s.Store.Commits)
 			fmt.Printf("cost: pay-per-use $%.6f, provisioned $%.6f\n", s.PayPerUseUSD, s.ProvisionedUSD)
 		case "help":
-			fmt.Println("commands: mkdir create stat read ls mv rm kill stats trace help")
+			fmt.Println("commands: mkdir create stat read ls mv rm kill stats trace chaos help")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}
@@ -229,6 +245,34 @@ func printTraces(tr *trace.Tracer, n int) {
 		}
 		fmt.Printf("  t+%-12v %-18s %s %s\n",
 			ev.Time.Sub(clock.Epoch).Round(time.Microsecond), ev.Type, who, ev.Detail)
+	}
+}
+
+// runChaosEpisodes runs n deterministic fault-injection episodes (the
+// TestChaosRandomized harness) and prints one summary line each; any
+// invariant violation prints in full with the replay seed.
+func runChaosEpisodes(n int, seed int64) {
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		cfg := chaos.DefaultEpisode(s)
+		cfg.Tracer = trace.New(clock.NewScaled(0), trace.Config{})
+		res := chaos.RunEpisode(cfg)
+		var fired uint64
+		for _, v := range res.FaultsFired {
+			fired += v
+		}
+		status := "OK"
+		if res.Failed() {
+			status = fmt.Sprintf("FAILED (%d violations)", len(res.Violations))
+		}
+		fmt.Printf("episode seed=%d: %s steps=%d inodes=%d faults=%d digest=%s\n",
+			s, status, len(res.Steps), res.FinalINodes, fired, res.Digest[:16])
+		for _, v := range res.Violations {
+			fmt.Println("  violation:", v)
+		}
+		if res.Failed() {
+			fmt.Printf("  replay: go test ./internal/chaos/ -run TestChaosRandomized -chaosseed %d\n", s)
+		}
 	}
 }
 

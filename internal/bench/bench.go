@@ -47,6 +47,10 @@ type Options struct {
 	// TraceDir, when non-empty, receives raw trace/event JSONL dumps from
 	// the experiments that run with tracing enabled.
 	TraceDir string
+	// ChaosSeed, when > 0, makes the chaos experiment replay that single
+	// deterministic episode instead of its standard seed sweep (the seed a
+	// failing run printed).
+	ChaosSeed int64
 }
 
 func (o Options) out() io.Writer {
@@ -156,6 +160,7 @@ func All() []Experiment {
 		{"ablation-rpc", "Ablation: hybrid RPC and replacement probability", RunAblationRPC},
 		{"ablation-batch", "Ablation: subtree batch size and offloading", RunAblationBatch},
 		{"trace", "Observability: latency decomposition and structured event log", RunTrace},
+		{"chaos", "Chaos: deterministic fault-injection episodes + full-stack fault storm", RunChaos},
 	}
 }
 
@@ -216,6 +221,11 @@ type lambdaParams struct {
 	coldStart      time.Duration
 	gatewayLatency time.Duration
 	tracer         *trace.Tracer
+	// Optional config hooks, applied just before each substrate is built
+	// (the chaos experiment wires fault-injection callbacks through these).
+	ndbHook  func(*ndb.Config)
+	faasHook func(*faas.Config)
+	rpcHook  func(*rpc.Config)
 }
 
 func defaultLambdaParams() lambdaParams {
@@ -239,7 +249,11 @@ func newLambdaCluster(clk *clock.Sim, p lambdaParams) *lambdaCluster {
 // newLambdaClusterWith builds λFS with a final hook over the system
 // config (ablations tweak subtree batching and offloading).
 func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.SystemConfig)) *lambdaCluster {
-	db := ndb.New(clk, ndbConfig())
+	nCfg := ndbConfig()
+	if p.ndbHook != nil {
+		p.ndbHook(&nCfg)
+	}
+	db := ndb.New(clk, nCfg)
 	coCfg := coordinator.DefaultConfig()
 	coCfg.HopLatency = 300 * time.Microsecond
 	coCfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(db, id) }
@@ -257,6 +271,9 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 	fCfg.Lambda = lambda
 	fCfg.Provisioned = prov
 	fCfg.Tracer = p.tracer
+	if p.faasHook != nil {
+		p.faasHook(&fCfg)
+	}
 	platform := faas.New(clk, fCfg)
 
 	eng := core.DefaultEngineConfig()
@@ -278,6 +295,9 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 
 	rCfg := rpc.DefaultConfig()
 	rCfg.HTTPReplaceProb = p.replaceProb
+	if p.rpcHook != nil {
+		p.rpcHook(&rCfg)
+	}
 	c := &lambdaCluster{
 		clk: clk, db: db, coord: coord, platform: platform, sys: sys,
 		lambda: lambda, prov: prov, rpcCfg: rCfg,

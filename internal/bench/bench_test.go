@@ -32,7 +32,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"tab2", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12",
-		"fig13", "fig14", "tab3", "fig15", "fig16", "ablation-rpc", "ablation-batch", "trace"}
+		"fig13", "fig14", "tab3", "fig15", "fig16", "ablation-rpc", "ablation-batch", "trace", "chaos"}
 	for _, name := range want {
 		if _, ok := Find(name); !ok {
 			t.Errorf("experiment %q missing from registry", name)

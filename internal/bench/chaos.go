@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lambdafs/internal/chaos"
+	"lambdafs/internal/clock"
+	"lambdafs/internal/faas"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/rpc"
+	"lambdafs/internal/trace"
+	"lambdafs/internal/workload"
+)
+
+// RunChaos runs the fault-injection experiment in two phases.
+//
+// Phase A replays deterministic chaos episodes (the same harness as
+// TestChaosRandomized): a multi-engine λFS cluster under a seeded op
+// stream with faults armed at the ndb and coordinator boundaries, every
+// FS invariant checked after every step. Each row reports one episode's
+// fault mix, violation count, and digest; re-running with the same seed
+// must reproduce the digest byte-for-byte. With Options.ChaosSeed > 0
+// only that episode runs (failure replay: the seed a failing test or
+// bench printed).
+//
+// Phase B runs a full-stack fault storm: the standard λFS deployment
+// (faas platform, hybrid RPC fabric, NDB) under the Spotify-style mixed
+// workload while an injector kills instances mid-invocation, denies cold
+// starts, drops and delays TCP calls, and stalls NDB shards. Ops are
+// allowed to fail — the point is that the system keeps serving and the
+// store's structural invariants hold at quiescence.
+func RunChaos(opts Options) []*Table {
+	tables := []*Table{runChaosEpisodes(opts)}
+	if opts.ChaosSeed <= 0 {
+		tables = append(tables, runChaosStorm(opts))
+	}
+	for _, t := range tables {
+		t.Fprint(opts.out())
+	}
+	return tables
+}
+
+// runChaosEpisodes is phase A: model-checked deterministic episodes.
+func runChaosEpisodes(opts Options) *Table {
+	episodes := 12
+	if opts.Tiny {
+		episodes = 4
+	} else if opts.Quick {
+		episodes = 8
+	}
+	seeds := make([]int64, 0, episodes)
+	if opts.ChaosSeed > 0 {
+		seeds = append(seeds, opts.ChaosSeed)
+	} else {
+		for i := 0; i < episodes; i++ {
+			seeds = append(seeds, opts.Seed+int64(i))
+		}
+	}
+
+	t := &Table{
+		ID:      "chaos-episodes",
+		Title:   "Deterministic chaos episodes (model-checked invariants)",
+		Columns: []string{"seed", "steps", "inodes", "faults_fired", "fault_mix", "violations", "digest"},
+		Notes: []string{
+			"replay any row with -chaosseed <seed> (bench binary) or go test ./internal/chaos/ -run TestChaosRandomized -chaosseed <seed>",
+		},
+	}
+	for _, seed := range seeds {
+		cfg := chaos.DefaultEpisode(seed)
+		cfg.Tracer = trace.New(clock.NewScaled(0), trace.Config{})
+		res := chaos.RunEpisode(cfg)
+		var fired uint64
+		mix := ""
+		for _, kind := range []chaos.FaultKind{
+			chaos.FaultTxAbort, chaos.FaultShardStall, chaos.FaultShardCrash,
+			chaos.FaultLeaseExpiry, chaos.FaultLeaderFlap,
+		} {
+			n := res.FaultsFired[kind]
+			fired += n
+			if n > 0 {
+				if mix != "" {
+					mix += " "
+				}
+				mix += fmt.Sprintf("%s:%d", kind, n)
+			}
+		}
+		if mix == "" {
+			mix = "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", seed),
+			fmt.Sprintf("%d", len(res.Steps)),
+			fmt.Sprintf("%d", res.FinalINodes),
+			fmt.Sprintf("%d", fired),
+			mix,
+			fmt.Sprintf("%d", len(res.Violations)),
+			res.Digest[:16],
+		})
+		for _, v := range res.Violations {
+			t.Notes = append(t.Notes, fmt.Sprintf("seed %d VIOLATION: %s", seed, v))
+		}
+	}
+	return t
+}
+
+// runChaosStorm is phase B: the full λFS stack under a seeded fault storm.
+func runChaosStorm(opts Options) *Table {
+	clk := clock.NewSim()
+	defer clk.Close()
+
+	inj := chaos.NewInjector()
+	p := defaultLambdaParams()
+	p.deployments = 4
+	p.clientVMs = 2
+	p.ndbHook = func(cfg *ndb.Config) {
+		cfg.OnCommit = inj.NDBOnCommit
+		cfg.OnShardService = inj.NDBOnShardService
+	}
+	p.faasHook = func(cfg *faas.Config) {
+		cfg.OnInvoke = inj.FaasOnInvoke
+		cfg.OnProvision = inj.FaasOnProvision
+	}
+	p.rpcHook = func(cfg *rpc.Config) {
+		cfg.OnTCPFault = inj.RPCOnTCP
+	}
+
+	d, f := microTreeShape(opts)
+	dirs, files := workload.GenerateNamespace(d, f)
+	var c *lambdaCluster
+	clock.Run(clk, func() {
+		c = newLambdaCluster(clk, p)
+		workload.PreloadNDB(c.db, dirs, files)
+	})
+	defer func() { clock.Run(clk, c.close) }()
+
+	clients, per := 32, 128
+	if opts.Tiny {
+		clients, per = 8, 48
+	} else if opts.Quick {
+		clients, per = 16, 64
+	}
+	mix := workload.Mix{
+		{Op: namespace.OpCreate, Weight: 10},
+		{Op: namespace.OpMv, Weight: 4},
+		{Op: namespace.OpDelete, Weight: 2},
+		{Op: namespace.OpRead, Weight: 38},
+		{Op: namespace.OpStat, Weight: 36},
+		{Op: namespace.OpLs, Weight: 10},
+	}
+	tree := workload.NewTree(dirs, files)
+	fss := make([]workload.FS, clients)
+	for i := range fss {
+		fss[i] = c.clientFor(i)
+	}
+	cached := func(i int) workload.FS { return fss[i] }
+
+	// Warm phase: connections and instances up, no faults armed.
+	var warm *workload.Recorder
+	clock.Run(clk, func() {
+		warm = workload.RunClosedLoop(clk, tree, mix, clients, per, opts.Seed, cached)
+	})
+
+	// Storm phase: between workload waves, arm a seeded batch of faults
+	// across every injection layer, plus direct instance kills.
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	waves := 4
+	if opts.Tiny {
+		waves = 2
+	}
+	var storm *workload.Recorder
+	clock.Run(clk, func() {
+		storm = workload.NewRecorder(clk.Now())
+	})
+	for w := 0; w < waves; w++ {
+		clock.Run(clk, func() {
+			inj.ArmKillInvocation(1 + rng.Intn(2))
+			inj.ArmProvisionFailure(rng.Intn(2))
+			inj.ArmRPCDrop(2 + rng.Intn(3))
+			inj.ArmRPCDelay(time.Duration(1+rng.Intn(4))*time.Millisecond, 2)
+			inj.ArmShardStall(rng.Intn(4), 5*time.Millisecond, 3)
+			c.platform.KillOneInstance(rng.Intn(p.deployments))
+			r := workload.RunClosedLoop(clk, tree, mix, clients, per/2, opts.Seed+int64(w)+11, cached)
+			storm.Completed.Add(r.Completed.Load())
+			storm.SemanticErrs.Add(r.SemanticErrs.Load())
+			storm.TransportErrs.Add(r.TransportErrs.Load())
+		})
+	}
+
+	// Drain phase: disarm everything and let the system settle before the
+	// structural audit (invariants are checked at quiescence).
+	inj.Reset()
+	var drain *workload.Recorder
+	clock.Run(clk, func() {
+		drain = workload.RunClosedLoop(clk, tree, mix, clients, 16, opts.Seed+101, cached)
+		clk.Sleep(2 * time.Second)
+	})
+
+	var violations []string
+	clock.Run(clk, func() { violations = chaos.CheckStore(c.db) })
+	fired := inj.Fired()
+	stats := c.platform.Stats()
+
+	t := &Table{
+		ID:      "chaos-storm",
+		Title:   "Full-stack fault storm (faas + RPC + NDB injection)",
+		Columns: []string{"metric", "value"},
+	}
+	row := func(k string, v any) { t.Rows = append(t.Rows, []string{k, fmt.Sprint(v)}) }
+	row("warm_ops", warm.Completed.Load())
+	row("storm_ops", storm.Completed.Load())
+	row("storm_semantic_errs", storm.SemanticErrs.Load())
+	row("storm_transport_errs", storm.TransportErrs.Load())
+	row("drain_ops", drain.Completed.Load())
+	row("instance_kills", stats.Kills)
+	row("cold_starts", stats.ColdStarts)
+	row("rejections", stats.Rejections)
+	for _, kind := range []chaos.FaultKind{
+		chaos.FaultKillInstance, chaos.FaultPoolExhausted,
+		chaos.FaultRPCDrop, chaos.FaultRPCDelay,
+		chaos.FaultShardStall, chaos.FaultShardCrash,
+	} {
+		row("fired_"+string(kind), fired[kind])
+	}
+	row("store_violations", len(violations))
+	for _, v := range violations {
+		t.Notes = append(t.Notes, "VIOLATION: "+v)
+	}
+	if len(violations) == 0 {
+		t.Notes = append(t.Notes, "store structural invariants clean at quiescence")
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRunChaosExperiment runs the chaos experiment end-to-end at Tiny
+// scale: every phase-A episode must pass all invariants with faults
+// actually fired, the phase-B storm must keep serving ops and leave the
+// store structurally clean, and episode digests must be reproducible.
+func TestRunChaosExperiment(t *testing.T) {
+	opts := Options{Tiny: true, Quick: true, Seed: 7}
+	tables := RunChaos(opts)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+
+	episodes, storm := tables[0], tables[1]
+	if episodes.ID != "chaos-episodes" || storm.ID != "chaos-storm" {
+		t.Fatalf("table ids = %q, %q", episodes.ID, storm.ID)
+	}
+	col := func(tb *Table, name string) int {
+		for i, c := range tb.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from %v", name, tb.Columns)
+		return -1
+	}
+	vIdx, fIdx, dIdx := col(episodes, "violations"), col(episodes, "faults_fired"), col(episodes, "digest")
+	var totalFired int
+	for _, row := range episodes.Rows {
+		if row[vIdx] != "0" {
+			t.Fatalf("episode seed %s reported %s violations", row[0], row[vIdx])
+		}
+		n, err := strconv.Atoi(row[fIdx])
+		if err != nil {
+			t.Fatalf("faults_fired %q: %v", row[fIdx], err)
+		}
+		totalFired += n
+		if len(row[dIdx]) != 16 {
+			t.Fatalf("digest cell %q", row[dIdx])
+		}
+	}
+	if totalFired == 0 {
+		t.Fatal("no faults fired across phase-A episodes")
+	}
+
+	// Replay mode: a fixed ChaosSeed reruns one episode with the same
+	// digest as the sweep produced for it.
+	replay := RunChaos(Options{Tiny: true, Quick: true, Seed: 7, ChaosSeed: 7})
+	if len(replay) != 1 {
+		t.Fatalf("replay tables = %d, want 1 (episodes only)", len(replay))
+	}
+	if got, want := replay[0].Rows[0][dIdx], episodes.Rows[0][dIdx]; got != want {
+		t.Fatalf("replay digest %s != sweep digest %s", got, want)
+	}
+
+	metric := map[string]string{}
+	for _, row := range storm.Rows {
+		metric[row[0]] = row[1]
+	}
+	if metric["store_violations"] != "0" {
+		t.Fatalf("storm left store violations: %s", metric["store_violations"])
+	}
+	for _, k := range []string{"warm_ops", "storm_ops", "drain_ops"} {
+		n, err := strconv.Atoi(metric[k])
+		if err != nil || n == 0 {
+			t.Fatalf("%s = %q", k, metric[k])
+		}
+	}
+	if metric["instance_kills"] == "0" {
+		t.Fatal("storm killed no instances")
+	}
+}

@@ -1,0 +1,421 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/core"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/partition"
+	"lambdafs/internal/store"
+	"lambdafs/internal/trace"
+)
+
+// LeaderGroup is the election group harness engines compete for; leader
+// flap faults rotate it.
+const LeaderGroup = "chaos-nn"
+
+// EpisodeConfig shapes one deterministic chaos episode: a multi-engine
+// λFS cluster (shared store + coordinator, instances of one deployment)
+// driven by a seeded sequence of client operations with seeded faults
+// armed between steps. Everything — op mix, paths, issuing client, serving
+// engine, and the fault schedule — derives from Seed, and operations are
+// issued sequentially, so the whole episode is a pure function of the
+// configuration: same seed, same digest.
+type EpisodeConfig struct {
+	Seed    int64
+	Steps   int
+	Engines int
+	Clients int
+	// FaultEvery arms one fault before roughly every n-th step (0
+	// disables fault injection; 1 arms before every step).
+	FaultEvery int
+	// Tracer, when non-nil, records per-op traces and chaos_fault events
+	// for post-mortem JSONL dumps (PR-1 observability).
+	Tracer *trace.Tracer
+}
+
+// DefaultEpisode returns the standard randomized-test shape.
+func DefaultEpisode(seed int64) EpisodeConfig {
+	return EpisodeConfig{Seed: seed, Steps: 120, Engines: 3, Clients: 4, FaultEvery: 5}
+}
+
+// StepRecord is one canonical step-log entry; the episode digest is
+// computed over these plus the final store state, and deliberately
+// excludes wall-clock timestamps.
+type StepRecord struct {
+	Step   int
+	Client int
+	Op     string
+	Path   string
+	Dest   string
+	Err    string // wire error text, "" on success
+	Fault  string // fault armed before this step, "" when none
+}
+
+// Result is the outcome of one episode.
+type Result struct {
+	Seed        int64
+	Steps       []StepRecord
+	Digest      string // sha256 over the step log + final namespace
+	Violations  []string
+	FaultsFired map[FaultKind]uint64
+	FinalINodes int
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// episode is the running cluster state.
+type episode struct {
+	cfg      EpisodeConfig
+	rng      *rand.Rand
+	clk      clock.Clock
+	inj      *Injector
+	db       *ndb.DB
+	zk       *coordinator.ZK
+	ring     *partition.Ring
+	ecfg     core.EngineConfig
+	engines  []*core.Engine
+	sessions []coordinator.Session
+	nnSeq    int
+	oracle   *Oracle
+	touched  map[string]bool // every path any op referenced (cache probe set)
+	seqs     []uint64
+	prev     ndb.Stats
+	res      *Result
+}
+
+// RunEpisode executes one deterministic chaos episode and returns its
+// result. It never calls testing hooks; the caller decides how to react to
+// violations (fail a test, print a replay line, tabulate in a bench).
+func RunEpisode(cfg EpisodeConfig) *Result {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 120
+	}
+	if cfg.Engines <= 0 {
+		cfg.Engines = 3
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	ep := &episode{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		clk:     clock.NewScaled(0),
+		inj:     NewInjector(),
+		oracle:  NewOracle(),
+		touched: map[string]bool{"/": true},
+		seqs:    make([]uint64, cfg.Clients),
+		res:     &Result{Seed: cfg.Seed},
+	}
+	ep.inj.SetOnFault(func(kind FaultKind, detail string) {
+		cfg.Tracer.Emit(trace.Event{
+			Type: trace.EventChaosFault, Detail: string(kind) + " " + detail,
+		})
+	})
+
+	ncfg := ndb.DefaultConfig()
+	ncfg.RTT, ncfg.ReadService, ncfg.WriteService = 0, 0, 0
+	ncfg.LockWaitTimeout = 150 * time.Millisecond
+	ncfg.OnCommit = ep.inj.NDBOnCommit
+	ncfg.OnShardService = ep.inj.NDBOnShardService
+	ep.db = ndb.New(ep.clk, ncfg)
+
+	ccfg := coordinator.DefaultConfig()
+	ccfg.HopLatency = 0
+	ccfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(ep.db, id) }
+	ep.zk = coordinator.NewZK(ep.clk, ccfg)
+
+	ep.ring = partition.NewRing(1, 0)
+	ep.ecfg = core.DefaultEngineConfig()
+	ep.ecfg.OpCPUCost = 0
+	ep.ecfg.SubtreeCPUPerINode = 0
+
+	for i := 0; i < cfg.Engines; i++ {
+		ep.engines = append(ep.engines, nil)
+		ep.sessions = append(ep.sessions, nil)
+		ep.spawnEngine(i)
+	}
+	ep.prev = ep.db.Stats()
+
+	for step := 0; step < cfg.Steps && !ep.res.Failed(); step++ {
+		fault := ep.maybeArmFault(step)
+		ep.runStep(step, fault)
+	}
+	ep.finish()
+	return ep.res
+}
+
+// spawnEngine fills slot with a fresh engine (initially, or after a lease
+// expiry retired the previous occupant — a new serverless instance with an
+// empty cache, exactly like a FaaS replacement).
+func (ep *episode) spawnEngine(slot int) {
+	id := fmt.Sprintf("nn-%d", ep.nnSeq)
+	ep.nnSeq++
+	e := core.NewEngine(id, 0, ep.clk, ep.db, ep.ring, ep.zk, nil, ep.ecfg)
+	ep.engines[slot] = e
+	ep.sessions[slot] = ep.zk.Register(0, id, e.HandleInvalidation)
+	ep.zk.TryLead(LeaderGroup, id)
+}
+
+// maybeArmFault decides, from the seed stream, whether to arm a fault
+// before this step, and returns its canonical description ("" = none).
+func (ep *episode) maybeArmFault(step int) string {
+	if ep.cfg.FaultEvery <= 0 || ep.rng.Intn(ep.cfg.FaultEvery) != 0 {
+		return ""
+	}
+	switch ep.rng.Intn(5) {
+	case 0:
+		// Transaction abort: armed only when the upcoming step is a
+		// single-transaction write that will reach commit (see runStep,
+		// which consults pendingAbortable). Deferred: flag it and let
+		// runStep arm it once the op is known.
+		return "tx_abort"
+	case 1:
+		shard := ep.rng.Intn(4)
+		ep.inj.ArmShardStall(shard, 2*time.Millisecond, 3)
+		return fmt.Sprintf("shard_stall shard=%d", shard)
+	case 2:
+		shard := ep.rng.Intn(4)
+		// A long window models shard crash + redo-log recovery.
+		ep.inj.ArmShardStall(shard, 500*time.Millisecond, 2)
+		return fmt.Sprintf("shard_crash shard=%d", shard)
+	case 3:
+		slot := ep.rng.Intn(len(ep.engines))
+		old := ep.engines[slot].ID()
+		ep.zk.ExpireSession(old)
+		ep.inj.NoteFired(FaultLeaseExpiry, "nn="+old)
+		ep.spawnEngine(slot)
+		return fmt.Sprintf("lease_expiry slot=%d nn=%s", slot, old)
+	default:
+		newLeader := ep.zk.Depose(LeaderGroup)
+		ep.inj.NoteFired(FaultLeaderFlap, "leader="+newLeader)
+		return fmt.Sprintf("leader_flap leader=%s", newLeader)
+	}
+}
+
+// randPath draws paths from a small universe so operations collide often.
+func (ep *episode) randPath(depth int) string {
+	n := ep.rng.Intn(depth) + 1
+	p := ""
+	for i := 0; i < n; i++ {
+		p += fmt.Sprintf("/n%d", ep.rng.Intn(4))
+	}
+	return p
+}
+
+func (ep *episode) runStep(step int, fault string) {
+	client := ep.rng.Intn(ep.cfg.Clients)
+	engine := ep.engines[ep.rng.Intn(len(ep.engines))]
+	var op namespace.OpType
+	switch ep.rng.Intn(12) {
+	case 0, 1, 2:
+		op = namespace.OpCreate
+	case 3, 4:
+		op = namespace.OpMkdirs
+	case 5, 6:
+		op = namespace.OpDelete
+	case 7, 8:
+		op = namespace.OpMv
+	case 9:
+		op = namespace.OpStat
+	case 10:
+		op = namespace.OpLs
+	default:
+		op = namespace.OpRead
+	}
+	path := ep.randPath(3)
+	dest := ""
+	if op == namespace.OpMv {
+		dest = ep.randPath(3)
+	}
+
+	if fault == "tx_abort" {
+		// Arm only when this step is a single-transaction write the oracle
+		// predicts will reach commit; aborting a concurrent subtree batch
+		// would make which batch dies racy, breaking replay determinism.
+		if ep.abortable(op, path) {
+			ep.inj.ArmTxAbort(1)
+		} else {
+			fault = "tx_abort skipped"
+		}
+	}
+
+	ep.touched[path] = true
+	for _, anc := range namespace.Ancestors(path) {
+		ep.touched[anc] = true
+	}
+	if dest != "" {
+		ep.touched[dest] = true
+		for _, anc := range namespace.Ancestors(dest) {
+			ep.touched[anc] = true
+		}
+	}
+
+	ep.seqs[client]++
+	clientID := fmt.Sprintf("c%d", client)
+	req := namespace.Request{
+		Op: op, Path: path, Dest: dest,
+		ClientID: clientID, Seq: ep.seqs[client],
+	}
+	tc := ep.cfg.Tracer.StartTrace(op.String(), path, clientID)
+	req.TC = tc
+	resp := engine.Execute(req)
+	tc.Finish(resp.Err)
+
+	rec := StepRecord{
+		Step: step, Client: client, Op: op.String(),
+		Path: path, Dest: dest, Err: resp.Err, Fault: fault,
+	}
+	ep.res.Steps = append(ep.res.Steps, rec)
+
+	ep.judge(step, op, path, dest, resp)
+	if !ep.res.Failed() {
+		ep.checkStep(step)
+	}
+}
+
+// abortable reports whether (op, path) is a single-transaction write that
+// the oracle predicts will reach commit.
+func (ep *episode) abortable(op namespace.OpType, path string) bool {
+	switch op {
+	case namespace.OpCreate:
+		return !ep.oracle.Has(path) && ep.oracle.IsDir(namespace.ParentPath(path))
+	case namespace.OpMkdirs:
+		if ep.oracle.IsFile(path) {
+			return false
+		}
+		for _, anc := range namespace.Ancestors(path) {
+			if ep.oracle.IsFile(anc) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// judge compares the engine's answer with the oracle, reconciling the
+// oracle from store ground truth when an injected fault excuses a failed
+// write (whether the transaction aborted cleanly is then re-established
+// from what actually persisted).
+func (ep *episode) judge(step int, op namespace.OpType, path, dest string, resp *namespace.Response) {
+	violate := func(format string, args ...any) {
+		ep.res.Violations = append(ep.res.Violations,
+			fmt.Sprintf("step %d: ", step)+fmt.Sprintf(format, args...))
+	}
+	if op.IsWrite() {
+		gotErr := resp.Error()
+		modelErr := ep.oracle.Apply(op, path, dest)
+		switch {
+		case gotErr == nil && modelErr == nil:
+			// Agreement.
+		case gotErr != nil && IsInjected(gotErr):
+			// Excused by an injected fault: rebuild the oracle from the
+			// store's ground truth and keep checking from there.
+			m, err := OracleFromStore(ep.db)
+			if err != nil {
+				violate("oracle reconcile failed: %v", err)
+				return
+			}
+			ep.oracle = m
+		case gotErr != nil && modelErr != nil:
+			if !errors.Is(gotErr, modelErr) {
+				violate("%v %s -> engine %v, oracle %v", op, path, gotErr, modelErr)
+			}
+		case gotErr != nil:
+			if errors.Is(gotErr, store.ErrLockTimeout) {
+				violate("%v %s -> unexpected lock timeout", op, path)
+			} else {
+				violate("%v %s -> engine failed (%v), oracle succeeded", op, path, gotErr)
+			}
+		default:
+			violate("%v %s -> engine succeeded, oracle refused (%v)", op, path, modelErr)
+		}
+		return
+	}
+	// Reads: stat and ls must agree with the oracle exactly.
+	switch op {
+	case namespace.OpStat:
+		if ep.oracle.Has(path) {
+			if !resp.OK() {
+				violate("stat %s failed (%s) but oracle has it", path, resp.Err)
+			} else if resp.Stat.IsDir != ep.oracle.IsDir(path) {
+				violate("stat %s kind mismatch: engine dir=%v oracle dir=%v",
+					path, resp.Stat.IsDir, ep.oracle.IsDir(path))
+			}
+		} else if resp.OK() {
+			violate("stat %s succeeded but oracle lacks it", path)
+		}
+	case namespace.OpLs:
+		want, wantErr := ep.oracle.List(path)
+		if wantErr != nil {
+			if resp.OK() {
+				violate("ls %s succeeded but oracle refused (%v)", path, wantErr)
+			}
+			return
+		}
+		if !resp.OK() {
+			violate("ls %s failed: %s", path, resp.Err)
+			return
+		}
+		got := make([]string, 0, len(resp.Entries))
+		for _, ent := range resp.Entries {
+			got = append(got, ent.Name)
+		}
+		sort.Strings(got)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			violate("ls %s = %v, oracle %v", path, got, want)
+		}
+	}
+}
+
+// checkStep runs the post-step invariants.
+func (ep *episode) checkStep(step int) {
+	var bad []string
+	bad = append(bad, CheckStore(ep.db)...)
+	bad = append(bad, CheckOracle(ep.db, ep.oracle)...)
+	bad = append(bad, CheckCaches(ep.engines, ep.oracle, ep.touched)...)
+	cur := ep.db.Stats()
+	bad = append(bad, checkMonotone(ep.prev, cur)...)
+	ep.prev = cur
+	for _, v := range bad {
+		ep.res.Violations = append(ep.res.Violations, fmt.Sprintf("step %d: %s", step, v))
+	}
+}
+
+// finish runs the final sweep and seals the digest.
+func (ep *episode) finish() {
+	ep.res.FaultsFired = ep.inj.Fired()
+	ep.res.FinalINodes = ep.db.INodeCount()
+
+	h := sha256.New()
+	for _, r := range ep.res.Steps {
+		fmt.Fprintf(h, "%d|%d|%s|%s|%s|%s|%s\n",
+			r.Step, r.Client, r.Op, r.Path, r.Dest, r.Err, r.Fault)
+	}
+	final, err := OracleFromStore(ep.db)
+	if err != nil {
+		ep.res.Violations = append(ep.res.Violations,
+			fmt.Sprintf("final store walk failed: %v", err))
+	} else {
+		for _, p := range final.Paths() {
+			kind := "f"
+			if final.IsDir(p) {
+				kind = "d"
+			}
+			fmt.Fprintf(h, "final|%s|%s\n", kind, p)
+		}
+	}
+	fmt.Fprintf(h, "inodes|%d\n", ep.res.FinalINodes)
+	ep.res.Digest = hex.EncodeToString(h.Sum(nil))
+}

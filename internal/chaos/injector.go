@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultKind names an injectable fault class.
+type FaultKind string
+
+// The fault classes, one per substrate boundary.
+const (
+	FaultKillInstance  FaultKind = "kill_instance"    // faas: instance dies mid-invocation
+	FaultColdStorm     FaultKind = "cold_start_storm" // faas: provisioning attempts fail in a burst
+	FaultPoolExhausted FaultKind = "pool_exhausted"   // faas: resource pool refuses new instances
+	FaultShardStall    FaultKind = "shard_stall"      // ndb: one shard slows down (GC pause, hot disk)
+	FaultShardCrash    FaultKind = "shard_crash"      // ndb: one shard unreachable, then recovers
+	FaultTxAbort       FaultKind = "tx_abort"         // ndb: commit aborted (node failure, epoch change)
+	FaultRPCDrop       FaultKind = "rpc_drop"         // rpc: TCP call dropped, forcing failover
+	FaultRPCDelay      FaultKind = "rpc_delay"        // rpc: TCP call stalled, forcing hedged retry
+	FaultLeaseExpiry   FaultKind = "lease_expiry"     // coordinator: ephemeral session expires
+	FaultLeaderFlap    FaultKind = "leader_flap"      // coordinator: leadership rotates without crash
+)
+
+// ErrInjected is the error surfaced by injected ndb faults. It crosses the
+// RPC wire as its message string (namespace.FromWire rebuilds unknown
+// errors by text), so callers detect injected failures with IsInjected.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// IsInjected reports whether err is an injected fault, either directly or
+// rebuilt from its wire representation.
+func IsInjected(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrInjected) {
+		return true
+	}
+	return strings.Contains(err.Error(), ErrInjected.Error())
+}
+
+// Injector is the fault scheduler. Faults are armed (by the harness or an
+// experiment driver) and fire when the instrumented substrate consults the
+// matching hook. All methods are safe for concurrent use; armed counters
+// make firing deterministic under a deterministic caller — the n-th
+// consult fires iff armed at the time.
+//
+// The Injector deliberately speaks only primitive types so it can be wired
+// into faas, ndb, and rpc configs without this package importing them.
+type Injector struct {
+	mu sync.Mutex
+
+	txAborts    int           // commits to abort
+	stallShard  int           // shard index under stall/crash
+	stallDelay  time.Duration // added service time per access
+	stallLeft   int           // accesses remaining under the stall
+	killInvokes int           // invocations to kill mid-flight
+	denyProvs   int           // provisioning attempts to deny
+	rpcDrops    int           // TCP calls to drop
+	rpcDelays   int           // TCP calls to stall
+	rpcDelayDur time.Duration // stall length
+	fired       map[FaultKind]uint64
+	totalFired  uint64
+	totalArmed  uint64
+	onFault     func(kind FaultKind, detail string)
+}
+
+// NewInjector returns an injector with nothing armed.
+func NewInjector() *Injector {
+	return &Injector{fired: make(map[FaultKind]uint64)}
+}
+
+// SetOnFault installs a callback invoked (outside the injector lock) every
+// time a fault fires — the harness uses it to emit chaos_fault events onto
+// the PR-1 tracer.
+func (in *Injector) SetOnFault(fn func(kind FaultKind, detail string)) {
+	in.mu.Lock()
+	in.onFault = fn
+	in.mu.Unlock()
+}
+
+func (in *Injector) firedLocked(kind FaultKind, detail string) func() {
+	in.fired[kind]++
+	in.totalFired++
+	fn := in.onFault
+	if fn == nil {
+		return func() {}
+	}
+	return func() { fn(kind, detail) }
+}
+
+// --- Arming ---------------------------------------------------------------
+
+// ArmTxAbort aborts the next n ndb commits.
+func (in *Injector) ArmTxAbort(n int) {
+	in.mu.Lock()
+	in.txAborts += n
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmShardStall slows shard by delay for the next accesses touches; a
+// large delay models a crash/recover window (the shard is unreachable
+// until its redo log replays), a small one a GC pause.
+func (in *Injector) ArmShardStall(shard int, delay time.Duration, accesses int) {
+	in.mu.Lock()
+	in.stallShard, in.stallDelay, in.stallLeft = shard, delay, accesses
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmKillInvocation kills the instance serving each of the next n HTTP
+// invocations, mid-flight.
+func (in *Injector) ArmKillInvocation(n int) {
+	in.mu.Lock()
+	in.killInvokes += n
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmProvisionFailure denies the next n provisioning attempts (cold-start
+// storm / pool exhaustion).
+func (in *Injector) ArmProvisionFailure(n int) {
+	in.mu.Lock()
+	in.denyProvs += n
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmRPCDrop drops the next n TCP RPCs.
+func (in *Injector) ArmRPCDrop(n int) {
+	in.mu.Lock()
+	in.rpcDrops += n
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmRPCDelay stalls each of the next n TCP RPCs by d.
+func (in *Injector) ArmRPCDelay(d time.Duration, n int) {
+	in.mu.Lock()
+	in.rpcDelays, in.rpcDelayDur = in.rpcDelays+n, d
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// --- Substrate hooks ------------------------------------------------------
+
+// NDBOnCommit is wired into ndb.Config.OnCommit.
+func (in *Injector) NDBOnCommit(owner string) error {
+	in.mu.Lock()
+	if in.txAborts <= 0 {
+		in.mu.Unlock()
+		return nil
+	}
+	in.txAborts--
+	notify := in.firedLocked(FaultTxAbort, "owner="+owner)
+	in.mu.Unlock()
+	notify()
+	return ErrInjected
+}
+
+// NDBOnShardService is wired into ndb.Config.OnShardService.
+func (in *Injector) NDBOnShardService(shard int) time.Duration {
+	in.mu.Lock()
+	if in.stallLeft <= 0 || shard != in.stallShard {
+		in.mu.Unlock()
+		return 0
+	}
+	in.stallLeft--
+	d := in.stallDelay
+	kind := FaultShardStall
+	if d >= 100*time.Millisecond {
+		kind = FaultShardCrash
+	}
+	notify := in.firedLocked(kind, fmt.Sprintf("shard=%d delay=%v", shard, d))
+	in.mu.Unlock()
+	notify()
+	return d
+}
+
+// FaasOnInvoke is wired into faas.Config.OnInvoke; true kills the serving
+// instance mid-invocation.
+func (in *Injector) FaasOnInvoke(dep int, instID string) bool {
+	in.mu.Lock()
+	if in.killInvokes <= 0 {
+		in.mu.Unlock()
+		return false
+	}
+	in.killInvokes--
+	notify := in.firedLocked(FaultKillInstance, fmt.Sprintf("dep=%d inst=%s", dep, instID))
+	in.mu.Unlock()
+	notify()
+	return true
+}
+
+// FaasOnProvision is wired into faas.Config.OnProvision; false denies the
+// provisioning attempt.
+func (in *Injector) FaasOnProvision(dep int) bool {
+	in.mu.Lock()
+	if in.denyProvs <= 0 {
+		in.mu.Unlock()
+		return true
+	}
+	in.denyProvs--
+	notify := in.firedLocked(FaultPoolExhausted, fmt.Sprintf("dep=%d", dep))
+	in.mu.Unlock()
+	notify()
+	return false
+}
+
+// RPCOnTCP is wired into rpc.Config.OnTCPFault.
+func (in *Injector) RPCOnTCP(clientID string, dep int) (drop bool, delay time.Duration) {
+	in.mu.Lock()
+	if in.rpcDrops > 0 {
+		in.rpcDrops--
+		notify := in.firedLocked(FaultRPCDrop, fmt.Sprintf("client=%s dep=%d", clientID, dep))
+		in.mu.Unlock()
+		notify()
+		return true, 0
+	}
+	if in.rpcDelays > 0 {
+		in.rpcDelays--
+		d := in.rpcDelayDur
+		notify := in.firedLocked(FaultRPCDelay, fmt.Sprintf("client=%s dep=%d delay=%v", clientID, dep, d))
+		in.mu.Unlock()
+		notify()
+		return false, d
+	}
+	in.mu.Unlock()
+	return false, 0
+}
+
+// NoteFired records an externally executed fault (lease expiry and leader
+// flap run through coordinator methods rather than hooks) so counters and
+// the OnFault stream cover every class.
+func (in *Injector) NoteFired(kind FaultKind, detail string) {
+	in.mu.Lock()
+	notify := in.firedLocked(kind, detail)
+	in.mu.Unlock()
+	notify()
+}
+
+// Fired returns a copy of the per-kind fired counters.
+func (in *Injector) Fired() map[FaultKind]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[FaultKind]uint64, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalFired returns the monotone count of fired faults.
+func (in *Injector) TotalFired() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.totalFired
+}
+
+// Pending reports whether any fault is still armed.
+func (in *Injector) Pending() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.txAborts > 0 || in.stallLeft > 0 || in.killInvokes > 0 ||
+		in.denyProvs > 0 || in.rpcDrops > 0 || in.rpcDelays > 0
+}
+
+// Reset disarms everything (fired counters are preserved — they are
+// monotone by contract).
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	in.txAborts, in.stallLeft, in.killInvokes = 0, 0, 0
+	in.denyProvs, in.rpcDrops, in.rpcDelays = 0, 0, 0
+	in.mu.Unlock()
+}

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"lambdafs/internal/core"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/store"
+)
+
+// CheckStore audits the store-side invariants at quiescence:
+//
+//   - structural integrity (no lost/orphaned inodes, no dangling or
+//     misfiled child entries — ndb's CheckIntegrity);
+//   - no leaked row locks;
+//   - no leaked subtree locks: every inode's SubtreeLockOwner is clear and
+//     the subtree-operations registry is empty.
+func CheckStore(db *ndb.DB) []string {
+	bad := db.CheckIntegrity()
+	if n := db.HeldLocks(); n != 0 {
+		bad = append(bad, fmt.Sprintf("%d row locks leaked", n))
+	}
+	nodes, err := db.ListSubtree(namespace.RootID)
+	if err != nil {
+		return append(bad, fmt.Sprintf("subtree walk failed: %v", err))
+	}
+	for _, n := range nodes {
+		if n.SubtreeLockOwner != "" {
+			bad = append(bad, fmt.Sprintf("subtree lock leaked on inode %d (name=%q owner=%s)",
+				n.ID, n.Name, n.SubtreeLockOwner))
+		}
+	}
+	tx := db.Begin("chaos-audit")
+	rows, err := tx.KVScan(store.TableSubtreeOps, "")
+	tx.Abort()
+	if err != nil {
+		bad = append(bad, fmt.Sprintf("subtree_ops scan failed: %v", err))
+	}
+	for k, v := range rows {
+		bad = append(bad, fmt.Sprintf("subtree_ops registry leaked entry %q -> %q", k, v))
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// CheckOracle verifies that the store's namespace is exactly the oracle's:
+// same paths, same kinds, same inode count. Must run at quiescence.
+func CheckOracle(db *ndb.DB, m *Oracle) []string {
+	var bad []string
+	got, err := OracleFromStore(db)
+	if err != nil {
+		return []string{fmt.Sprintf("store walk failed: %v", err)}
+	}
+	for _, p := range m.Paths() {
+		switch {
+		case !got.Has(p):
+			bad = append(bad, fmt.Sprintf("store lost %s", p))
+		case got.IsDir(p) != m.IsDir(p):
+			bad = append(bad, fmt.Sprintf("store kind mismatch at %s: dir=%v, oracle dir=%v",
+				p, got.IsDir(p), m.IsDir(p)))
+		}
+	}
+	for _, p := range got.Paths() {
+		if !m.Has(p) {
+			bad = append(bad, fmt.Sprintf("store holds unexpected %s", p))
+		}
+	}
+	if n := db.INodeCount(); n != m.Len() {
+		bad = append(bad, fmt.Sprintf("inode count %d, oracle expects %d", n, m.Len()))
+	}
+	return bad
+}
+
+// CheckCaches verifies client-cache coherence: for every probed path, any
+// engine whose metadata cache holds an entry must agree with the oracle on
+// existence and kind. (Caches may hold fewer entries than the store —
+// that is what a cache is — but never stale or phantom ones once the
+// coherence protocol has quiesced.)
+func CheckCaches(engines []*core.Engine, m *Oracle, probe map[string]bool) []string {
+	var bad []string
+	paths := make([]string, 0, len(probe))
+	for p := range probe {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, e := range engines {
+		c := e.Cache()
+		for _, p := range paths {
+			n, ok := c.Get(p)
+			if !ok {
+				continue
+			}
+			if !m.Has(p) {
+				bad = append(bad, fmt.Sprintf("cache of %s holds deleted path %s", e.ID(), p))
+			} else if n.IsDir != m.IsDir(p) {
+				bad = append(bad, fmt.Sprintf("cache of %s has %s as dir=%v, oracle dir=%v",
+					e.ID(), p, n.IsDir, m.IsDir(p)))
+			}
+		}
+	}
+	return bad
+}
+
+// checkMonotone verifies store counters never move backwards.
+func checkMonotone(prev, cur ndb.Stats) []string {
+	var bad []string
+	chk := func(name string, a, b uint64) {
+		if b < a {
+			bad = append(bad, fmt.Sprintf("counter %s went backwards: %d -> %d", name, a, b))
+		}
+	}
+	chk("reads", prev.Reads, cur.Reads)
+	chk("writes", prev.Writes, cur.Writes)
+	chk("commits", prev.Commits, cur.Commits)
+	chk("aborts", prev.Aborts, cur.Aborts)
+	chk("lock_timeouts", prev.LockTimeouts, cur.LockTimeouts)
+	return bad
+}

@@ -1,0 +1,243 @@
+// Package chaos is a deterministic, seedable fault-injection harness for
+// the λFS stack. It arms faults at every substrate boundary — faas
+// (instance kill mid-invocation, cold-start storms, pool exhaustion), ndb
+// (per-shard stalls, crash/recover windows, transaction aborts), rpc
+// (dropped and delayed calls), and coordinator (lease expiry, leader flap)
+// — and checks global file-system invariants against a trivially-correct
+// in-memory oracle after every step. Episodes are reproducible from a
+// single seed: the op sequence and fault schedule are both derived from
+// it, so any violation replays byte-for-byte.
+package chaos
+
+import (
+	"sort"
+	"strings"
+
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+)
+
+// Oracle is a trivially-correct in-memory reference file system: after any
+// sequence of operations, λFS (cache + coherence + store) must agree with
+// it on every path's existence, kind, and directory contents. It was
+// promoted out of internal/core's model test so the chaos harness, the
+// model tests, and the bench experiments share one source of truth.
+//
+// An Oracle is not safe for concurrent use; give each logical client its
+// own (they operate on disjoint subtrees) or serialize access.
+type Oracle struct {
+	dirs  map[string]bool
+	files map[string]bool
+}
+
+// NewOracle returns an oracle holding only the root directory.
+func NewOracle() *Oracle {
+	return &Oracle{dirs: map[string]bool{"/": true}, files: map[string]bool{}}
+}
+
+// IsDir reports whether p is a directory in the oracle.
+func (m *Oracle) IsDir(p string) bool { return m.dirs[p] }
+
+// IsFile reports whether p is a file in the oracle.
+func (m *Oracle) IsFile(p string) bool { return m.files[p] }
+
+// Has reports whether p exists at all.
+func (m *Oracle) Has(p string) bool { return m.dirs[p] || m.files[p] }
+
+// Len returns the number of nodes, including the root.
+func (m *Oracle) Len() int { return len(m.dirs) + len(m.files) }
+
+// Create adds a file at p with HDFS create semantics.
+func (m *Oracle) Create(p string) error {
+	if m.files[p] || m.dirs[p] {
+		return namespace.ErrExists
+	}
+	parent := namespace.ParentPath(p)
+	if !m.dirs[parent] {
+		if m.files[parent] {
+			return namespace.ErrNotDir
+		}
+		return namespace.ErrNotFound
+	}
+	m.files[p] = true
+	return nil
+}
+
+// Mkdirs creates the directory chain down to p (mkdir -p semantics).
+func (m *Oracle) Mkdirs(p string) error {
+	if m.files[p] {
+		return namespace.ErrExists
+	}
+	// Any file on the ancestor chain makes this invalid.
+	for _, anc := range namespace.Ancestors(p) {
+		if m.files[anc] {
+			return namespace.ErrNotDir
+		}
+	}
+	cur := "/"
+	for _, c := range namespace.SplitPath(p) {
+		cur = namespace.JoinPath(cur, c)
+		if m.files[cur] {
+			return namespace.ErrNotDir
+		}
+		m.dirs[cur] = true
+	}
+	return nil
+}
+
+// Delete removes the file or (recursively) the directory at p.
+func (m *Oracle) Delete(p string) error {
+	if m.files[p] {
+		delete(m.files, p)
+		return nil
+	}
+	if !m.dirs[p] || p == "/" {
+		if p == "/" {
+			return namespace.ErrPermission
+		}
+		return namespace.ErrNotFound
+	}
+	for d := range m.dirs {
+		if namespace.HasPathPrefix(d, p) {
+			delete(m.dirs, d)
+		}
+	}
+	for f := range m.files {
+		if namespace.HasPathPrefix(f, p) {
+			delete(m.files, f)
+		}
+	}
+	return nil
+}
+
+// Mv renames src to dst, moving a whole subtree when src is a directory.
+func (m *Oracle) Mv(src, dst string) error {
+	if src == "/" || dst == "/" {
+		return namespace.ErrPermission
+	}
+	if namespace.HasPathPrefix(dst, src) {
+		return namespace.ErrMvIntoSelf
+	}
+	srcIsFile, srcIsDir := m.files[src], m.dirs[src]
+	if !srcIsFile && !srcIsDir {
+		return namespace.ErrNotFound
+	}
+	if m.files[dst] || m.dirs[dst] {
+		return namespace.ErrExists
+	}
+	dstParent := namespace.ParentPath(dst)
+	if !m.dirs[dstParent] {
+		if m.files[dstParent] {
+			return namespace.ErrNotDir
+		}
+		return namespace.ErrNotFound
+	}
+	if srcIsFile {
+		delete(m.files, src)
+		m.files[dst] = true
+		return nil
+	}
+	moveKeys := func(set map[string]bool) {
+		var moved []string
+		for k := range set {
+			if namespace.HasPathPrefix(k, src) {
+				moved = append(moved, k)
+			}
+		}
+		for _, k := range moved {
+			delete(set, k)
+			set[dst+strings.TrimPrefix(k, src)] = true
+		}
+	}
+	moveKeys(m.dirs)
+	moveKeys(m.files)
+	return nil
+}
+
+// List returns the sorted basenames under directory p (or the file's own
+// basename, mirroring HDFS ls-on-file).
+func (m *Oracle) List(p string) ([]string, error) {
+	if m.files[p] {
+		return []string{namespace.BaseName(p)}, nil
+	}
+	if !m.dirs[p] {
+		return nil, namespace.ErrNotFound
+	}
+	var out []string
+	for d := range m.dirs {
+		if d != p && namespace.ParentPath(d) == p {
+			out = append(out, namespace.BaseName(d))
+		}
+	}
+	for f := range m.files {
+		if namespace.ParentPath(f) == p {
+			out = append(out, namespace.BaseName(f))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Apply mirrors a write operation onto the oracle; reads are no-ops.
+func (m *Oracle) Apply(op namespace.OpType, path, dest string) error {
+	switch op {
+	case namespace.OpCreate:
+		return m.Create(path)
+	case namespace.OpMkdirs:
+		return m.Mkdirs(path)
+	case namespace.OpDelete:
+		return m.Delete(path)
+	case namespace.OpMv:
+		return m.Mv(path, dest)
+	}
+	return nil
+}
+
+// Paths returns every path in the oracle, sorted.
+func (m *Oracle) Paths() []string {
+	out := make([]string, 0, len(m.dirs)+len(m.files))
+	for d := range m.dirs {
+		out = append(out, d)
+	}
+	for f := range m.files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OracleFromStore rebuilds an oracle from the store's ground truth by
+// walking the inode table from the root. The harness uses it to reconcile
+// after a write failed with an injected fault: whether the transaction
+// committed before the fault surfaced is the fault's business, but the
+// store must still be structurally sound, and subsequent steps are judged
+// against what actually persisted.
+func OracleFromStore(db *ndb.DB) (*Oracle, error) {
+	nodes, err := db.ListSubtree(namespace.RootID)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[namespace.INodeID]*namespace.INode, len(nodes))
+	for _, n := range nodes {
+		byID[n.ID] = n
+	}
+	var pathOf func(n *namespace.INode) string
+	pathOf = func(n *namespace.INode) string {
+		if n.ID == namespace.RootID {
+			return "/"
+		}
+		return namespace.JoinPath(pathOf(byID[n.ParentID]), n.Name)
+	}
+	m := NewOracle()
+	for _, n := range nodes {
+		if n.ID == namespace.RootID {
+			continue
+		}
+		if n.IsDir {
+			m.dirs[pathOf(n)] = true
+		} else {
+			m.files[pathOf(n)] = true
+		}
+	}
+	return m, nil
+}

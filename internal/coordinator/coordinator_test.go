@@ -218,3 +218,77 @@ func TestConcurrentRegisterInvalidate(t *testing.T) {
 		t.Fatalf("members leaked: %d", z.MemberCount())
 	}
 }
+
+// TestExpireSessionEndsCrashed covers the chaos harness's lease-expiry
+// primitive: the victim's session ends as a crash (OnCrash fires, crashed-
+// NameNode cleanup runs), its membership disappears, and leadership passes
+// to the next candidate.
+func TestExpireSessionEndsCrashed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HopLatency = 0
+	var crashedID atomic.Value
+	cfg.OnCrash = func(id string) { crashedID.Store(id) }
+	z := NewZK(clock.NewScaled(0), cfg)
+	z.Register(0, "a", func(Invalidation) {})
+	z.Register(0, "b", func(Invalidation) {})
+	z.TryLead("g", "a")
+	z.TryLead("g", "b")
+
+	if !z.ExpireSession("a") {
+		t.Fatal("ExpireSession(a) found no session")
+	}
+	if got, _ := crashedID.Load().(string); got != "a" {
+		t.Fatalf("OnCrash got %q, want a", got)
+	}
+	for _, id := range z.Members(0) {
+		if id == "a" {
+			t.Fatal("expired session still a member")
+		}
+	}
+	if z.Leader("g") != "b" {
+		t.Fatalf("leader after expiry = %q, want b", z.Leader("g"))
+	}
+	if z.ExpireSession("a") {
+		t.Fatal("double expiry reported a session")
+	}
+	if z.ExpireSession("ghost") {
+		t.Fatal("expiry of unknown id reported a session")
+	}
+}
+
+// TestDeposeRotatesLeadership covers the leader-flap primitive: the head
+// candidate is rotated to the back of the queue without losing its
+// session, so repeated flaps cycle leadership through all candidates.
+func TestDeposeRotatesLeadership(t *testing.T) {
+	z := newTestZK()
+	for _, id := range []string{"a", "b", "c"} {
+		z.Register(0, id, func(Invalidation) {})
+		z.TryLead("g", id)
+	}
+	if z.Leader("g") != "a" {
+		t.Fatalf("initial leader = %q", z.Leader("g"))
+	}
+	if got := z.Depose("g"); got != "b" {
+		t.Fatalf("Depose -> %q, want b", got)
+	}
+	if got := z.Depose("g"); got != "c" {
+		t.Fatalf("Depose -> %q, want c", got)
+	}
+	// The deposed leaders re-queued: a full cycle returns to a.
+	if got := z.Depose("g"); got != "a" {
+		t.Fatalf("Depose -> %q, want a (full rotation)", got)
+	}
+	// No sessions were lost along the way.
+	if got := len(z.Members(0)); got != 3 {
+		t.Fatalf("members = %d after flaps, want 3", got)
+	}
+	// A group with fewer than two candidates cannot flap.
+	z.Register(0, "solo", func(Invalidation) {})
+	z.TryLead("lone", "solo")
+	if got := z.Depose("lone"); got != "" {
+		t.Fatalf("Depose on single-candidate group -> %q, want \"\"", got)
+	}
+	if got := z.Depose("none"); got != "" {
+		t.Fatalf("Depose on unknown group -> %q, want \"\"", got)
+	}
+}

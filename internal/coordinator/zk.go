@@ -163,6 +163,44 @@ func (z *ZK) Invalidate(deps []int, inv Invalidation) error {
 	return nil
 }
 
+// ExpireSession force-expires the ephemeral session of id, as when its
+// lease lapses after missed heartbeats (fault injection). The session ends
+// exactly as a crash: it leaves its deployment and any leader queues, and
+// the OnCrash watch fires so crashed-NameNode cleanup runs. Reports
+// whether a live session with that id existed.
+func (z *ZK) ExpireSession(id string) bool {
+	z.mu.Lock()
+	var victim *zkSession
+	for _, members := range z.deps {
+		if s, ok := members[id]; ok {
+			victim = s
+			break
+		}
+	}
+	z.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	victim.end(true)
+	return true
+}
+
+// Depose rotates leadership of group without ending any session (fault
+// injection: leader flap — the leader's znode is momentarily disconnected,
+// succession promotes the next candidate, and the old leader re-queues at
+// the back). Returns the new leader id ("" when the group has fewer than
+// two candidates, in which case nothing changes).
+func (z *ZK) Depose(group string) string {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	ids := z.leaders[group]
+	if len(ids) < 2 {
+		return ""
+	}
+	z.leaders[group] = append(ids[1:], ids[0])
+	return z.leaders[group][0]
+}
+
 // TryLead acquires or queues for leadership of group.
 func (z *ZK) TryLead(group, id string) bool {
 	z.mu.Lock()

@@ -1,4 +1,9 @@
-package core
+// Model-based randomized tests: drive random operation sequences through
+// λFS engines and check full agreement with the reference oracle after
+// every write. The oracle itself (chaos.Oracle) was promoted into
+// internal/chaos so the fault-injection harness and bench experiments
+// share it; this file is an external test package so it can import it.
+package core_test
 
 import (
 	"errors"
@@ -6,232 +11,128 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"lambdafs/internal/chaos"
+	"lambdafs/internal/clock"
+	"lambdafs/internal/coordinator"
+	"lambdafs/internal/core"
 	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+	"lambdafs/internal/partition"
 	"lambdafs/internal/store"
 )
 
-// modelFS is a trivially-correct in-memory reference file system used as
-// the oracle for randomized testing of the engine: after any sequence of
-// operations, λFS (cache + coherence + store) must agree with the model
-// on every path's existence, kind, and directory contents.
-type modelFS struct {
-	dirs  map[string]bool
-	files map[string]bool
+// modelCluster builds n engines in one deployment over a shared
+// zero-latency store and coordinator (the engine_test twoEngines shape,
+// rebuilt from exported API only).
+func modelCluster(t *testing.T, n int) ([]*core.Engine, *ndb.DB) {
+	t.Helper()
+	clk := clock.NewScaled(0)
+	ncfg := ndb.DefaultConfig()
+	ncfg.RTT, ncfg.ReadService, ncfg.WriteService = 0, 0, 0
+	ncfg.LockWaitTimeout = 150 * time.Millisecond
+	db := ndb.New(clk, ncfg)
+
+	ccfg := coordinator.DefaultConfig()
+	ccfg.HopLatency = 0
+	ccfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(db, id) }
+	zk := coordinator.NewZK(clk, ccfg)
+
+	ring := partition.NewRing(1, 0)
+	ecfg := core.DefaultEngineConfig()
+	ecfg.OpCPUCost = 0
+	ecfg.SubtreeCPUPerINode = 0
+
+	engines := make([]*core.Engine, n)
+	for i := range engines {
+		id := fmt.Sprintf("nn-%c", 'a'+i)
+		e := core.NewEngine(id, 0, clk, db, ring, zk, nil, ecfg)
+		zk.Register(0, id, e.HandleInvalidation)
+		engines[i] = e
+	}
+	return engines, db
 }
 
-func newModelFS() *modelFS {
-	return &modelFS{dirs: map[string]bool{"/": true}, files: map[string]bool{}}
-}
-
-func (m *modelFS) create(p string) error {
-	if m.files[p] || m.dirs[p] {
-		return namespace.ErrExists
-	}
-	parent := namespace.ParentPath(p)
-	if !m.dirs[parent] {
-		if m.files[parent] {
-			return namespace.ErrNotDir
-		}
-		return namespace.ErrNotFound
-	}
-	m.files[p] = true
-	return nil
-}
-
-func (m *modelFS) mkdirs(p string) error {
-	if m.files[p] {
-		return namespace.ErrExists
-	}
-	// Any file on the ancestor chain makes this invalid.
-	for _, anc := range namespace.Ancestors(p) {
-		if m.files[anc] {
-			return namespace.ErrNotDir
-		}
-	}
-	cur := "/"
-	for _, c := range namespace.SplitPath(p) {
-		cur = namespace.JoinPath(cur, c)
-		if m.files[cur] {
-			return namespace.ErrNotDir
-		}
-		m.dirs[cur] = true
-	}
-	return nil
-}
-
-func (m *modelFS) delete(p string) error {
-	if m.files[p] {
-		delete(m.files, p)
-		return nil
-	}
-	if !m.dirs[p] || p == "/" {
-		if p == "/" {
-			return namespace.ErrPermission
-		}
-		return namespace.ErrNotFound
-	}
-	for d := range m.dirs {
-		if namespace.HasPathPrefix(d, p) {
-			delete(m.dirs, d)
-		}
-	}
-	for f := range m.files {
-		if namespace.HasPathPrefix(f, p) {
-			delete(m.files, f)
-		}
-	}
-	return nil
-}
-
-func (m *modelFS) mv(src, dst string) error {
-	if src == "/" || dst == "/" {
-		return namespace.ErrPermission
-	}
-	if namespace.HasPathPrefix(dst, src) {
-		return namespace.ErrMvIntoSelf
-	}
-	srcIsFile, srcIsDir := m.files[src], m.dirs[src]
-	if !srcIsFile && !srcIsDir {
-		return namespace.ErrNotFound
-	}
-	if m.files[dst] || m.dirs[dst] {
-		return namespace.ErrExists
-	}
-	dstParent := namespace.ParentPath(dst)
-	if !m.dirs[dstParent] {
-		if m.files[dstParent] {
-			return namespace.ErrNotDir
-		}
-		return namespace.ErrNotFound
-	}
-	if srcIsFile {
-		delete(m.files, src)
-		m.files[dst] = true
-		return nil
-	}
-	moveKeys := func(set map[string]bool) {
-		var moved []string
-		for k := range set {
-			if namespace.HasPathPrefix(k, src) {
-				moved = append(moved, k)
-			}
-		}
-		for _, k := range moved {
-			delete(set, k)
-			set[dst+strings.TrimPrefix(k, src)] = true
-		}
-	}
-	moveKeys(m.dirs)
-	moveKeys(m.files)
-	return nil
-}
-
-func (m *modelFS) list(p string) ([]string, error) {
-	if m.files[p] {
-		return []string{namespace.BaseName(p)}, nil
-	}
-	if !m.dirs[p] {
-		return nil, namespace.ErrNotFound
-	}
-	var out []string
-	for d := range m.dirs {
-		if d != p && namespace.ParentPath(d) == p {
-			out = append(out, namespace.BaseName(d))
-		}
-	}
-	for f := range m.files {
-		if namespace.ParentPath(f) == p {
-			out = append(out, namespace.BaseName(f))
-		}
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-// applyModel mirrors an operation onto the model.
-func (m *modelFS) apply(op namespace.OpType, path, dest string) error {
-	switch op {
-	case namespace.OpCreate:
-		return m.create(path)
-	case namespace.OpMkdirs:
-		return m.mkdirs(path)
-	case namespace.OpDelete:
-		return m.delete(path)
-	case namespace.OpMv:
-		return m.mv(path, dest)
-	}
-	return nil
-}
-
-// randPath draws paths from a small universe so operations collide often.
-func randPath(rng *rand.Rand, depth int) string {
+// randPathUnder draws paths under prefix from a small universe so
+// operations collide often. prefix "" yields root-level paths.
+func randPathUnder(rng *rand.Rand, prefix string, depth int) string {
 	n := rng.Intn(depth) + 1
 	parts := make([]string, n)
 	for i := range parts {
 		parts[i] = fmt.Sprintf("n%d", rng.Intn(4))
 	}
-	return "/" + strings.Join(parts, "/")
+	return prefix + "/" + strings.Join(parts, "/")
+}
+
+// randOp draws the mixed workload: writes (including subtree mv/delete)
+// and reads.
+func randOp(rng *rand.Rand) namespace.OpType {
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		return namespace.OpCreate
+	case 3:
+		return namespace.OpMkdirs
+	case 4, 5:
+		return namespace.OpDelete
+	case 6:
+		return namespace.OpMv
+	case 7:
+		return namespace.OpStat
+	case 8:
+		return namespace.OpLs
+	default:
+		return namespace.OpRead
+	}
+}
+
+// judgeWrite checks engine/oracle error agreement for one write.
+func judgeWrite(t *testing.T, step int, op namespace.OpType, path string,
+	gotErr, modelErr error) {
+	t.Helper()
+	if (modelErr == nil) != (gotErr == nil) {
+		t.Fatalf("step %d: %v %s -> engine err %v, model err %v",
+			step, op, path, gotErr, modelErr)
+	}
+	if modelErr != nil && !errors.Is(gotErr, modelErr) {
+		// Error kinds may legitimately differ only for lock timeouts,
+		// which must not happen on conflict-free schedules.
+		if errors.Is(gotErr, store.ErrLockTimeout) {
+			t.Fatalf("step %d: unexpected lock timeout", step)
+		}
+		t.Fatalf("step %d: %v %s -> engine %v, model %v",
+			step, op, path, gotErr, modelErr)
+	}
 }
 
 // TestEngineMatchesModelRandomOps drives random operation sequences
 // through a pair of engines (same deployment, shared store + coordinator)
-// and checks full agreement with the reference model after every write:
+// and checks full agreement with the reference oracle after every write:
 // path existence, node kind, and listings. This exercises the cache,
 // coherence protocol, subtree protocol, and store together.
 func TestEngineMatchesModelRandomOps(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			a, b, st := twoEngines(t, 1)
-			engines := []*Engine{a, b}
-			model := newModelFS()
+			engines, db := modelCluster(t, 2)
+			model := chaos.NewOracle()
 			rng := rand.New(rand.NewSource(seed))
 
 			for step := 0; step < 250; step++ {
 				e := engines[rng.Intn(len(engines))]
-				var op namespace.OpType
-				switch rng.Intn(10) {
-				case 0, 1, 2:
-					op = namespace.OpCreate
-				case 3:
-					op = namespace.OpMkdirs
-				case 4, 5:
-					op = namespace.OpDelete
-				case 6:
-					op = namespace.OpMv
-				case 7:
-					op = namespace.OpStat
-				case 8:
-					op = namespace.OpLs
-				default:
-					op = namespace.OpRead
-				}
-				path := randPath(rng, 3)
+				op := randOp(rng)
+				path := randPathUnder(rng, "", 3)
 				dest := ""
 				if op == namespace.OpMv {
-					dest = randPath(rng, 3)
+					dest = randPathUnder(rng, "", 3)
 				}
 
 				resp := e.Execute(namespace.Request{Op: op, Path: path, Dest: dest})
 				if op.IsWrite() {
-					modelErr := model.apply(op, path, dest)
-					gotErr := resp.Error()
-					if (modelErr == nil) != (gotErr == nil) {
-						t.Fatalf("step %d: %v %s -> engine err %v, model err %v",
-							step, op, path, gotErr, modelErr)
-					}
-					if modelErr != nil && !errors.Is(gotErr, modelErr) {
-						// Error kinds may legitimately differ in race-free
-						// single-threaded mode only for lock timeouts,
-						// which must not happen here.
-						if errors.Is(gotErr, store.ErrLockTimeout) {
-							t.Fatalf("step %d: unexpected lock timeout", step)
-						}
-						t.Fatalf("step %d: %v %s -> engine %v, model %v",
-							step, op, path, gotErr, modelErr)
-					}
+					judgeWrite(t, step, op, path,
+						resp.Error(), model.Apply(op, path, dest))
 				}
 
 				// After each write, spot-check agreement through the
@@ -247,18 +148,112 @@ func TestEngineMatchesModelRandomOps(t *testing.T) {
 
 			// Final full sweep on both engines.
 			for _, e := range engines {
-				for _, p := range allModelPaths(model) {
+				for _, p := range model.Paths() {
 					checkAgreement(t, -1, e, model, p)
 				}
 			}
-			if st.HeldLocks() != 0 {
-				t.Fatalf("locks leaked: %d", st.HeldLocks())
+			if db.HeldLocks() != 0 {
+				t.Fatalf("locks leaked: %d", db.HeldLocks())
 			}
 		})
 	}
 }
 
-func indexOf(es []*Engine, e *Engine) int {
+// TestEngineMatchesModelConcurrentClients runs several clients
+// CONCURRENTLY, each on a private subtree with its own oracle and seed,
+// through a shared engine pair — rename and recursive mv/delete included.
+// Clients interleave arbitrarily in real time; because their subtrees are
+// disjoint, each client's oracle stays exact, while the shared cache,
+// coherence protocol, subtree protocol, and lock manager absorb the full
+// interleaving. A final merged sweep checks every client's namespace
+// through both engines.
+func TestEngineMatchesModelConcurrentClients(t *testing.T) {
+	const (
+		clients = 4
+		steps   = 150
+		seed    = int64(1234)
+	)
+	engines, db := modelCluster(t, 2)
+
+	// Carve one private subtree per client, sequentially, before racing.
+	for c := 0; c < clients; c++ {
+		root := fmt.Sprintf("/c%d", c)
+		if resp := engines[0].Execute(namespace.Request{Op: namespace.OpMkdirs, Path: root}); !resp.OK() {
+			t.Fatalf("mkdirs %s: %s", root, resp.Err)
+		}
+	}
+
+	models := make([]*chaos.Oracle, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		root := fmt.Sprintf("/c%d", c)
+		m := chaos.NewOracle()
+		if err := m.Mkdirs(root); err != nil {
+			t.Fatalf("oracle mkdirs: %v", err)
+		}
+		models[c] = m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for step := 0; step < steps; step++ {
+				e := engines[rng.Intn(len(engines))]
+				op := randOp(rng)
+				path := randPathUnder(rng, root, 3)
+				dest := ""
+				if op == namespace.OpMv {
+					dest = randPathUnder(rng, root, 3)
+				}
+				resp := e.Execute(namespace.Request{
+					Op: op, Path: path, Dest: dest,
+					ClientID: fmt.Sprintf("c%d", c), Seq: uint64(step + 1),
+				})
+				if !op.IsWrite() {
+					continue
+				}
+				gotErr := resp.Error()
+				modelErr := m.Apply(op, path, dest)
+				if (modelErr == nil) != (gotErr == nil) ||
+					(modelErr != nil && !errors.Is(gotErr, modelErr)) {
+					errs <- fmt.Errorf("client %d step %d: %v %s -> engine %v, model %v",
+						c, step, op, path, gotErr, modelErr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Merged final sweep: both engines must agree with every client's
+	// oracle, and the cluster must be clean.
+	for _, e := range engines {
+		for c := 0; c < clients; c++ {
+			for _, p := range models[c].Paths() {
+				if p == "/" {
+					continue
+				}
+				checkAgreement(t, -1, e, models[c], p)
+			}
+		}
+	}
+	if db.HeldLocks() != 0 {
+		t.Fatalf("locks leaked: %d", db.HeldLocks())
+	}
+	if bad := db.CheckIntegrity(); len(bad) != 0 {
+		t.Fatalf("store integrity: %v", bad)
+	}
+}
+
+func indexOf(es []*core.Engine, e *core.Engine) int {
 	for i, x := range es {
 		if x == e {
 			return i
@@ -267,35 +262,22 @@ func indexOf(es []*Engine, e *Engine) int {
 	return -1
 }
 
-func allModelPaths(m *modelFS) []string {
-	var out []string
-	for d := range m.dirs {
-		out = append(out, d)
-	}
-	for f := range m.files {
-		out = append(out, f)
-	}
-	sort.Strings(out)
-	return out
-}
-
 // checkAgreement verifies existence, kind, and listing of path.
-func checkAgreement(t *testing.T, step int, e *Engine, m *modelFS, path string) {
+func checkAgreement(t *testing.T, step int, e *core.Engine, m *chaos.Oracle, path string) {
 	t.Helper()
 	resp := e.Execute(namespace.Request{Op: namespace.OpStat, Path: path})
-	wantDir, wantFile := m.dirs[path], m.files[path]
-	if wantDir || wantFile {
+	if m.Has(path) {
 		if !resp.OK() {
 			t.Fatalf("step %d: stat %s failed (%s) but model has it", step, path, resp.Err)
 		}
-		if resp.Stat.IsDir != wantDir {
+		if resp.Stat.IsDir != m.IsDir(path) {
 			t.Fatalf("step %d: %s kind mismatch: engine dir=%v model dir=%v",
-				step, path, resp.Stat.IsDir, wantDir)
+				step, path, resp.Stat.IsDir, m.IsDir(path))
 		}
 	} else if resp.OK() {
 		t.Fatalf("step %d: stat %s succeeded but model deleted it", step, path)
 	}
-	if wantDir {
+	if m.IsDir(path) {
 		ls := e.Execute(namespace.Request{Op: namespace.OpLs, Path: path})
 		if !ls.OK() {
 			t.Fatalf("step %d: ls %s failed: %s", step, path, ls.Err)
@@ -305,7 +287,7 @@ func checkAgreement(t *testing.T, step int, e *Engine, m *modelFS, path string) 
 			got = append(got, ent.Name)
 		}
 		sort.Strings(got)
-		want, _ := m.list(path)
+		want, _ := m.List(path)
 		if strings.Join(got, ",") != strings.Join(want, ",") {
 			t.Fatalf("step %d: ls %s = %v, model %v", step, path, got, want)
 		}

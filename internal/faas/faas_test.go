@@ -549,3 +549,108 @@ func TestConcurrentInvokeStats(t *testing.T) {
 		}
 	}
 }
+
+// TestKillOneInstanceSkipsDraining is the regression test for the bug
+// where KillOneInstance picked an instance already selected for idle
+// reclaim or eviction and reported true — a "fault injection" that
+// changed nothing, since that instance's termination was in flight.
+func TestKillOneInstanceSkipsDraining(t *testing.T) {
+	p := New(clock.NewScaled(0), fastCfg())
+	defer p.Close()
+	tr := &appTracker{}
+	d := p.Register("nn0", tr.factory(nil, 0), DeploymentOptions{VCPU: 4, RAMGB: 8, ConcurrencyLevel: 4, MinInstances: 2})
+	deadline := time.Now().Add(2 * time.Second)
+	for d.AliveInstances() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d.AliveInstances() != 2 {
+		t.Fatalf("prewarmed %d instances, want 2", d.AliveInstances())
+	}
+
+	// Mark the first instance draining, as reclaimLoop/evictIdleLocked do
+	// at victim-selection time.
+	d.mu.Lock()
+	marked := d.instances[0]
+	marked.draining = true
+	d.mu.Unlock()
+
+	if !p.KillOneInstance(0) {
+		t.Fatal("kill failed with a non-draining instance available")
+	}
+	d.mu.Lock()
+	aliveMarked := marked.aliveLocked()
+	d.mu.Unlock()
+	if !aliveMarked {
+		t.Fatal("kill chose the draining instance")
+	}
+
+	// Only the draining instance remains: a further kill must report
+	// false rather than double-terminate it.
+	killsBefore := p.Stats().Kills
+	if p.KillOneInstance(0) {
+		t.Fatal("kill reported true with only a draining instance left")
+	}
+	if got := p.Stats().Kills; got != killsBefore {
+		t.Fatalf("kills counter moved on a no-op kill: %d -> %d", killsBefore, got)
+	}
+}
+
+// TestOnInvokeKillHook covers the chaos injection point that crashes an
+// instance mid-invocation, before the app handler runs.
+func TestOnInvokeKillHook(t *testing.T) {
+	cfg := fastCfg()
+	var armed atomic.Int64
+	armed.Store(1)
+	cfg.OnInvoke = func(dep int, instID string) bool {
+		return armed.Add(-1) >= 0
+	}
+	p := New(clock.NewScaled(0), cfg)
+	defer p.Close()
+	tr := &appTracker{}
+	d := p.Register("nn0", tr.factory(nil, 0), DeploymentOptions{VCPU: 4, RAMGB: 8, ConcurrencyLevel: 4})
+
+	// First invocation: the instance is killed before the app handler
+	// runs; the platform reports a nil response (the caller's retry layer
+	// handles it) and a crashed shutdown.
+	resp, err := d.Invoke("x")
+	if err != nil || resp != nil {
+		t.Fatalf("killed invoke = (%v, %v), want (nil, nil)", resp, err)
+	}
+	if got := p.Stats().Kills; got != 1 {
+		t.Fatalf("kills = %d, want 1", got)
+	}
+	if len(tr.apps) == 0 || !tr.apps[0].crashed.Load() || tr.apps[0].invokes.Load() != 0 {
+		t.Fatal("victim app should see a crashed shutdown and zero invokes")
+	}
+
+	// Disarmed: the next invocation cold-starts a fresh instance and runs.
+	resp, err = d.Invoke("y")
+	if err != nil || resp != "y" {
+		t.Fatalf("post-kill invoke = (%v, %v)", resp, err)
+	}
+}
+
+// TestOnProvisionDenyHook covers the chaos injection point that starves
+// cold starts (pool exhaustion / cold-start storms).
+func TestOnProvisionDenyHook(t *testing.T) {
+	cfg := fastCfg()
+	cfg.InvokeQueueTimeout = 50 * time.Millisecond
+	var deny atomic.Bool
+	deny.Store(true)
+	cfg.OnProvision = func(dep int) bool { return !deny.Load() }
+	p := New(clock.NewScaled(0), cfg)
+	defer p.Close()
+	tr := &appTracker{}
+	d := p.Register("nn0", tr.factory(nil, 0), DeploymentOptions{VCPU: 4, RAMGB: 8, ConcurrencyLevel: 4})
+
+	if _, err := d.Invoke("x"); err != ErrNoCapacity {
+		t.Fatalf("invoke under provision denial = %v, want ErrNoCapacity", err)
+	}
+	if d.AliveInstances() != 0 {
+		t.Fatalf("instances provisioned despite denial: %d", d.AliveInstances())
+	}
+	deny.Store(false)
+	if resp, err := d.Invoke("y"); err != nil || resp != "y" {
+		t.Fatalf("post-denial invoke = (%v, %v)", resp, err)
+	}
+}

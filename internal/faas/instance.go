@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lambdafs/internal/clock"
+	"lambdafs/internal/trace"
 )
 
 // ErrInstanceDead reports a request sent to a terminated instance (the TCP
@@ -21,6 +22,7 @@ type Instance struct {
 	// Guarded by d.mu.
 	started      bool
 	terminated   bool
+	draining     bool // selected for reclaim/eviction, terminate in flight
 	httpInFlight int
 	busyCount    int
 	lastActive   time.Time
@@ -189,6 +191,21 @@ func (inst *Instance) serveHTTP(payload any) any {
 		return nil
 	}
 	defer inst.endRequest(true)
+	p := inst.d.p
+	if hook := p.cfg.OnInvoke; hook != nil && hook(inst.d.index, inst.id) {
+		// Fault injection: the instance dies mid-invocation. The request is
+		// dropped (nil response → client-side unavailable + retry) and the
+		// app's Shutdown(crashed) runs, exactly as for KillOneInstance.
+		p.mu.Lock()
+		p.stats.Kills++
+		p.mu.Unlock()
+		p.cfg.Tracer.Emit(trace.Event{
+			Type: trace.EventKill, Deployment: inst.d.index, Instance: inst.id,
+			Detail: "mid-invocation",
+		})
+		inst.terminate(true)
+		return nil
+	}
 	return inst.app.HandleInvoke(payload)
 }
 

@@ -76,6 +76,20 @@ type Config struct {
 	// starts, reclamations, evictions, kills) and attaches gateway /
 	// admission / cold-start spans to traced invocations.
 	Tracer *trace.Tracer
+
+	// OnInvoke, when non-nil, is consulted at the start of every HTTP
+	// invocation already admitted to an instance, with the deployment index
+	// and instance id; returning true abruptly terminates the instance
+	// mid-invocation and drops the request (fault injection: the client
+	// sees an unavailable response and retries). Must be safe for
+	// concurrent use.
+	OnInvoke func(dep int, instID string) bool
+	// OnProvision, when non-nil, is consulted before every instance
+	// provisioning attempt with the deployment index; returning false fails
+	// the attempt as if the resource pool were exhausted (fault injection:
+	// cold-start storms and pool exhaustion). Must be safe for concurrent
+	// use.
+	OnProvision func(dep int) bool
 }
 
 // NuclioConfig returns a Nuclio-flavoured platform profile (§4: λFS also
@@ -420,6 +434,13 @@ func (d *Deployment) provision(chargeColdStart bool) *Instance {
 // trace and a cold_start event on the platform tracer.
 func (d *Deployment) provisionT(chargeColdStart bool, tc *trace.Ctx) *Instance {
 	p := d.p
+	if p.cfg.OnProvision != nil && !p.cfg.OnProvision(d.index) {
+		p.cfg.Tracer.Emit(trace.Event{
+			Type: trace.EventChaosFault, Deployment: d.index,
+			Detail: "provision denied",
+		})
+		return nil
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -530,6 +551,11 @@ func (p *Platform) evictIdleLocked(requester *Deployment) bool {
 	if victim == nil {
 		return false
 	}
+	// Mark the victim draining so fault injection does not double-kill an
+	// instance already on its way out (p.mu → d.mu is the lock order).
+	victim.d.mu.Lock()
+	victim.draining = true
+	victim.d.mu.Unlock()
 	p.stats.Evictions++
 	p.cfg.Tracer.Emit(trace.Event{
 		Type: trace.EventEvict, Deployment: victim.d.index, Instance: victim.id,
@@ -583,6 +609,7 @@ func (p *Platform) reclaimLoop() {
 					break
 				}
 				if inst.aliveLocked() && !inst.busy() && now.Sub(inst.lastActive) > p.cfg.IdleReclaim {
+					inst.draining = true
 					victims = append(victims, inst)
 					alive--
 				}
@@ -619,7 +646,10 @@ func (p *Platform) killOneInstance(dep int) bool {
 	d.mu.Lock()
 	var victim *Instance
 	for _, inst := range d.instances {
-		if inst.aliveLocked() {
+		// Skip instances already draining (selected for reclaim or
+		// eviction): their termination is in flight, so "killing" them
+		// would report a fault injection that changed nothing.
+		if inst.aliveLocked() && !inst.draining {
 			victim = inst
 			break
 		}

@@ -1,0 +1,99 @@
+package ndb
+
+import (
+	"fmt"
+	"sort"
+
+	"lambdafs/internal/namespace"
+)
+
+// CheckIntegrity audits the store's structural invariants and returns a
+// human-readable violation per defect found (empty = consistent). It is a
+// test/diagnostic hook used by the chaos harness after every episode step:
+//
+//   - every child-map entry must point at an existing INode whose
+//     (ParentID, Name) matches the slot it is filed under (no dangling or
+//     misfiled child entries);
+//   - every INode except the root must be reachable from the root through
+//     child entries (no lost or orphaned inodes);
+//   - every non-root INode's parent must exist and be a directory.
+//
+// The audit bypasses transactions and the latency model; it must not race
+// with in-flight writers (call it at quiescence).
+func (db *DB) CheckIntegrity() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	var bad []string
+	if db.inodes[namespace.RootID] == nil {
+		return []string{"root inode missing"}
+	}
+
+	// Child entries: dangling references and misfiled slots.
+	for parent, kids := range db.children {
+		if parent == namespace.InvalidID {
+			// Applying a root-row update files the root under its
+			// (parent=InvalidID, name="") slot; that lone entry is benign.
+			for name, id := range kids {
+				if name != "" || id != namespace.RootID {
+					bad = append(bad, fmt.Sprintf("child entry under no-parent slot: %q -> inode %d", name, id))
+				}
+			}
+			continue
+		}
+		if db.inodes[parent] == nil {
+			if len(kids) > 0 {
+				bad = append(bad, fmt.Sprintf("children map for missing inode %d holds %d entries", parent, len(kids)))
+			}
+			continue
+		}
+		for name, id := range kids {
+			n := db.inodes[id]
+			if n == nil {
+				bad = append(bad, fmt.Sprintf("dangling child entry %d/%q -> missing inode %d", parent, name, id))
+				continue
+			}
+			if n.ParentID != parent || n.Name != name {
+				bad = append(bad, fmt.Sprintf("misfiled child entry %d/%q -> inode %d (parent=%d name=%q)",
+					parent, name, id, n.ParentID, n.Name))
+			}
+		}
+	}
+
+	// Reachability from the root (orphan detection).
+	reached := make(map[namespace.INodeID]bool, len(db.inodes))
+	queue := []namespace.INodeID{namespace.RootID}
+	reached[namespace.RootID] = true
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, cid := range db.children[id] {
+			if !reached[cid] && db.inodes[cid] != nil {
+				reached[cid] = true
+				queue = append(queue, cid)
+			}
+		}
+	}
+	for id, n := range db.inodes {
+		if reached[id] {
+			continue
+		}
+		bad = append(bad, fmt.Sprintf("orphaned inode %d (name=%q parent=%d)", id, n.Name, n.ParentID))
+	}
+
+	// Parent pointers of reachable inodes.
+	for id, n := range db.inodes {
+		if id == namespace.RootID {
+			continue
+		}
+		p := db.inodes[n.ParentID]
+		if p == nil {
+			bad = append(bad, fmt.Sprintf("inode %d (name=%q) has missing parent %d", id, n.Name, n.ParentID))
+		} else if !p.IsDir {
+			bad = append(bad, fmt.Sprintf("inode %d (name=%q) has non-directory parent %d", id, n.Name, n.ParentID))
+		}
+	}
+
+	sort.Strings(bad)
+	return bad
+}

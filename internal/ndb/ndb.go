@@ -42,6 +42,17 @@ type Config struct {
 	// LockWaitTimeout is the real-time lock wait timeout (deadlock/crash
 	// detection); it is NOT scaled by the virtual clock.
 	LockWaitTimeout time.Duration
+
+	// OnShardService, when non-nil, is consulted before every shard
+	// service charge with the target shard index; the returned duration is
+	// added to the service time (fault injection: per-shard stalls and
+	// crash/recover windows). It must be safe for concurrent use.
+	OnShardService func(shard int) time.Duration
+	// OnCommit, when non-nil, is consulted at the top of every Commit with
+	// the transaction's owner; a non-nil error aborts the transaction and
+	// is returned to the caller (fault injection: transaction aborts).
+	// It must be safe for concurrent use.
+	OnCommit func(owner string) error
 }
 
 // DefaultConfig mirrors the paper's 4-data-node NDB deployment with
@@ -174,12 +185,17 @@ func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
 		db.clk.Sleep(db.cfg.RTT)
 		sp.End()
 	}
-	if dur <= 0 {
-		return
-	}
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	idx := int(h.Sum32() % uint32(len(db.shards)))
+	if db.cfg.OnShardService != nil {
+		// Consulted even for zero-cost accesses: an injected stall delays
+		// the access regardless of how cheap its nominal service is.
+		dur += db.cfg.OnShardService(idx)
+	}
+	if dur <= 0 {
+		return
+	}
 	sh := db.shards[idx]
 	t := task{dur: dur, done: make(chan struct{})}
 	if tc == nil {

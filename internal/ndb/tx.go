@@ -425,6 +425,12 @@ func (t *tx) Commit() error {
 	if t.done {
 		return store.ErrTxDone
 	}
+	if h := t.db.cfg.OnCommit; h != nil {
+		if err := h(t.owner); err != nil {
+			t.Abort()
+			return err
+		}
+	}
 	t.done = true
 	writes := t.writeCount()
 	if writes > 0 {

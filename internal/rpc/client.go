@@ -245,6 +245,20 @@ func (c *Client) callHTTP(tc *trace.Ctx, dep int, req namespace.Request) (*names
 
 // callTCP performs a raw TCP RPC on conn.
 func (c *Client) callTCP(tc *trace.Ctx, conn *Conn, req namespace.Request) (*namespace.Response, error) {
+	if h := c.cfg.OnTCPFault; h != nil {
+		drop, delay := h(c.id, conn.inst.DeploymentIndex())
+		if delay > 0 {
+			c.vm.clk.Sleep(delay)
+		}
+		if drop {
+			tc.Emit(trace.Event{
+				Type: trace.EventChaosFault, Client: c.id,
+				Deployment: conn.inst.DeploymentIndex(), Instance: conn.InstanceID(),
+				Detail: "tcp drop",
+			})
+			return nil, namespace.ErrConnLost
+		}
+	}
 	c.stats.tcp.Add(1)
 	sp := tc.Start(trace.KindRPCTCP)
 	sp.SetDeployment(conn.inst.DeploymentIndex())

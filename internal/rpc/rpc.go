@@ -81,6 +81,13 @@ type Config struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	MaxAttempts int
+
+	// OnTCPFault, when non-nil, is consulted before every TCP RPC with the
+	// issuing client id and target deployment. A positive delay stalls the
+	// RPC (fault injection: network jitter forcing hedged retries); drop
+	// fails it with a lost connection, forcing the failover and replacement
+	// paths. Must be safe for concurrent use.
+	OnTCPFault func(clientID string, dep int) (drop bool, delay time.Duration)
 }
 
 // DefaultConfig mirrors the paper's settings: ~0.3 ms one-way TCP,

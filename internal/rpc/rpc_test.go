@@ -433,3 +433,48 @@ func TestBackoffBounded(t *testing.T) {
 		t.Fatalf("retries = %d, want MaxAttempts-1", st.Retries)
 	}
 }
+
+// TestOnTCPFaultHook covers the chaos injection point on the TCP path: a
+// dropped call surfaces as a lost connection and must fail over to the
+// HTTP invocation path; an injected delay must leave the call intact.
+func TestOnTCPFaultHook(t *testing.T) {
+	cfg := testCfg()
+	var drops, delays atomic.Int64
+	cfg.OnTCPFault = func(clientID string, dep int) (bool, time.Duration) {
+		if drops.Add(-1) >= 0 {
+			return true, 0
+		}
+		if delays.Add(-1) >= 0 {
+			return false, time.Millisecond
+		}
+		return false, 0
+	}
+	h := newHarness(t, 1, cfg)
+	c := h.vm.NewClient("c1", h.ring, platformInvoker{h.p})
+
+	// Establish the TCP connection via the first (HTTP) op.
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second op would go TCP; the armed drop loses the connection and the
+	// client must recover through HTTP re-invocation.
+	drops.Store(1)
+	resp, err := c.Do(namespace.OpStat, "/a", "")
+	if err != nil || !resp.OK() {
+		t.Fatalf("op during injected drop: %v %v", resp, err)
+	}
+	if st := c.Stats(); st.HTTPRPCs != 2 {
+		t.Fatalf("drop did not force HTTP failover: %+v", st)
+	}
+
+	// An injected delay slows the call but leaves it on TCP.
+	delays.Store(1)
+	before := c.Stats().TCPRPCs
+	if _, err := c.Do(namespace.OpStat, "/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().TCPRPCs; got != before+1 {
+		t.Fatalf("delayed call left TCP: %d -> %d", before, got)
+	}
+}

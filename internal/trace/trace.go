@@ -86,6 +86,7 @@ const (
 	EventAntiThrashExit  EventType = "anti_thrash_exit"  // anti-thrashing hold expired
 	EventCoherenceINV    EventType = "coherence_inv"     // INV/ACK exchange completed
 	EventSubtreeOffload  EventType = "subtree_offload"   // batch offloaded to a helper NameNode
+	EventChaosFault      EventType = "chaos_fault"       // fault injector armed or fired a fault
 )
 
 // Span is one completed, timed segment of a trace. Spans form a tree via
