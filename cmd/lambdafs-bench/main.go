@@ -86,7 +86,7 @@ func main() {
 		}
 	}
 	for _, e := range selected {
-		start := time.Now()
+		elapsed := wallTimer()
 		fmt.Printf("--- %s: %s\n", e.Name, e.Brief)
 		tables := e.Run(opts)
 		if *csvDir != "" {
@@ -96,6 +96,17 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("--- %s done in %v (wall)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("--- %s done in %v (wall)\n\n", e.Name, elapsed().Round(time.Millisecond))
+	}
+}
+
+// wallTimer measures host wall-clock runtime for the "done in … (wall)"
+// progress line. The experiments run on virtual time; this line answers the
+// different question of how long the host took to simulate them, which is
+// inherently a wall-clock measurement and the one sanctioned exception.
+func wallTimer() func() time.Duration {
+	start := time.Now() //vet:allow virtualtime reports host runtime of the simulation run, not simulated latency
+	return func() time.Duration {
+		return time.Since(start) //vet:allow virtualtime host-runtime measurement is genuinely wall-clock
 	}
 }

@@ -79,7 +79,8 @@ func main() {
 			defer wg.Done()
 			cluster.Run(func() {
 				client := cluster.NewClient(fmt.Sprintf("c%02d", c))
-				rng := rand.New(rand.NewSource(int64(c)))
+				clientSeed := int64(c) // per-client stream, deterministic in the client index
+				rng := rand.New(rand.NewSource(clientSeed))
 				for clk.Since(start) < duration {
 					p := files[rng.Intn(len(files))]
 					if _, err := client.Stat(p); err != nil {

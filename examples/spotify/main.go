@@ -52,7 +52,8 @@ func main() {
 
 	// Pareto(α=2) bursty targets, redrawn every 15 s, capped at 7x.
 	targets = make([]float64, int(duration/redraw)+1)
-	rng := rand.New(rand.NewSource(42))
+	const workloadSeed = 42 // fixed seed: the demo replays identically run-to-run
+	rng := rand.New(rand.NewSource(workloadSeed))
 	for i := range targets {
 		u := rng.Float64()
 		for u == 0 {
@@ -119,7 +120,8 @@ var (
 func driveClient(cluster *lambdafs.Cluster, files []string, start time.Time, c int) {
 	clk := cluster.Clock()
 	client := cluster.NewClient(fmt.Sprintf("app-%02d", c))
-	rng := rand.New(rand.NewSource(int64(c)))
+	clientSeed := int64(c) // per-client stream, deterministic in the client index
+	rng := rand.New(rand.NewSource(clientSeed))
 	quota := 0.0
 	for sec := 0; sec < int(duration/time.Second); sec++ {
 		quota += targets[sec/int(redraw/time.Second)] / clients

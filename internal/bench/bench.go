@@ -220,6 +220,7 @@ type lambdaParams struct {
 	evictForSpace  bool
 	coldStart      time.Duration
 	gatewayLatency time.Duration
+	seed           int64 // base seed for client RPC jitter (rpc.Config.Seed)
 	tracer         *trace.Tracer
 	// Optional config hooks, applied just before each substrate is built
 	// (the chaos experiment wires fault-injection callbacks through these).
@@ -295,6 +296,7 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 
 	rCfg := rpc.DefaultConfig()
 	rCfg.HTTPReplaceProb = p.replaceProb
+	rCfg.Seed = p.seed
 	if p.rpcHook != nil {
 		p.rpcHook(&rCfg)
 	}

@@ -113,6 +113,7 @@ func runChaosStorm(opts Options) *Table {
 
 	inj := chaos.NewInjector()
 	p := defaultLambdaParams()
+	p.seed = opts.Seed
 	p.deployments = 4
 	p.clientVMs = 2
 	p.ndbHook = func(cfg *ndb.Config) {

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"reflect"
 	"strconv"
 	"testing"
+
+	"lambdafs/internal/chaos"
 )
 
 // TestRunChaosExperiment runs the chaos experiment end-to-end at Tiny
@@ -73,5 +76,34 @@ func TestRunChaosExperiment(t *testing.T) {
 	}
 	if metric["instance_kills"] == "0" {
 		t.Fatal("storm killed no instances")
+	}
+}
+
+// TestChaosStormSeedDeterminism pins the full-stack storm — including the
+// newly seed-plumbed client RPC jitter (rpc.Config.Seed) — to Options.Seed:
+// two runs with the same seed must produce byte-identical result tables.
+func TestChaosStormSeedDeterminism(t *testing.T) {
+	opts := Options{Tiny: true, Quick: true, Seed: 11}
+	a := runChaosStorm(opts)
+	b := runChaosStorm(opts)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("storm not deterministic for seed %d:\n run1: %v\n run2: %v",
+			opts.Seed, a.Rows, b.Rows)
+	}
+}
+
+// TestChaosEpisodeDigestMatchesLibrary pins the bench replay path to the
+// chaos library: the digest the episodes table prints for a seed must be
+// the digest chaos.RunEpisode computes for that seed directly.
+func TestChaosEpisodeDigestMatchesLibrary(t *testing.T) {
+	const seed = 42
+	tb := runChaosEpisodes(Options{Tiny: true, Quick: true, Seed: seed, ChaosSeed: seed})
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	want := chaos.RunEpisode(chaos.DefaultEpisode(seed)).Digest[:16]
+	got := tb.Rows[0][len(tb.Columns)-1]
+	if got != want {
+		t.Fatalf("bench digest %s != library digest %s", got, want)
 	}
 }

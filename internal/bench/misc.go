@@ -78,6 +78,7 @@ func subtreeMvLatency(opts Options, size int, useLambda bool) time.Duration {
 	clock.Run(clk, func() {
 		if useLambda {
 			p := defaultLambdaParams()
+			p.seed = opts.Seed
 			p.minInstances = 1
 			c := newLambdaCluster(clk, p)
 			workload.PreloadNDB(c.db, dirs, files)
@@ -213,6 +214,7 @@ func runTreeTestLambdaIndexFS(opts Options, clients, writes, reads int) workload
 	})
 	defer platform.Close()
 	rCfg := rpc.DefaultConfig()
+	rCfg.Seed = opts.Seed
 	vm := rpc.NewVM(clk, rCfg)
 	var res workload.TreeTestResult
 	clock.Run(clk, func() {
@@ -260,6 +262,7 @@ func runReplaceProb(opts Options, prob float64, clients, per int) microResult {
 		name: "λFS",
 		build: func(clk *clock.Sim, vcpus int, dirs, files []string) (func(int) workload.FS, func(time.Duration) float64, func()) {
 			p := defaultLambdaParams()
+			p.seed = opts.Seed
 			p.totalVCPU = float64(vcpus)
 			p.replaceProb = prob
 			p.minInstances = 1
@@ -303,6 +306,7 @@ func subtreeDeleteLatency(opts Options, size, batch int, offload bool) time.Dura
 	clk := clock.NewSim()
 	defer clk.Close()
 	p := defaultLambdaParams()
+	p.seed = opts.Seed
 	p.minInstances = 1
 	var c *lambdaCluster
 	dirs, files := workload.DeepNamespace("/victim", size)

@@ -72,11 +72,12 @@ func microOps() []namespace.OpType {
 }
 
 // lambdaMicro builds λFS for the scaling experiments.
-func lambdaMicro(maxInstances int) microSystem {
+func lambdaMicro(maxInstances int, seed int64) microSystem {
 	return microSystem{
 		name: "λFS",
 		build: func(clk *clock.Sim, vcpus int, dirs, files []string) (func(int) workload.FS, func(time.Duration) float64, func()) {
 			p := defaultLambdaParams()
+			p.seed = seed
 			p.totalVCPU = float64(vcpus)
 			p.maxInstances = maxInstances
 			p.minInstances = 1
@@ -214,7 +215,7 @@ func runMicro(opts Options, sys microSystem, op namespace.OpType, clients, vcpus
 
 // RunFig11 reproduces the client-driven scaling comparison.
 func RunFig11(opts Options) []*Table {
-	systems := []microSystem{lambdaMicro(0), hopsMicro(false), hopsMicro(true), infiniMicro(), cephMicro()}
+	systems := []microSystem{lambdaMicro(0, opts.Seed), hopsMicro(false), hopsMicro(true), infiniMicro(), cephMicro()}
 	sizes := microSizes(opts)
 	per := microOpsPerClient(opts)
 	var tables []*Table
@@ -258,7 +259,7 @@ func sizeCols(sizes []int) []string {
 
 // RunFig12 reproduces the resource scaling comparison.
 func RunFig12(opts Options) []*Table {
-	systems := []microSystem{lambdaMicro(0), hopsMicro(false), hopsMicro(true), infiniMicro(), cephMicro()}
+	systems := []microSystem{lambdaMicro(0, opts.Seed), hopsMicro(false), hopsMicro(true), infiniMicro(), cephMicro()}
 	vcpus := []int{16, 128, 512}
 	if opts.Tiny {
 		vcpus = []int{16, 512}
@@ -316,7 +317,7 @@ func vcpuCols(vcpus []int) []string {
 // operations (λFS under the simplified pricing model vs HopsFS+Cache's
 // serverful bill).
 func RunFig13(opts Options) []*Table {
-	systems := []microSystem{lambdaMicro(0), hopsMicro(true)}
+	systems := []microSystem{lambdaMicro(0, opts.Seed), hopsMicro(true)}
 	sizes := microSizes(opts)
 	per := microOpsPerClient(opts)
 	var tables []*Table
@@ -372,7 +373,7 @@ func RunFig14(opts Options) []*Table {
 		row := []string{op.String()}
 		var full, none float64
 		for _, m := range modes {
-			r := runMicro(opts, lambdaMicro(m.max), op, clients, 512, per)
+			r := runMicro(opts, lambdaMicro(m.max, opts.Seed), op, clients, 512, per)
 			row = append(row, fmtOps(r.throughput))
 			if m.max == 0 {
 				full = r.throughput

@@ -77,6 +77,7 @@ func runSpotifyLambda(opts Options, sp spotifyParams, label string, cacheBudget 
 	clk := clock.NewSim()
 	defer clk.Close()
 	p := defaultLambdaParams()
+	p.seed = opts.Seed
 	p.nnVCPU = 5
 	p.nnRAMGB = nnRAMGB
 	p.totalVCPU = totalVCPU
@@ -134,6 +135,7 @@ func runSpotifyLambdaSimplifiedCost(opts Options, sp spotifyParams) *spotifyRun 
 	clk := clock.NewSim()
 	defer clk.Close()
 	p := defaultLambdaParams()
+	p.seed = opts.Seed
 	p.nnVCPU = 5
 	p.nnRAMGB = 6
 	p.minInstances = 1

@@ -24,6 +24,7 @@ func RunTrace(opts Options) []*Table {
 
 	tr := trace.New(clk, trace.Config{})
 	p := defaultLambdaParams()
+	p.seed = opts.Seed
 	p.clientVMs = 2
 	p.tracer = tr
 

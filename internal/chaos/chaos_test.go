@@ -107,6 +107,11 @@ func TestChaosDigestGolden(t *testing.T) {
 	if len(a.Steps) != len(b.Steps) {
 		t.Fatalf("step counts differ: %d vs %d", len(a.Steps), len(b.Steps))
 	}
+	// Digest sensitivity: a different seed must not collide — otherwise the
+	// digest is not actually summarizing the episode's event stream.
+	if other := runSeededEpisode(t, seed+1); other.Digest == a.Digest {
+		t.Fatalf("seeds %d and %d produced the same digest %s", seed, seed+1, a.Digest)
+	}
 }
 
 // TestInjectorArming covers the armed-counter bookkeeping of every hook.

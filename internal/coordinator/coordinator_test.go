@@ -132,6 +132,33 @@ func TestAckTimeout(t *testing.T) {
 	close(block)
 }
 
+// TestAckTimeoutVirtualTimestamp pins the ack deadline to simulated time:
+// on a Sim clock, Invalidate against a member stuck for a (virtual) hour
+// must give up exactly AckTimeout later on the virtual clock, not after
+// any host-dependent wall delay.
+func TestAckTimeoutVirtualTimestamp(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	cfg := DefaultConfig()
+	cfg.HopLatency = 0
+	cfg.AckTimeout = 250 * time.Millisecond
+	z := NewZK(clk, cfg)
+	z.Register(0, "nn-stuck", func(Invalidation) { clk.Sleep(time.Hour) })
+	var err error
+	var elapsed time.Duration
+	clock.Run(clk, func() {
+		start := clk.Now()
+		err = z.Invalidate([]int{0}, Invalidation{Path: "/z"})
+		elapsed = clk.Since(start)
+	})
+	if err != ErrAckTimeout {
+		t.Fatalf("err = %v, want ErrAckTimeout", err)
+	}
+	if elapsed != cfg.AckTimeout {
+		t.Fatalf("timed out after %v virtual, want exactly %v", elapsed, cfg.AckTimeout)
+	}
+}
+
 func TestLeaderElectionSuccession(t *testing.T) {
 	z := newTestZK()
 	s1 := z.Register(0, "a", func(Invalidation) {})

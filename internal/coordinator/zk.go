@@ -146,7 +146,10 @@ func (z *ZK) Invalidate(deps []int, inv Invalidation) error {
 			acks <- result{ok: true}
 		})
 	}
-	deadline := time.After(z.cfg.AckTimeout)
+	// clock.Timeout is virtual on a Sim clock — the ack deadline expires at
+	// a simulated timestamp, not a host one — and degrades to a real-time
+	// timer on scaled clocks so scale-0 tests keep their wall deadlines.
+	deadline := clock.Timeout(z.clk, z.cfg.AckTimeout)
 	timedOut := false
 	for i := 0; i < len(targets) && !timedOut; i++ {
 		clock.Idle(z.clk, func() {

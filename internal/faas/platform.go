@@ -565,7 +565,7 @@ func (p *Platform) evictIdleLocked(requester *Deployment) bool {
 	// terminate releases resources; it re-acquires p.mu, so drop it.
 	p.mu.Unlock()
 	victim.terminate(false)
-	p.mu.Lock()
+	p.mu.Lock() //vet:allow locks relock restores the caller's critical section — the caller owns p.mu across this call and unlocks it
 	return true
 }
 

@@ -186,7 +186,7 @@ func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
 		sp.End()
 	}
 	h := fnv.New32a()
-	h.Write([]byte(key))
+	_, _ = h.Write([]byte(key)) // hash.Hash.Write never fails
 	idx := int(h.Sum32() % uint32(len(db.shards)))
 	if db.cfg.OnShardService != nil {
 		// Consulted even for zero-cost accesses: an injected stall delays

@@ -70,13 +70,13 @@ func mix64(x uint64) uint64 {
 
 func hashBytes(b []byte) uint64 {
 	h := fnv.New64a()
-	h.Write(b)
+	_, _ = h.Write(b) // hash.Hash.Write never fails
 	return mix64(h.Sum64())
 }
 
 func hashString(s string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s))
+	_, _ = h.Write([]byte(s)) // hash.Hash.Write never fails
 	return mix64(h.Sum64())
 }
 

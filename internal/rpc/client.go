@@ -51,8 +51,15 @@ func (vm *VM) NewClient(id string, ring *partition.Ring, inv Invoker) *Client {
 		cfg:    vm.cfg,
 		window: metrics.NewMovingWindow(vm.cfg.LatencyWindow),
 		tracer: vm.Tracer(),
-		rng:    rand.New(rand.NewSource(int64(hashID(id)))),
+		rng:    rand.New(rand.NewSource(clientSeed(vm.cfg.Seed, id))),
 	}
+}
+
+// clientSeed derives a per-client stream from the run seed: mixing in the
+// id hash decorrelates clients, while the plumbed seed keeps every stream
+// a pure function of (Config.Seed, id) so -seed replays are exact.
+func clientSeed(seed int64, id string) int64 {
+	return int64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(hashID(id)))
 }
 
 func hashID(s string) uint32 {

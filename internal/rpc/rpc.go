@@ -82,6 +82,12 @@ type Config struct {
 	BackoffMax  time.Duration
 	MaxAttempts int
 
+	// Seed is the base seed for per-client randomness (HTTP-replacement
+	// draws and backoff jitter). Each client derives its stream from
+	// Seed mixed with a hash of its id, so a whole-run seed replays every
+	// client's jitter byte-for-byte while keeping clients decorrelated.
+	Seed int64
+
 	// OnTCPFault, when non-nil, is consulted before every TCP RPC with the
 	// issuing client id and target deployment. A positive delay stalls the
 	// RPC (fault injection: network jitter forcing hedged retries); drop

@@ -478,3 +478,30 @@ func TestOnTCPFaultHook(t *testing.T) {
 		t.Fatalf("delayed call left TCP: %d -> %d", before, got)
 	}
 }
+
+// TestClientJitterSeedDeterminism pins the client's jitter stream (HTTP
+// replacement draws, backoff jitter) to (Config.Seed, client id): same
+// pair, same stream; different seed or id, different stream. This is what
+// makes a whole-run -seed replay reproduce every retry decision.
+func TestClientJitterSeedDeterminism(t *testing.T) {
+	draw := func(seed int64, id string) [8]float64 {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		vm := NewVM(clock.NewScaled(0), cfg)
+		c := vm.NewClient(id, partition.NewRing(1, 0), nil)
+		var out [8]float64
+		for i := range out {
+			out[i] = c.rng.Float64()
+		}
+		return out
+	}
+	if draw(1, "c0") != draw(1, "c0") {
+		t.Fatal("same (seed, id) must replay the same jitter stream")
+	}
+	if draw(1, "c0") == draw(2, "c0") {
+		t.Fatal("different seeds must decorrelate the jitter stream")
+	}
+	if draw(1, "c0") == draw(1, "c1") {
+		t.Fatal("different clients must draw decorrelated streams")
+	}
+}

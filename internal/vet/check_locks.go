@@ -1,0 +1,332 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkLocks enforces lock hygiene: a mutex locked without a deferred
+// unlock must not reach a return statement or a blocking operation
+// (channel send/receive, select without a default) while held. The scan is
+// a source-order approximation, not a CFG — precise enough for the
+// straight-line lock sections this codebase uses, and every miss is on the
+// safe side (silence, not noise).
+//
+// Exemptions: lock keys with any `defer mu.Unlock()` in the function are
+// considered defer-managed; sends to channels created locally with a
+// non-zero buffer cannot block (the wake-one-sleeper pattern the clock and
+// coordinator use).
+func checkLocks(l *Loader, pkg *Package, report func(pos token.Pos, check, msg string)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockBody(l, pkg, fn.Body, report)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					checkLockBody(l, pkg, fn.Body, report)
+				}
+			}
+			return true
+		})
+	}
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evReturn
+	evSend
+	evRecv
+	evSelect
+)
+
+type lockEvent struct {
+	kind int
+	pos  token.Pos
+	key  string   // lock identity ("z.mu", "R|c.mu")
+	ch   ast.Expr // send/recv channel expression
+}
+
+type lockCollector struct {
+	pkg      *Package
+	events   []lockEvent
+	bufChans map[types.Object]bool // locally created buffered channels
+}
+
+// checkLockBody analyzes one function body. Nested function literals are
+// skipped here — ast.Inspect in checkLocks visits them as roots of their
+// own analysis (a goroutine body is its own lock scope).
+func checkLockBody(l *Loader, pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, check, msg string)) {
+	c := &lockCollector{pkg: pkg, bufChans: map[types.Object]bool{}}
+	for _, stmt := range body.List {
+		c.stmt(stmt)
+	}
+
+	deferManaged := map[string]bool{}
+	for _, ev := range c.events {
+		if ev.kind == evDeferUnlock {
+			deferManaged[ev.key] = true
+		}
+	}
+
+	type heldLock struct {
+		key string
+		pos token.Pos
+	}
+	var held []heldLock
+	release := func(key string) {
+		for i, h := range held {
+			if h.key == key {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	violate := func(pos token.Pos, what string) {
+		// Report once per lock acquisition: the first blocking hazard is
+		// the actionable one; later hazards on the same hold cascade.
+		for _, h := range held {
+			report(pos, "locks", fmt.Sprintf(
+				"%s while %s is locked (Lock at line %d) without a deferred unlock",
+				what, h.key, l.Fset.Position(h.pos).Line))
+		}
+		held = held[:0]
+	}
+
+	for _, ev := range c.events {
+		switch ev.kind {
+		case evLock:
+			if deferManaged[ev.key] {
+				continue
+			}
+			release(ev.key) // re-acquire resets
+			held = append(held, heldLock{ev.key, ev.pos})
+		case evUnlock:
+			release(ev.key)
+		case evReturn:
+			if len(held) > 0 {
+				violate(ev.pos, "return")
+			}
+		case evSend:
+			if len(held) > 0 && !c.isLocalBuffered(ev.ch) {
+				violate(ev.pos, "blocking channel send")
+			}
+		case evRecv:
+			if len(held) > 0 {
+				violate(ev.pos, "blocking channel receive")
+			}
+		case evSelect:
+			if len(held) > 0 {
+				violate(ev.pos, "select without default")
+			}
+		}
+	}
+}
+
+// isLocalBuffered reports whether ch is an identifier bound to a
+// make(chan T, n>0) in this function.
+func (c *lockCollector) isLocalBuffered(ch ast.Expr) bool {
+	id, ok := ch.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = c.pkg.Info.Defs[id]
+	}
+	return obj != nil && c.bufChans[obj]
+}
+
+// stmt walks one statement in source order, emitting lock events and
+// tracking buffered-channel creation. Function literals are not entered.
+func (c *lockCollector) stmt(s ast.Stmt) {
+	switch v := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if key, kind, ok := lockCall(v.X); ok {
+			c.events = append(c.events, lockEvent{kind: kind, pos: v.Pos(), key: key})
+			return
+		}
+		c.expr(v.X)
+	case *ast.DeferStmt:
+		if key, kind, ok := lockCall(v.Call); ok && kind == evUnlock {
+			c.events = append(c.events, lockEvent{kind: evDeferUnlock, pos: v.Pos(), key: key})
+		}
+		// Deferred calls run at return; their arguments evaluate now.
+		for _, a := range v.Call.Args {
+			c.expr(a)
+		}
+	case *ast.GoStmt:
+		for _, a := range v.Call.Args {
+			c.expr(a)
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range v.Lhs {
+			c.expr(lhs)
+		}
+		for i, rhs := range v.Rhs {
+			c.expr(rhs)
+			if i < len(v.Lhs) {
+				c.noteBufferedChan(v.Lhs[i], rhs)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, val := range vs.Values {
+						c.expr(val)
+						if i < len(vs.Names) {
+							c.noteBufferedChan(vs.Names[i], val)
+						}
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			c.expr(r)
+		}
+		c.events = append(c.events, lockEvent{kind: evReturn, pos: v.Pos()})
+	case *ast.SendStmt:
+		c.expr(v.Value)
+		c.events = append(c.events, lockEvent{kind: evSend, pos: v.Pos(), ch: v.Chan})
+	case *ast.BlockStmt:
+		for _, s := range v.List {
+			c.stmt(s)
+		}
+	case *ast.IfStmt:
+		c.stmt(v.Init)
+		c.expr(v.Cond)
+		c.stmt(v.Body)
+		c.stmt(v.Else)
+	case *ast.ForStmt:
+		c.stmt(v.Init)
+		c.expr(v.Cond)
+		c.stmt(v.Body)
+		c.stmt(v.Post)
+	case *ast.RangeStmt:
+		c.expr(v.X)
+		c.stmt(v.Body)
+	case *ast.SwitchStmt:
+		c.stmt(v.Init)
+		c.expr(v.Tag)
+		c.stmt(v.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(v.Init)
+		c.stmt(v.Assign)
+		c.stmt(v.Body)
+	case *ast.CaseClause:
+		for _, e := range v.List {
+			c.expr(e)
+		}
+		for _, s := range v.Body {
+			c.stmt(s)
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			c.events = append(c.events, lockEvent{kind: evSelect, pos: v.Pos()})
+		}
+		// The comm operations belong to the select (already judged as a
+		// unit); the clause bodies run after it unblocks.
+		for _, cl := range v.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				for _, s := range cc.Body {
+					c.stmt(s)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(v.Stmt)
+	case *ast.IncDecStmt:
+		c.expr(v.X)
+	default:
+		// BranchStmt, EmptyStmt…: nothing lock-relevant.
+	}
+}
+
+// expr walks an expression for channel receives, without entering function
+// literals.
+func (c *lockCollector) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				c.events = append(c.events, lockEvent{kind: evRecv, pos: v.Pos(), ch: v.X})
+			}
+		}
+		return true
+	})
+}
+
+// noteBufferedChan records lhs when rhs is make(chan T, n) with constant
+// n > 0.
+func (c *lockCollector) noteBufferedChan(lhs, rhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
+		return
+	}
+	if _, ok := call.Args[0].(*ast.ChanType); !ok {
+		return
+	}
+	if lit, ok := call.Args[1].(*ast.BasicLit); !ok || lit.Value == "0" {
+		return
+	}
+	obj := c.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = c.pkg.Info.Uses[id]
+	}
+	if obj != nil {
+		c.bufChans[obj] = true
+	}
+}
+
+// lockCall classifies e as a zero-argument mutex Lock/Unlock call and
+// returns the lock key. RLock/RUnlock get their own key space. When type
+// info is available the receiver must be (or embed, via promoted-method
+// selection) a sync mutex; otherwise the name match stands.
+func lockCall(e ast.Expr) (key string, kind int, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", 0, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return exprString(sel.X), evLock, true
+	case "Unlock":
+		return exprString(sel.X), evUnlock, true
+	case "RLock":
+		return "R|" + exprString(sel.X), evLock, true
+	case "RUnlock":
+		return "R|" + exprString(sel.X), evUnlock, true
+	}
+	return "", 0, false
+}

@@ -1,0 +1,141 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// wallClockFuncs are the time-package entry points that read or wait on
+// the host clock. Durations, formatting, and time arithmetic remain free;
+// anything that *observes* wall time must go through internal/clock.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// checkVirtualTime enforces the virtual-time discipline: no wall-clock
+// reads or waits outside internal/clock. The simulation's whole latency
+// model — and the benchmark numbers reproduced from the paper — depends
+// on every duration flowing through a clock.Clock.
+func checkVirtualTime(l *Loader, pkg *Package, report func(pos token.Pos, check, msg string)) {
+	if pkg.Path == l.ModulePath+"/internal/clock" {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if pkgPathOf(pkg, file, ident) != "time" {
+				return true
+			}
+			report(sel.Pos(), "virtualtime", fmt.Sprintf(
+				"time.%s reads the wall clock — use the virtual clock (clock.Clock.%s, or clock.Timeout for timeouts)",
+				sel.Sel.Name, sel.Sel.Name))
+			return true
+		})
+	}
+}
+
+// randGlobalFuncs are the math/rand package-level functions that draw from
+// the shared global source, which no seed plumbing can make reproducible
+// alongside other consumers.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// checkDeterminism enforces seeded randomness: no global math/rand source,
+// and every rand.New / rand.NewSource must derive from a plumbed seed —
+// approximated as "the source expression mentions an identifier whose name
+// contains 'seed'". That convention is what lets a -seed / -chaosseed flag
+// replay an entire run byte-for-byte.
+func checkDeterminism(l *Loader, pkg *Package, report func(pos token.Pos, check, msg string)) {
+	for _, file := range pkg.Files {
+		// rand.New(rand.NewSource(e)) reports once, at the outer call.
+		handled := map[*ast.CallExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				name, ok := randSelector(pkg, file, v.Fun)
+				if !ok {
+					return true
+				}
+				switch name {
+				case "New", "NewSource":
+					if handled[v] {
+						return true
+					}
+					handled[v] = true
+					if len(v.Args) == 1 {
+						if inner, ok := v.Args[0].(*ast.CallExpr); ok {
+							if innerName, ok := randSelector(pkg, file, inner.Fun); ok && innerName == "NewSource" {
+								handled[inner] = true
+							}
+						}
+						if !mentionsSeed(v.Args[0]) {
+							report(v.Pos(), "determinism", fmt.Sprintf(
+								"rand.%s source is not derived from a plumbed seed (no identifier mentioning \"seed\" in %q)",
+								name, exprString(v.Args[0])))
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if name, ok := randSelector(pkg, file, v); ok && randGlobalFuncs[name] {
+					report(v.Pos(), "determinism", fmt.Sprintf(
+						"rand.%s uses the global math/rand source — thread a seeded *rand.Rand instead", name))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// randSelector reports whether e is a selector on the math/rand package
+// and returns the selected name.
+func randSelector(pkg *Package, file *ast.File, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	switch pkgPathOf(pkg, file, ident) {
+	case "math/rand", "math/rand/v2":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// mentionsSeed reports whether the expression tree contains an identifier
+// (or selector field) whose name mentions "seed".
+func mentionsSeed(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if strings.Contains(strings.ToLower(id.Name), "seed") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

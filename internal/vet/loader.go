@@ -1,0 +1,256 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked (non-test) Go package.
+type Package struct {
+	// Path is the import path ("lambdafs/internal/rpc").
+	Path string
+	// Dir is the absolute source directory.
+	Dir string
+	// Files holds the parsed non-test files, sorted by filename.
+	Files []*ast.File
+	// Filenames is parallel to Files (absolute paths).
+	Filenames []string
+	// Types is the type-checked package (never nil, but possibly
+	// incomplete when a dependency failed to import — checks must
+	// tolerate missing type info).
+	Types *types.Package
+	// Info carries the per-expression type facts.
+	Info *types.Info
+	// TypeErrs collects soft type-check errors (diagnostic only).
+	TypeErrs []error
+}
+
+// Loader discovers, parses, and type-checks the module's packages using
+// only the standard library: module-path imports resolve recursively from
+// the module root, standard-library imports go through go/importer's
+// source importer, and anything unresolvable degrades to an empty
+// placeholder package so analysis can continue.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	Fset *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package // by import path
+}
+
+// NewLoader creates a loader rooted at moduleRoot. The module path is read
+// from go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("vet: no module directive in %s", gomod)
+}
+
+// LoadAll walks the module and loads every package (skipping testdata,
+// vendor, and hidden directories). Returned packages are sorted by import
+// path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirs(dirs)
+}
+
+// LoadDirs loads the packages rooted at the given directories (each must
+// lie inside the module).
+func (l *Loader) LoadDirs(dirs []string) ([]*Package, error) {
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("vet: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir parses and type-checks the package in dir (memoized by import
+// path). Test files are excluded: the disciplines vet enforces govern the
+// simulation substrate, not test scaffolding (tests legitimately use wall
+// clocks for watchdog deadlines).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+
+	ents, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		full := filepath.Join(abs, n)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("vet: parse %s: %w", full, err)
+		}
+		files = append(files, f)
+		names = append(names, full)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	pkg := &Package{Path: path, Dir: abs, Files: files, Filenames: names}
+	// Memoize before type-checking: import cycles (illegal in Go, but
+	// possible in broken fixtures) then terminate instead of recursing.
+	l.pkgs[path] = pkg
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, files[0].Name.Name)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module-path imports
+// load from source inside the module, everything else goes to the stdlib
+// source importer, and failures degrade to empty placeholder packages.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.loadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("vet: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	if p, err := l.std.Import(path); err == nil {
+		return p, nil
+	}
+	// Unresolvable (no GOROOT source, cgo, …): degrade to an empty
+	// marked-complete package so type-checking of the importer proceeds;
+	// checks fall back to syntactic resolution where it matters.
+	name := path[strings.LastIndex(path, "/")+1:]
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	return p, nil
+}

@@ -1,0 +1,10 @@
+// Package allowreason is a lambdafs-vet golden fixture: a //vet:allow
+// without a reason suppresses the underlying finding but is itself
+// reported, so unexplained allowlist entries cannot accumulate.
+package allowreason
+
+import "time"
+
+func missingReason() time.Time {
+	return time.Now() //vet:allow virtualtime
+}

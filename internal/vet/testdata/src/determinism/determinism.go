@@ -1,0 +1,30 @@
+// Package determinism is a lambdafs-vet golden fixture: global math/rand
+// and unseeded sources must be flagged; sources derived from a plumbed
+// seed must not.
+package determinism
+
+import "math/rand"
+
+func bad(n int) int {
+	rng := rand.New(rand.NewSource(42)) // want determinism
+	return rng.Intn(n)
+}
+
+func badGlobal(n int) int {
+	return rand.Intn(n) // want determinism
+}
+
+func clean(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func cleanDerived(cfgSeed int64, id int, n int) int {
+	rng := rand.New(rand.NewSource(cfgSeed + int64(id)*7919))
+	return rng.Intn(n)
+}
+
+func allowed(n int) int {
+	rng := rand.New(rand.NewSource(7)) //vet:allow determinism fixture demonstrating a reasoned suppression
+	return rng.Intn(n)
+}

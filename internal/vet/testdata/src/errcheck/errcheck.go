@@ -1,0 +1,34 @@
+// Package errcheck is a lambdafs-vet golden fixture: bare calls dropping
+// error returns must be flagged; explicit `_ =`, fmt printers, and the
+// never-failing writers must not.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+func bad() {
+	fail() // want errcheck
+}
+
+func badPair() {
+	failPair() // want errcheck
+}
+
+func clean() {
+	_ = fail()
+	_, _ = failPair()
+	fmt.Println("fmt printers are exempt")
+	var b strings.Builder
+	b.WriteString("strings.Builder never fails")
+}
+
+func allowed() {
+	fail() //vet:allow errcheck fixture demonstrating a reasoned suppression
+}

@@ -1,0 +1,83 @@
+// Package locks is a lambdafs-vet golden fixture: returns and blocking
+// operations under a non-defer-managed mutex must be flagged; deferred
+// unlocks and buffered-local-channel wakeups must not.
+package locks
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func badReturn(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		return b.n // want locks
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func badSend(b *box, ch chan int) {
+	b.mu.Lock()
+	ch <- b.n // want locks
+	b.mu.Unlock()
+}
+
+func badRecv(b *box, ch chan int) {
+	b.mu.Lock()
+	b.n = <-ch // want locks
+	b.mu.Unlock()
+}
+
+func badSelect(b *box, ch chan int) {
+	b.mu.Lock()
+	select { // want locks
+	case v := <-ch:
+		b.n = v
+	}
+	b.mu.Unlock()
+}
+
+func badRead(b *box) int {
+	b.rw.RLock()
+	return b.n // want locks
+}
+
+func cleanDefer(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func cleanStraightline(b *box) int {
+	b.mu.Lock()
+	v := b.n
+	b.mu.Unlock()
+	return v
+}
+
+func cleanWake(b *box) {
+	wake := make(chan struct{}, 1)
+	b.mu.Lock()
+	wake <- struct{}{} // buffered local channel: cannot block
+	b.mu.Unlock()
+	<-wake
+}
+
+func cleanNonBlockingSelect(b *box, ch chan int) {
+	b.mu.Lock()
+	select {
+	case v := <-ch:
+		b.n = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func allowed(b *box) int {
+	b.mu.Lock()
+	return b.n //vet:allow locks fixture demonstrating a reasoned suppression
+}

@@ -1,0 +1,25 @@
+// Package virtualtime is a lambdafs-vet golden fixture: wall-clock reads
+// must be flagged, duration arithmetic must not, and a reasoned
+// //vet:allow must suppress.
+package virtualtime
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want virtualtime
+	t := time.Now()              // want virtualtime
+	return t
+}
+
+func badWait() {
+	<-time.After(time.Millisecond) // want virtualtime
+}
+
+func clean() time.Duration {
+	d := 3 * time.Second // duration arithmetic never reads the clock
+	return d + time.Millisecond
+}
+
+func allowed() time.Time {
+	return time.Now() //vet:allow virtualtime fixture demonstrating a reasoned suppression
+}

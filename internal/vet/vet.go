@@ -1,0 +1,257 @@
+// Package vet implements lambdafs-vet: a custom static analyzer, built
+// purely on the standard library's go/ast, go/parser, go/token, and
+// go/types (no golang.org/x/tools), that enforces the platform-level
+// disciplines the λFS reproduction's evaluation rests on:
+//
+//   - virtualtime: all latency flows through internal/clock. Wall-clock
+//     time.Now/Sleep/After/Tick/NewTimer/NewTicker/Since/AfterFunc are
+//     forbidden outside internal/clock — one stray time.After silently
+//     decouples a component from simulated time and skews every
+//     experiment that touches it.
+//   - determinism: no global math/rand source, and every rand.New /
+//     rand.NewSource must derive from a plumbed seed (an identifier whose
+//     name mentions "seed"), so chaos episodes and benchmarks replay
+//     byte-for-byte from a -seed / -chaosseed flag.
+//   - locks: a mutex locked without a deferred unlock must not reach a
+//     return statement or a blocking operation (channel send/receive,
+//     select without default) while held.
+//   - spans: every tracer span (trace.Ctx.Start) and trace
+//     (trace.Tracer.StartTrace) opened in a function must be closed in
+//     that function — deferred, or on every return path after it opens.
+//   - errcheck: calls inside internal/ must not silently drop error
+//     returns (an explicit `_ =` is allowed; defers and fmt printing are
+//     exempt).
+//
+// Findings can be suppressed with a `//vet:allow <check> <reason>`
+// comment on the offending line (or the line above). Suppressions must
+// carry a reason — a bare //vet:allow is itself a finding — and every
+// suppression used is counted and reported so the allowlist stays
+// auditable.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Suppression is one //vet:allow comment that silenced a finding.
+type Suppression struct {
+	Pos    token.Position
+	Check  string
+	Reason string
+	Msg    string // the suppressed finding's message
+}
+
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s:%d: allowed [%s] %s (reason: %s)",
+		s.Pos.Filename, s.Pos.Line, s.Check, s.Msg, s.Reason)
+}
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	Findings    []Finding
+	Suppressed  []Suppression
+	NumPackages int
+}
+
+// CheckNames lists the analyzer's checks in presentation order.
+var CheckNames = []string{"virtualtime", "determinism", "locks", "spans", "errcheck"}
+
+// checkFunc inspects one package and reports findings.
+type checkFunc func(l *Loader, pkg *Package, report func(pos token.Pos, check, msg string))
+
+var allChecks = map[string]checkFunc{
+	"virtualtime": checkVirtualTime,
+	"determinism": checkDeterminism,
+	"locks":       checkLocks,
+	"spans":       checkSpans,
+	"errcheck":    checkErrcheck,
+}
+
+// Analyze runs every check over the given packages.
+func Analyze(l *Loader, pkgs []*Package) *Result {
+	res := &Result{NumPackages: len(pkgs)}
+	for _, pkg := range pkgs {
+		allows := collectAllows(l, pkg)
+		report := func(pos token.Pos, check, msg string) {
+			p := l.Fset.Position(pos)
+			if a := allows.match(p, check); a != nil {
+				a.used = true
+				res.Suppressed = append(res.Suppressed, Suppression{
+					Pos: p, Check: check, Reason: a.reason, Msg: msg,
+				})
+				return
+			}
+			res.Findings = append(res.Findings, Finding{Pos: p, Check: check, Msg: msg})
+		}
+		for _, name := range CheckNames {
+			allChecks[name](l, pkg, report)
+		}
+		for _, a := range allows.entries {
+			if a.reason == "" {
+				res.Findings = append(res.Findings, Finding{
+					Pos: a.pos, Check: "allow",
+					Msg: "//vet:allow suppression without a reason — state why the rule does not apply",
+				})
+			}
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool { return posLess(res.Findings[i].Pos, res.Findings[j].Pos) })
+	sort.Slice(res.Suppressed, func(i, j int) bool { return posLess(res.Suppressed[i].Pos, res.Suppressed[j].Pos) })
+	return res
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// CheckRepo loads every package of the module at root and analyzes it —
+// the programmatic equivalent of `lambdafs-vet ./...`.
+func CheckRepo(root string) (*Result, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(l, pkgs), nil
+}
+
+// ---------------------------------------------------------------------------
+// //vet:allow suppression comments.
+
+type allowEntry struct {
+	pos    token.Position
+	file   string
+	line   int
+	check  string
+	reason string
+	used   bool
+}
+
+type allowTable struct {
+	entries []*allowEntry
+}
+
+// match returns the entry suppressing check at p: an allow comment on the
+// same line (trailing comment) or the line above (standalone comment).
+func (t *allowTable) match(p token.Position, check string) *allowEntry {
+	for _, a := range t.entries {
+		if a.file != p.Filename || a.check != check {
+			continue
+		}
+		if a.line == p.Line || a.line == p.Line-1 {
+			return a
+		}
+	}
+	return nil
+}
+
+// collectAllows parses every //vet:allow comment in the package.
+func collectAllows(l *Loader, pkg *Package) *allowTable {
+	t := &allowTable{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//vet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := l.Fset.Position(c.Pos())
+				e := &allowEntry{pos: pos, file: pos.Filename, line: pos.Line}
+				if len(fields) > 0 {
+					e.check = fields[0]
+					e.reason = strings.Join(fields[1:], " ")
+				}
+				t.entries = append(t.entries, e)
+			}
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Shared syntactic helpers.
+
+// pkgPathOf resolves ident (the X of a selector) to the import path of the
+// package it names, using type info when available and the file's import
+// table as fallback.
+func pkgPathOf(pkg *Package, file *ast.File, ident *ast.Ident) string {
+	if obj, ok := pkg.Info.Uses[ident]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		if obj != nil {
+			// The ident resolves to something other than a package
+			// (a local variable shadowing "time", say).
+			return ""
+		}
+	}
+	// Syntactic fallback: match against the file's imports by name.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == ident.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// fileOf returns the file containing pos.
+func fileOf(l *Loader, pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// exprString renders a (small) expression as source text for lock keys and
+// messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[" + exprString(v.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(…)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
