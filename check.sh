@@ -1,9 +1,9 @@
 #!/bin/sh
 # Repo health check: formatting, vet, the in-repo lambdafs-vet analyzer,
 # build, full test suite, the race detector over the concurrency-heavy
-# packages (tracer, metrics, FaaS platform, RPC fabric, chaos harness,
-# coordinator, NDB, core), and a bounded fixed-seed chaos smoke run. Run
-# before sending changes.
+# packages (tracer, metrics, telemetry plane, FaaS platform, RPC fabric,
+# chaos harness, coordinator, NDB, core), and a bounded fixed-seed chaos
+# smoke run. Run before sending changes.
 set -e
 
 cd "$(dirname "$0")"
@@ -29,8 +29,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (trace, metrics, faas, rpc, chaos, coordinator, ndb, core) =="
-go test -race ./internal/trace/ ./internal/metrics/ ./internal/faas/ ./internal/rpc/ ./internal/chaos/ ./internal/coordinator/ ./internal/ndb/ ./internal/core/
+echo "== go test -race (trace, metrics, telemetry, faas, rpc, chaos, coordinator, ndb, core) =="
+go test -race ./internal/trace/ ./internal/metrics/ ./internal/telemetry/ ./internal/faas/ ./internal/rpc/ ./internal/chaos/ ./internal/coordinator/ ./internal/ndb/ ./internal/core/
 
 echo "== chaos smoke (bounded, fixed seed) =="
 go test ./internal/chaos/ -run TestChaosRandomized -chaosseed 3 -count=1

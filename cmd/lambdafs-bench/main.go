@@ -30,9 +30,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload randomness seed")
 	csvDir := flag.String("csv", "", "also export each table as CSV into this directory")
 	traceDir := flag.String("trace", "", "dump raw trace/event JSONL from traced experiments into this directory")
+	metricsDir := flag.String("metrics", "", "write per-experiment telemetry artifacts (Prometheus text dump, scraped snapshot JSON, flight-recorder JSONL on chaos violations) into this directory")
 	chaosSeed := flag.Int64("chaosseed", 0, "replay a single chaos episode with this seed (0 = full chaos experiment; use the seed a failing run printed)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-chaosseed N] list | all | <experiment>...\n\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
 		for _, e := range bench.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.Name, e.Brief)
@@ -66,7 +67,8 @@ func main() {
 		}
 	}
 
-	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout, TraceDir: *traceDir, ChaosSeed: *chaosSeed}
+	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout, TraceDir: *traceDir,
+		MetricsDir: *metricsDir, ChaosSeed: *chaosSeed}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"
@@ -82,6 +84,12 @@ func main() {
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "trace dir:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics dir:", err)
 			os.Exit(1)
 		}
 	}

@@ -9,27 +9,34 @@
 //
 // Commands: mkdir <path> | create <path> | stat <path> | read <path> |
 // ls <path> | mv <src> <dst> | rm <path> | kill <deployment> | stats |
-// trace [n] | chaos [episodes] [seed] | help
+// top [seconds] [clients] | metrics | trace [n] | chaos [episodes] [seed] |
+// help
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"lambdafs"
 	"lambdafs/internal/chaos"
 	"lambdafs/internal/clock"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
 
 func main() {
 	script := flag.String("c", "", "semicolon-separated commands to run (default: read stdin)")
 	deployments := flag.Int("deployments", 8, "number of NameNode deployments")
+	httpAddr := flag.String("http", "", "serve live telemetry (/metrics Prometheus text, /metrics.json) on this address")
+	flightPath := flag.String("flight", "lambdafs-flight.jsonl", "where the flight recorder dumps its window on interrupt")
 	flag.Parse()
 
 	cfg := lambdafs.DefaultConfig()
@@ -43,6 +50,37 @@ func main() {
 	defer cluster.Close()
 	client := cluster.NewClient("shell")
 	fmt.Printf("λFS cluster up: %d deployments, NDB store, ZooKeeper coordinator\n", *deployments)
+
+	// The flight recorder rides along for the whole session: every trace
+	// event and every top scrape lands in its bounded rings, and an
+	// interrupt dumps the freshest window for post-mortem inspection.
+	recorder := telemetry.NewFlightRecorder(0, 0)
+	cluster.Tracer().SetEventSink(recorder.RecordEvent)
+	scraper := telemetry.NewScraper(cluster.Clock(), cluster.Telemetry(), time.Second)
+	scraper.OnSnapshot(recorder.RecordSnapshot)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		cluster.Run(func() { scraper.ScrapeNow() }) // final registry state
+		if f, err := os.Create(*flightPath); err == nil {
+			if err := recorder.DumpJSONL(f); err == nil {
+				fmt.Fprintf(os.Stderr, "\nflight recorder dumped to %s\n", *flightPath)
+			}
+			f.Close()
+		}
+		os.Exit(130)
+	}()
+
+	if *httpAddr != "" {
+		// Host-side observation surface; lives in wall-clock land by design.
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, telemetry.Handler(cluster.Telemetry())); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+			}
+		}()
+		fmt.Printf("telemetry: http://%s/metrics\n", *httpAddr)
+	}
 
 	run := func(line string) {
 		line = strings.TrimSpace(line)
@@ -156,6 +194,27 @@ func main() {
 				}
 			}
 			runChaosEpisodes(episodes, seed)
+		case "top":
+			// top [seconds] [clients]: drive a short mixed workload and
+			// render the telemetry plane's key series once per virtual
+			// second, top(1)-style.
+			seconds, clients := 5, 8
+			if len(args) > 0 {
+				if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+					seconds = v
+				}
+			}
+			if len(args) > 1 {
+				if v, err := strconv.Atoi(args[1]); err == nil && v > 0 {
+					clients = v
+				}
+			}
+			runTop(cluster, scraper, seconds, clients)
+		case "metrics":
+			cluster.Run(func() { scraper.ScrapeNow() })
+			if err := telemetry.WritePrometheus(os.Stdout, cluster.Telemetry()); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+			}
 		case "stats":
 			s := cluster.Stats()
 			fmt.Printf("NameNodes=%d vCPU=%.1f coldStarts=%d invocations=%d\n",
@@ -164,7 +223,7 @@ func main() {
 				s.CacheHits, s.CacheMisses, s.Store.Reads, s.Store.Writes, s.Store.Commits)
 			fmt.Printf("cost: pay-per-use $%.6f, provisioned $%.6f\n", s.PayPerUseUSD, s.ProvisionedUSD)
 		case "help":
-			fmt.Println("commands: mkdir create stat read ls mv rm kill stats trace chaos help")
+			fmt.Println("commands: mkdir create stat read ls mv rm kill stats top metrics trace chaos help")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}
@@ -179,6 +238,70 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		run(sc.Text())
+	}
+}
+
+// runTop drives a short mixed workload against the live cluster while the
+// scraper samples the registry once per virtual second, then renders the
+// key series. Gauges show the instant value at each scrape; counters show
+// the per-second delta.
+func runTop(cluster *lambdafs.Cluster, scraper *telemetry.Scraper, seconds, clients int) {
+	clk := cluster.Clock()
+	before := len(scraper.Snapshots())
+	cluster.Run(func() {
+		// Baseline scrape so the first rendered row is a true delta.
+		scraper.ScrapeNow()
+		end := clk.Now().Add(time.Duration(seconds) * time.Second)
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			i := i
+			wg.Add(1)
+			clock.Go(clk, func() {
+				defer wg.Done()
+				cl := cluster.NewClient(fmt.Sprintf("top-%d", i))
+				dir := fmt.Sprintf("/.top/c%d", i)
+				cl.MkdirAll(dir)
+				for n := 0; clk.Now().Before(end); n++ {
+					path := fmt.Sprintf("%s/f%d", dir, n%40)
+					switch n % 5 {
+					case 0:
+						cl.Create(path)
+					case 1:
+						cl.List(dir)
+					default:
+						cl.Stat(dir)
+					}
+				}
+			})
+		}
+		scraper.Start()
+		clock.Idle(clk, wg.Wait)
+		scraper.Stop()
+	})
+	snaps := scraper.Snapshots()[before:]
+	if len(snaps) < 2 {
+		fmt.Println("top: no samples collected")
+		return
+	}
+	rows := snaps[1:] // row 0 is the baseline
+	if len(rows) > seconds {
+		rows = rows[:seconds]
+	}
+	fmt.Printf("%8s %5s %5s %6s %8s %8s %9s %12s\n",
+		"t", "NNs", "warm", "util%", "inv/s", "hits/s", "commit/s", "cost$")
+	prev := snaps[0]
+	for _, s := range rows {
+		delta := func(key string) float64 { return s.Values[key] - prev.Values[key] }
+		fmt.Printf("%8s %5.0f %5.0f %5.1f%% %8.0f %8.0f %9.0f %12.6f\n",
+			fmt.Sprintf("%ds", s.VirtualUS()/1e6),
+			s.Values["lambdafs_faas_active_instances"],
+			s.Values["lambdafs_faas_warm_instances"],
+			100*s.Values["lambdafs_faas_pool_utilization"],
+			delta("lambdafs_faas_invocations_total"),
+			delta("lambdafs_core_cache_hits_total"),
+			delta("lambdafs_ndb_tx_commits_total"),
+			s.Values["lambdafs_cost_payperuse_usd"])
+		prev = s
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"lambdafs/internal/metrics"
 	"lambdafs/internal/ndb"
 	"lambdafs/internal/rpc"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 	"lambdafs/internal/workload"
 )
@@ -47,6 +48,11 @@ type Options struct {
 	// TraceDir, when non-empty, receives raw trace/event JSONL dumps from
 	// the experiments that run with tracing enabled.
 	TraceDir string
+	// MetricsDir, when non-empty, receives per-experiment telemetry
+	// artifacts: scraped snapshot series as JSON plus a final
+	// Prometheus-text registry dump, and flight-recorder JSONL dumps from
+	// failing chaos episodes.
+	MetricsDir string
 	// ChaosSeed, when > 0, makes the chaos experiment replay that single
 	// deterministic episode instead of its standard seed sweep (the seed a
 	// failing run printed).
@@ -222,6 +228,7 @@ type lambdaParams struct {
 	gatewayLatency time.Duration
 	seed           int64 // base seed for client RPC jitter (rpc.Config.Seed)
 	tracer         *trace.Tracer
+	metrics        *telemetry.Registry // nil → no telemetry plane
 	// Optional config hooks, applied just before each substrate is built
 	// (the chaos experiment wires fault-injection callbacks through these).
 	ndbHook  func(*ndb.Config)
@@ -251,17 +258,25 @@ func newLambdaCluster(clk *clock.Sim, p lambdaParams) *lambdaCluster {
 // config (ablations tweak subtree batching and offloading).
 func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.SystemConfig)) *lambdaCluster {
 	nCfg := ndbConfig()
+	nCfg.Metrics = p.metrics
 	if p.ndbHook != nil {
 		p.ndbHook(&nCfg)
 	}
 	db := ndb.New(clk, nCfg)
 	coCfg := coordinator.DefaultConfig()
 	coCfg.HopLatency = 300 * time.Microsecond
+	coCfg.Metrics = p.metrics
 	coCfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(db, id) }
 	coord := coordinator.NewZK(clk, coCfg)
 
 	lambda := metrics.NewLambdaMeter(clock.Epoch)
 	prov := metrics.NewProvisionedMeter(clock.Epoch)
+	// Cumulative cost under both billing models, sampled lazily at scrape
+	// time — the same pair the public Cluster registers.
+	p.metrics.GaugeFunc("lambdafs_cost_payperuse_usd",
+		func() float64 { return lambda.TotalUSD() })
+	p.metrics.GaugeFunc("lambdafs_cost_provisioned_usd",
+		func() float64 { return prov.TotalUSD() })
 	fCfg := faas.DefaultConfig()
 	fCfg.TotalVCPU = p.totalVCPU
 	fCfg.TotalRAMGB = 8192
@@ -272,6 +287,7 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 	fCfg.Lambda = lambda
 	fCfg.Provisioned = prov
 	fCfg.Tracer = p.tracer
+	fCfg.Metrics = p.metrics
 	if p.faasHook != nil {
 		p.faasHook(&fCfg)
 	}
@@ -279,6 +295,7 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 
 	eng := core.DefaultEngineConfig()
 	eng.CacheBudget = p.cacheBudget
+	eng.Metrics = p.metrics
 	sysCfg := core.SystemConfig{
 		Deployments:               p.deployments,
 		NameNodeVCPU:              p.nnVCPU,
@@ -297,6 +314,7 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 	rCfg := rpc.DefaultConfig()
 	rCfg.HTTPReplaceProb = p.replaceProb
 	rCfg.Seed = p.seed
+	rCfg.Metrics = p.metrics
 	if p.rpcHook != nil {
 		p.rpcHook(&rCfg)
 	}

@@ -11,6 +11,7 @@ import (
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/ndb"
 	"lambdafs/internal/rpc"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 	"lambdafs/internal/workload"
 )
@@ -71,7 +72,21 @@ func runChaosEpisodes(opts Options) *Table {
 	for _, seed := range seeds {
 		cfg := chaos.DefaultEpisode(seed)
 		cfg.Tracer = trace.New(clock.NewScaled(0), trace.Config{})
+		cfg.Metrics = telemetry.NewRegistry()
+		// The flight recorder rides along on every episode: the tracer's
+		// event sink feeds its ring, and on an invariant violation the
+		// freshest window is dumped for post-mortem replay.
+		fr := telemetry.NewFlightRecorder(0, 0)
+		cfg.Tracer.SetEventSink(fr.RecordEvent)
 		res := chaos.RunEpisode(cfg)
+		if len(res.Violations) > 0 && opts.MetricsDir != "" {
+			if path, err := dumpFlight(opts.MetricsDir,
+				fmt.Sprintf("chaos-flight-%d.jsonl", seed), fr, cfg.Metrics); err == nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("seed %d flight recorder: %s", seed, path))
+			} else {
+				t.Notes = append(t.Notes, fmt.Sprintf("seed %d flight recorder dump failed: %v", seed, err))
+			}
+		}
 		var fired uint64
 		mix := ""
 		for _, kind := range []chaos.FaultKind{
@@ -116,6 +131,15 @@ func runChaosStorm(opts Options) *Table {
 	p.seed = opts.Seed
 	p.deployments = 4
 	p.clientVMs = 2
+	reg := telemetry.NewRegistry()
+	p.metrics = reg
+	fr := telemetry.NewFlightRecorder(0, 0)
+	if opts.MetricsDir != "" {
+		// With artifact output requested, trace the storm so a violation's
+		// flight dump carries events alongside registry snapshots.
+		p.tracer = trace.New(clk, trace.Config{})
+		p.tracer.SetEventSink(fr.RecordEvent)
+	}
 	p.ndbHook = func(cfg *ndb.Config) {
 		cfg.OnCommit = inj.NDBOnCommit
 		cfg.OnShardService = inj.NDBOnShardService
@@ -136,6 +160,10 @@ func runChaosStorm(opts Options) *Table {
 		workload.PreloadNDB(c.db, dirs, files)
 	})
 	defer func() { clock.Run(clk, c.close) }()
+
+	scraper := telemetry.NewScraper(clk, reg, time.Second)
+	scraper.OnSnapshot(fr.RecordSnapshot)
+	scraper.Start()
 
 	clients, per := 32, 128
 	if opts.Tiny {
@@ -203,6 +231,8 @@ func runChaosStorm(opts Options) *Table {
 	clock.Run(clk, func() { violations = chaos.CheckStore(c.db) })
 	fired := inj.Fired()
 	stats := c.platform.Stats()
+	scraper.ScrapeNow()
+	scraper.Stop()
 
 	t := &Table{
 		ID:      "chaos-storm",
@@ -231,6 +261,16 @@ func runChaosStorm(opts Options) *Table {
 	}
 	if len(violations) == 0 {
 		t.Notes = append(t.Notes, "store structural invariants clean at quiescence")
+	}
+	if opts.MetricsDir != "" {
+		if err := writeTelemetryArtifacts(opts.MetricsDir, "chaos-storm", reg, scraper); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("metrics artifacts failed: %v", err))
+		}
+		if len(violations) > 0 {
+			if path, err := dumpFlight(opts.MetricsDir, "chaos-storm-flight.jsonl", fr, reg); err == nil {
+				t.Notes = append(t.Notes, "flight recorder: "+path)
+			}
+		}
 	}
 	return t
 }

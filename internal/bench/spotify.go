@@ -7,6 +7,7 @@ import (
 	"lambdafs/internal/clock"
 	"lambdafs/internal/metrics"
 	"lambdafs/internal/namespace"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/workload"
 )
 
@@ -62,10 +63,10 @@ func spotifyShape(opts Options, base float64) spotifyParams {
 type spotifyRun struct {
 	label     string
 	rec       *workload.Recorder
-	nnGauge   *metrics.Gauge // λFS variants only
-	costUSD   float64        // primary cost model
-	costCurve []float64      // cumulative per second
-	ppcCurve  []float64      // performance per cost, per second
+	nnSeries  []float64 // per-second active NameNode counts (λFS variants only)
+	costUSD   float64   // primary cost model
+	costCurve []float64 // cumulative per second
+	ppcCurve  []float64 // performance per cost, per second
 	vcpuUsed  float64
 }
 
@@ -85,16 +86,26 @@ func runSpotifyLambda(opts Options, sp spotifyParams, label string, cacheBudget 
 	if cacheBudget >= 0 {
 		p.cacheBudget = cacheBudget
 	}
+	reg := telemetry.NewRegistry()
+	p.metrics = reg
 	var c *lambdaCluster
-	gauge := metrics.NewGauge(clock.Epoch, time.Second)
 	dirs, files := workload.GenerateNamespace(sp.dirs, sp.files)
 	clock.Run(clk, func() {
 		c = newLambdaCluster(clk, p)
-		c.platform.SetInstanceGauge(gauge)
 		workload.PreloadNDB(c.db, dirs, files)
 	})
 	defer func() { clock.Run(clk, c.close) }()
 	tree := workload.NewTree(dirs, files)
+
+	// The scraper snapshots every registry instrument once per virtual
+	// second; the active-instance series feeds Figure 8's secondary axis
+	// (the old ad-hoc instance gauge, now read out of the telemetry plane).
+	gauge := metrics.NewGauge(clock.Epoch, time.Second)
+	scraper := telemetry.NewScraper(clk, reg, time.Second)
+	scraper.OnSnapshot(func(s telemetry.Snapshot) {
+		gauge.Sample(s.Time, s.Values["lambdafs_faas_active_instances"])
+	})
+	scraper.Start()
 
 	stopFaults := make(chan struct{})
 	if faultEvery > 0 {
@@ -115,16 +126,27 @@ func runSpotifyLambda(opts Options, sp spotifyParams, label string, cacheBudget 
 	})
 	close(stopFaults)
 	peakVCPU := c.platform.Stats().PeakVCPUUsed
+	var runEnd time.Time
+	clock.Run(clk, func() { runEnd = clk.Now() })
+	scraper.ScrapeNow() // capture the end-of-run state before stopping
+	scraper.Stop()
 	clock.Run(clk, c.close) // flush provisioned billing
 
 	run := &spotifyRun{
-		label:     label,
-		rec:       rec,
-		nnGauge:   gauge,
+		label: label,
+		rec:   rec,
+		// ValuesUntil pads the series to the end of the run so a pool
+		// that went quiet early still renders across the full timeline.
+		nnSeries:  gauge.ValuesUntil(runEnd),
 		costUSD:   c.lambda.TotalUSD(),
 		costCurve: c.lambda.CumulativeUSD(),
 		ppcCurve:  metrics.PerfPerCostSeries(rec.Throughput.Rate(), c.lambda.PerSecondUSD()),
 		vcpuUsed:  peakVCPU,
+	}
+	if opts.MetricsDir != "" {
+		if err := writeTelemetryArtifacts(opts.MetricsDir, "spotify-"+sanitizeName(label), reg, scraper); err != nil {
+			fmt.Fprintf(opts.out(), "metrics: %v\n", err)
+		}
 	}
 	return run
 }
@@ -236,8 +258,8 @@ func RunFig8(opts Options, base float64) []*Table {
 	}
 	for _, r := range runs {
 		nn := "-"
-		if r.nnGauge != nil {
-			vals := r.nnGauge.Values()
+		if r.nnSeries != nil {
+			vals := r.nnSeries
 			min, max := 1e18, 0.0
 			for _, v := range vals {
 				if v > 0 && v < min {
@@ -296,10 +318,7 @@ func throughputTimeline(id string, runs []*spotifyRun) *Table {
 		series.Columns = append(series.Columns, r.label)
 	}
 	series.Columns = append(series.Columns, "λFS NNs")
-	var gauge []float64
-	if runs[0].nnGauge != nil {
-		gauge = runs[0].nnGauge.Values()
-	}
+	gauge := runs[0].nnSeries
 	step := maxLen / 20
 	if step < 1 {
 		step = 1

@@ -16,6 +16,7 @@ import (
 	"lambdafs/internal/ndb"
 	"lambdafs/internal/partition"
 	"lambdafs/internal/store"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
 
@@ -41,6 +42,17 @@ type EpisodeConfig struct {
 	// Tracer, when non-nil, records per-op traces and chaos_fault events
 	// for post-mortem JSONL dumps (PR-1 observability).
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, wires the episode's store and engines into a
+	// telemetry registry (scraped by a flight recorder for failure
+	// dumps).
+	Metrics *telemetry.Registry
+	// Sabotage, when non-nil, runs at the top of every step with direct
+	// store access, BEFORE the step's operation and invariant checks. It
+	// exists for telemetry/flight-recorder regression tests that need a
+	// guaranteed invariant violation at a chosen step (e.g. Preload a
+	// ghost inode the oracle never saw); production episodes leave it
+	// nil.
+	Sabotage func(step int, db *ndb.DB)
 }
 
 // DefaultEpisode returns the standard randomized-test shape.
@@ -128,6 +140,7 @@ func RunEpisode(cfg EpisodeConfig) *Result {
 	ncfg.LockWaitTimeout = 150 * time.Millisecond
 	ncfg.OnCommit = ep.inj.NDBOnCommit
 	ncfg.OnShardService = ep.inj.NDBOnShardService
+	ncfg.Metrics = cfg.Metrics
 	ep.db = ndb.New(ep.clk, ncfg)
 
 	ccfg := coordinator.DefaultConfig()
@@ -139,6 +152,7 @@ func RunEpisode(cfg EpisodeConfig) *Result {
 	ep.ecfg = core.DefaultEngineConfig()
 	ep.ecfg.OpCPUCost = 0
 	ep.ecfg.SubtreeCPUPerINode = 0
+	ep.ecfg.Metrics = cfg.Metrics
 
 	for i := 0; i < cfg.Engines; i++ {
 		ep.engines = append(ep.engines, nil)
@@ -148,6 +162,9 @@ func RunEpisode(cfg EpisodeConfig) *Result {
 	ep.prev = ep.db.Stats()
 
 	for step := 0; step < cfg.Steps && !ep.res.Failed(); step++ {
+		if cfg.Sabotage != nil {
+			cfg.Sabotage(step, ep.db)
+		}
 		fault := ep.maybeArmFault(step)
 		ep.runStep(step, fault)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"lambdafs/internal/namespace"
+	"lambdafs/internal/telemetry"
 )
 
 // Invalidation is the payload of an INV message (§3.5, Appendix D).
@@ -87,6 +88,12 @@ type Config struct {
 	// OnCrash, when set, is invoked with the instance ID of every crashed
 	// session (used to break store locks, §3.6).
 	OnCrash func(id string)
+
+	// Metrics, when non-nil, receives coordinator instruments
+	// (lambdafs_coordinator_*): live session gauge, lease open/expiry
+	// counters, invalidation rounds and watch deliveries, and leader
+	// failovers.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns ZooKeeper-like latencies: sub-millisecond hops.

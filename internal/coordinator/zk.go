@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lambdafs/internal/clock"
+	"lambdafs/internal/telemetry"
 )
 
 // ZK is the ZooKeeper-like in-memory Coordinator: ephemeral sessions for
@@ -14,9 +15,31 @@ type ZK struct {
 	clk clock.Clock
 	cfg Config
 
+	tel coordTelemetry
+
 	mu      sync.Mutex
 	deps    map[int]map[string]*zkSession
 	leaders map[string][]string // group -> ordered candidate ids
+}
+
+// coordTelemetry holds the coordinator's registry counters; instruments
+// are nil (no-op) when Config.Metrics is unset.
+type coordTelemetry struct {
+	leasesOpened  *telemetry.Counter
+	leaseExpiries *telemetry.Counter
+	invalidations *telemetry.Counter
+	watches       *telemetry.Counter
+	failovers     *telemetry.Counter
+}
+
+func newCoordTelemetry(reg *telemetry.Registry) coordTelemetry {
+	return coordTelemetry{
+		leasesOpened:  reg.Counter("lambdafs_coordinator_leases_opened_total"),
+		leaseExpiries: reg.Counter("lambdafs_coordinator_lease_expiries_total"),
+		invalidations: reg.Counter("lambdafs_coordinator_invalidations_total"),
+		watches:       reg.Counter("lambdafs_coordinator_watch_deliveries_total"),
+		failovers:     reg.Counter("lambdafs_coordinator_failovers_total"),
+	}
 }
 
 var _ Coordinator = (*ZK)(nil)
@@ -37,12 +60,18 @@ func NewZK(clk clock.Clock, cfg Config) *ZK {
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 30 * time.Second
 	}
-	return &ZK{
+	z := &ZK{
 		clk:     clk,
 		cfg:     cfg,
+		tel:     newCoordTelemetry(cfg.Metrics),
 		deps:    make(map[int]map[string]*zkSession),
 		leaders: make(map[string][]string),
 	}
+	// The session gauge reads MemberCount, which takes z.mu briefly; the
+	// scraper invokes it from its own goroutine, never under z.mu.
+	cfg.Metrics.GaugeFunc("lambdafs_coordinator_sessions",
+		func() float64 { return float64(z.MemberCount()) })
+	return z
 }
 
 // Register adds an instance to deployment dep.
@@ -54,6 +83,7 @@ func (z *ZK) Register(dep int, id string, h Handler) Session {
 	}
 	z.deps[dep][id] = s
 	z.mu.Unlock()
+	z.tel.leasesOpened.Inc()
 	return s
 }
 
@@ -68,15 +98,25 @@ func (s *zkSession) end(crashed bool) {
 	}
 	s.closed = true
 	delete(z.deps[s.dep], s.id)
+	failovers := 0
 	for group, ids := range z.leaders {
 		for i, id := range ids {
 			if id == s.id {
+				// Losing the group's leader with a successor queued is a
+				// leader failover: the next candidate takes over.
+				if i == 0 && len(ids) > 1 {
+					failovers++
+				}
 				z.leaders[group] = append(ids[:i], ids[i+1:]...)
 				break
 			}
 		}
 	}
 	z.mu.Unlock()
+	z.tel.failovers.Add(float64(failovers))
+	if crashed {
+		z.tel.leaseExpiries.Inc()
+	}
 	close(s.gone)
 	if crashed && z.cfg.OnCrash != nil {
 		z.cfg.OnCrash(s.id)
@@ -123,9 +163,11 @@ func (z *ZK) Invalidate(deps []int, inv Invalidation) error {
 		}
 	}
 	z.mu.Unlock()
+	z.tel.invalidations.Inc()
 	if len(targets) == 0 {
 		return nil
 	}
+	z.tel.watches.Add(float64(len(targets)))
 
 	type result struct{ ok bool }
 	acks := make(chan result, len(targets))
@@ -201,6 +243,7 @@ func (z *ZK) Depose(group string) string {
 		return ""
 	}
 	z.leaders[group] = append(ids[1:], ids[0])
+	z.tel.failovers.Inc()
 	return z.leaders[group][0]
 }
 

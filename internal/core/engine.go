@@ -25,6 +25,7 @@ import (
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/partition"
 	"lambdafs/internal/store"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
 
@@ -71,6 +72,12 @@ type EngineConfig struct {
 	// request to a non-owner deployment: the op is served without
 	// populating the cache.
 	PassThroughNonOwner bool
+
+	// Metrics, when non-nil, receives engine instruments
+	// (lambdafs_core_*): metadata-cache hits/misses and invalidation
+	// rounds. Engines sharing one config share the counters (registry
+	// get-or-create), giving fleet-wide totals.
+	Metrics *telemetry.Registry
 }
 
 // DefaultEngineConfig matches the evaluation's λFS NameNode settings.
@@ -103,6 +110,26 @@ type Engine struct {
 	dnview  *datanode.View
 	results *resultCache
 	offload Offloader // nil → run subtree batches locally
+	tel     coreTelemetry
+}
+
+// coreTelemetry holds the engine's registry counters; instruments are
+// nil (no-op) when EngineConfig.Metrics is unset. Unlike
+// System.CacheStats — which aggregates live engines only — these
+// counters accumulate across every engine ever started, so they survive
+// NameNode reclamation.
+type coreTelemetry struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	invRounds *telemetry.Counter
+}
+
+func newCoreTelemetry(reg *telemetry.Registry) coreTelemetry {
+	return coreTelemetry{
+		hits:      reg.Counter("lambdafs_core_cache_hits_total"),
+		misses:    reg.Counter("lambdafs_core_cache_misses_total"),
+		invRounds: reg.Counter("lambdafs_core_invalidation_rounds_total"),
+	}
 }
 
 // NewEngine builds an engine. ring may be nil for unpartitioned
@@ -124,6 +151,7 @@ func NewEngine(id string, dep int, clk clock.Clock, st store.Store, ring *partit
 	if cfg.CacheBudget >= 0 {
 		e.cache = cache.New(cfg.CacheBudget)
 	}
+	e.tel = newCoreTelemetry(cfg.Metrics)
 	return e
 }
 
@@ -254,8 +282,10 @@ func (e *Engine) cachingAllowed(path string) bool {
 func (e *Engine) resolve(tc *trace.Ctx, path string) (chain []*namespace.INode, hit bool, err error) {
 	if e.cachingAllowed(path) {
 		if chain, ok := e.cache.Lookup(path); ok {
+			e.tel.hits.Inc()
 			return chain, true, nil
 		}
+		e.tel.misses.Inc()
 		tx := e.begin(tc)
 		defer tx.Abort()
 		chain, err := tx.ResolvePath(path, store.LockShared)
@@ -332,8 +362,10 @@ func (e *Engine) ls(tc *trace.Ctx, path string) *namespace.Response {
 	allowed := e.cachingAllowed(path)
 	if allowed {
 		if kids, ok := e.cache.Listing(path); ok {
+			e.tel.hits.Inc()
 			return &namespace.Response{Entries: toEntries(kids), CacheHit: true}
 		}
+		e.tel.misses.Inc()
 	}
 	tx := e.begin(tc)
 	defer tx.Abort()
@@ -402,6 +434,7 @@ func (e *Engine) invTargets(paths ...string) []int {
 // exchange becomes a coherence.inv span and one coherence_inv event whose
 // duration is the ACK wait.
 func (e *Engine) invalidateAll(tc *trace.Ctx, deps []int, paths ...string) error {
+	e.tel.invRounds.Inc()
 	sp := tc.Start(trace.KindCoherence)
 	var start time.Time
 	if tc != nil {

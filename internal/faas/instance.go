@@ -199,6 +199,7 @@ func (inst *Instance) serveHTTP(payload any) any {
 		p.mu.Lock()
 		p.stats.Kills++
 		p.mu.Unlock()
+		p.tel.kills.Inc()
 		p.cfg.Tracer.Emit(trace.Event{
 			Type: trace.EventKill, Deployment: inst.d.index, Instance: inst.id,
 			Detail: "mid-invocation",
@@ -268,5 +269,4 @@ func (inst *Instance) terminate(crashed bool) {
 		default:
 		}
 	}
-	p.sampleGauge()
 }

@@ -20,6 +20,7 @@ import (
 
 	"lambdafs/internal/clock"
 	"lambdafs/internal/metrics"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
 
@@ -90,6 +91,12 @@ type Config struct {
 	// cold-start storms and pool exhaustion). Must be safe for concurrent
 	// use.
 	OnProvision func(dep int) bool
+
+	// Metrics, when non-nil, receives platform instruments
+	// (lambdafs_faas_*): invocation/cold-start/reclaim/evict/kill
+	// counters mirroring Stats plus live pool gauges (active instances,
+	// warm instances, vCPU in use, utilization).
+	Metrics *telemetry.Registry
 }
 
 // NuclioConfig returns a Nuclio-flavoured platform profile (§4: λFS also
@@ -192,9 +199,7 @@ type Platform struct {
 	stats       Stats
 	stopReclaim chan struct{}
 
-	// instGauge samples active instance counts for Figure 8's secondary
-	// axis; nil when unused.
-	instGauge *metrics.Gauge
+	tel faasTelemetry
 }
 
 // Deployment is one registered serverless function.
@@ -223,30 +228,12 @@ func New(clk clock.Clock, cfg Config) *Platform {
 		cfg.InvokeQueueTimeout = 15 * time.Second
 	}
 	p := &Platform{clk: clk, cfg: cfg, stopReclaim: make(chan struct{})}
+	p.tel = newFaasTelemetry(cfg.Metrics)
+	if cfg.Metrics != nil {
+		p.registerPoolGauges(cfg.Metrics)
+	}
 	clock.Go(clk, p.reclaimLoop)
 	return p
-}
-
-// SetInstanceGauge installs a gauge sampled with the live instance count
-// on every scale event.
-func (p *Platform) SetInstanceGauge(g *metrics.Gauge) {
-	p.mu.Lock()
-	p.instGauge = g
-	p.mu.Unlock()
-	p.sampleGauge()
-}
-
-func (p *Platform) sampleGauge() {
-	p.mu.Lock()
-	g := p.instGauge
-	n := 0
-	for _, d := range p.deployments {
-		n += d.aliveCount()
-	}
-	p.mu.Unlock()
-	if g != nil {
-		g.Sample(p.clk.Now(), float64(n))
-	}
 }
 
 // Register adds a function deployment named name.
@@ -317,6 +304,7 @@ func (d *Deployment) Invoke(payload any) (any, error) {
 	}
 	p.stats.Invocations++
 	p.mu.Unlock()
+	p.tel.invocations.Inc()
 
 	tc := traceOf(payload)
 	gsp := tc.Start(trace.KindGateway)
@@ -334,6 +322,7 @@ func (d *Deployment) Invoke(payload any) (any, error) {
 		p.mu.Lock()
 		p.stats.Rejections++
 		p.mu.Unlock()
+		p.tel.rejections.Inc()
 		if debugAdmit {
 			d.mu.Lock()
 			alive, busySlots := 0, 0
@@ -482,6 +471,8 @@ func (d *Deployment) provisionT(chargeColdStart bool, tc *trace.Ctx) *Instance {
 	p.stats.ColdStarts++
 	p.stats.ColdStartTime += p.cfg.ColdStart
 	p.mu.Unlock()
+	p.tel.coldStarts.Inc()
+	p.tel.coldStartSec.Add(p.cfg.ColdStart.Seconds())
 
 	inst := newInstance(d, id)
 	if chargeColdStart {
@@ -510,7 +501,6 @@ func (d *Deployment) provisionT(chargeColdStart bool, tc *trace.Ctx) *Instance {
 	p.clk.Sleep(p.cfg.ColdStart)
 	csp.End()
 	inst.start()
-	p.sampleGauge()
 	return inst
 }
 
@@ -557,6 +547,7 @@ func (p *Platform) evictIdleLocked(requester *Deployment) bool {
 	victim.draining = true
 	victim.d.mu.Unlock()
 	p.stats.Evictions++
+	p.tel.evictions.Inc()
 	p.cfg.Tracer.Emit(trace.Event{
 		Type: trace.EventEvict, Deployment: victim.d.index, Instance: victim.id,
 		Dur:    victimIdle,
@@ -619,6 +610,7 @@ func (p *Platform) reclaimLoop() {
 				p.mu.Lock()
 				p.stats.Reclamations++
 				p.mu.Unlock()
+				p.tel.reclamations.Inc()
 				p.cfg.Tracer.Emit(trace.Event{
 					Type: trace.EventReclaim, Deployment: d.index, Instance: v.id,
 					Dur: now.Sub(v.lastActive),
@@ -661,6 +653,7 @@ func (p *Platform) killOneInstance(dep int) bool {
 	p.mu.Lock()
 	p.stats.Kills++
 	p.mu.Unlock()
+	p.tel.kills.Inc()
 	p.cfg.Tracer.Emit(trace.Event{
 		Type: trace.EventKill, Deployment: d.index, Instance: victim.id,
 	})
@@ -711,6 +704,25 @@ func (p *Platform) ActiveInstances() int {
 	n := 0
 	for _, d := range deps {
 		n += d.aliveCount()
+	}
+	return n
+}
+
+// WarmInstances returns the number of live instances with no request in
+// flight — the warm pool available to absorb load without a cold start.
+func (p *Platform) WarmInstances() int {
+	p.mu.Lock()
+	deps := append([]*Deployment(nil), p.deployments...)
+	p.mu.Unlock()
+	n := 0
+	for _, d := range deps {
+		d.mu.Lock()
+		for _, inst := range d.instances {
+			if inst.aliveLocked() && !inst.busy() {
+				n++
+			}
+		}
+		d.mu.Unlock()
 	}
 	return n
 }

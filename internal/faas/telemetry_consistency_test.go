@@ -1,0 +1,127 @@
+package faas
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/telemetry"
+)
+
+// TestStatsMatchRegistry cross-checks Platform.Stats against the telemetry
+// registry after a run that exercises cold starts, scale-out, rejections,
+// kills, and idle reclamation. Every registry bump is co-located with its
+// Stats increment, so the two accounting paths must agree exactly.
+func TestStatsMatchRegistry(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ColdStart = 2 * time.Millisecond
+	cfg.IdleReclaim = 50 * time.Millisecond
+	cfg.ReclaimInterval = 10 * time.Millisecond
+	cfg.TotalVCPU = 64
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	p := New(clock.NewScaled(1), cfg) // real-time clock drives the reclaimer
+	defer p.Close()
+	tr := &appTracker{}
+	d := p.Register("nn0", tr.factory(nil, 0), DeploymentOptions{VCPU: 2, RAMGB: 1, ConcurrencyLevel: 1})
+
+	// Parallel invokes against concurrency 1 force scale-out, so several
+	// instances cold-start.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = d.Invoke("x")
+		}()
+	}
+	wg.Wait()
+	p.KillOneInstance(0)
+
+	// Let the reclaimer scale the rest in.
+	deadline := time.Now().Add(3 * time.Second)
+	for d.AliveInstances() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s := p.Stats()
+	if s.ColdStarts < 2 {
+		t.Fatalf("test did not exercise scale-out: %d cold starts", s.ColdStarts)
+	}
+	if s.Reclamations == 0 {
+		t.Fatal("test did not exercise idle reclamation")
+	}
+	if s.Kills != 1 {
+		t.Fatalf("kills = %d, want 1", s.Kills)
+	}
+
+	check := func(name string, want uint64) {
+		t.Helper()
+		if got := uint64(reg.Counter(name).Value()); got != want {
+			t.Errorf("%s = %d, Stats says %d", name, got, want)
+		}
+	}
+	check("lambdafs_faas_invocations_total", s.Invocations)
+	check("lambdafs_faas_cold_starts_total", s.ColdStarts)
+	check("lambdafs_faas_reclamations_total", s.Reclamations)
+	check("lambdafs_faas_evictions_total", s.Evictions)
+	check("lambdafs_faas_kills_total", s.Kills)
+	check("lambdafs_faas_rejections_total", s.Rejections)
+	if got := reg.Counter("lambdafs_faas_cold_start_seconds_total").Value(); math.Abs(got-s.ColdStartTime.Seconds()) > 1e-9 {
+		t.Errorf("cold_start_seconds_total = %v, Stats says %v", got, s.ColdStartTime.Seconds())
+	}
+}
+
+// TestEvictionsMatchRegistry drives the evict-for-space path (thrashing)
+// and cross-checks the eviction counter the same way.
+func TestEvictionsMatchRegistry(t *testing.T) {
+	cfg := fastCfg()
+	cfg.TotalVCPU = 8
+	cfg.MaxUtilization = 1
+	cfg.EvictForSpace = true
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	p := New(clock.NewScaled(0), cfg)
+	defer p.Close()
+	tr := &appTracker{}
+	// Two concurrent blocking invokes scale d0 out to two instances,
+	// filling the pool; once released, both go idle above the floor of 1.
+	block := make(chan struct{})
+	d0 := p.Register("idle", tr.factory(block, 0), DeploymentOptions{VCPU: 4, RAMGB: 1, ConcurrencyLevel: 1, MinInstances: 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = d0.Invoke("warm")
+		}()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for d0.AliveInstances() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	wg.Wait()
+	if d0.AliveInstances() != 2 {
+		t.Fatalf("scale-out did not happen: %d instances", d0.AliveInstances())
+	}
+
+	// A new deployment demanding room must evict an idle d0 instance.
+	d1 := p.Register("hot", tr.factory(nil, 0), DeploymentOptions{VCPU: 4, RAMGB: 1, ConcurrencyLevel: 1})
+	if _, err := d1.Invoke("x"); err != nil {
+		t.Fatal(err)
+	}
+
+	s := p.Stats()
+	if s.Evictions == 0 {
+		t.Fatal("test did not exercise eviction")
+	}
+	if got := uint64(reg.Counter("lambdafs_faas_evictions_total").Value()); got != s.Evictions {
+		t.Errorf("evictions_total = %d, Stats says %d", got, s.Evictions)
+	}
+	if got := uint64(reg.Counter("lambdafs_faas_invocations_total").Value()); got != s.Invocations {
+		t.Errorf("invocations_total = %d, Stats says %d", got, s.Invocations)
+	}
+}

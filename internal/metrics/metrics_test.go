@@ -190,6 +190,37 @@ func TestGaugeCarriesForward(t *testing.T) {
 	}
 }
 
+func TestGaugeValuesUntilPadsToNow(t *testing.T) {
+	g := NewGauge(clock.Epoch, time.Second)
+	g.Sample(clock.Epoch, 5)
+	g.Sample(clock.Epoch.Add(2*time.Second), 9)
+	// The run keeps going for four more seconds after the gauge's last
+	// sample; Values() truncates at bucket 2, ValuesUntil(runEnd) carries
+	// 9 forward so the rendered series spans the whole run.
+	if vals := g.Values(); len(vals) != 3 {
+		t.Fatalf("Values() = %v, want 3 buckets", vals)
+	}
+	vals := g.ValuesUntil(clock.Epoch.Add(6*time.Second + 500*time.Millisecond))
+	want := []float64{5, 5, 9, 9, 9, 9, 9}
+	if len(vals) != len(want) {
+		t.Fatalf("ValuesUntil = %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("ValuesUntil = %v, want %v", vals, want)
+		}
+	}
+	// A time at or before the last sampled bucket degrades to Values().
+	if vals := g.ValuesUntil(clock.Epoch.Add(time.Second)); len(vals) != 3 {
+		t.Fatalf("ValuesUntil(past) = %v, want plain Values() length 3", vals)
+	}
+	// And on a never-sampled gauge it still pads with zeros.
+	empty := NewGauge(clock.Epoch, time.Second)
+	if vals := empty.ValuesUntil(clock.Epoch.Add(2 * time.Second)); len(vals) != 3 {
+		t.Fatalf("empty ValuesUntil = %v, want 3 zero buckets", vals)
+	}
+}
+
 func TestLambdaMeterBilling(t *testing.T) {
 	m := NewLambdaMeter(clock.Epoch)
 	m.BillActive(clock.Epoch, time.Second, 6) // 6 GB-seconds

@@ -161,6 +161,34 @@ func (g *Gauge) Values() []float64 {
 	return out
 }
 
+// ValuesUntil returns the per-bucket samples padded out to the bucket
+// containing t, carrying the last seen value forward through empty
+// buckets — including trailing ones past the final sample. Values()
+// truncates at the last sampled bucket, which silently shortens a series
+// whose gauge went quiet before the end of the run; exposition and the
+// shell dashboard use ValuesUntil(runEnd) so the rendered series spans
+// the whole experiment. Times at or before origin yield the plain
+// Values() result.
+func (g *Gauge) ValuesUntil(t time.Time) []float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.vals)
+	if d := t.Sub(g.origin); d > 0 {
+		if want := int(d/g.width) + 1; want > n {
+			n = want
+		}
+	}
+	out := make([]float64, n)
+	var last float64
+	for i := 0; i < n; i++ {
+		if i < len(g.vals) && g.set[i] {
+			last = g.vals[i]
+		}
+		out[i] = last
+	}
+	return out
+}
+
 // Max returns the maximum sampled value over the gauge's lifetime.
 func (g *Gauge) Max() float64 {
 	g.mu.Lock()

@@ -6,6 +6,7 @@ import (
 
 	"lambdafs/internal/clock"
 	"lambdafs/internal/store"
+	"lambdafs/internal/telemetry"
 )
 
 // lockManager implements strict two-phase row locking with shared and
@@ -24,6 +25,9 @@ type lockManager struct {
 	ownerOfTx   map[string]string   // txKey -> owner
 	txHoldings  map[string][]string // txKey -> row keys held
 	waitTimeout time.Duration
+	// waits counts acquisitions that could not be granted immediately
+	// (nil-safe; set by ndb.New when a telemetry registry is wired).
+	waits *telemetry.Counter
 }
 
 type rowLock struct {
@@ -117,6 +121,7 @@ func (lm *lockManager) Acquire(txKey, key string, exclusive bool) error {
 	w := &lockWaiter{txKey: txKey, exclusive: exclusive, ready: make(chan struct{})}
 	rl.waiters = append(rl.waiters, w)
 	lm.mu.Unlock()
+	lm.waits.Inc()
 
 	timeout := clock.Timeout(lm.clk, lm.waitTimeout)
 	timedOut := false

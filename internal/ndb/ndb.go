@@ -19,6 +19,7 @@ import (
 	"lambdafs/internal/clock"
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/store"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	// is returned to the caller (fault injection: transaction aborts).
 	// It must be safe for concurrent use.
 	OnCommit func(owner string) error
+
+	// Metrics, when non-nil, receives store instruments
+	// (lambdafs_ndb_*): per-shard queue depth gauges, lock waits, and
+	// mirrors of the Stats counters.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig mirrors the paper's 4-data-node NDB deployment with
@@ -95,6 +101,7 @@ type DB struct {
 	shards  []*shard
 	stats   Stats
 	statsMu sync.Mutex
+	tel     *storeTelemetry
 }
 
 var (
@@ -147,6 +154,11 @@ func New(clk clock.Clock, cfg Config) *DB {
 		for w := 0; w < cfg.WorkersPerNode; w++ {
 			clock.Go(clk, func() { sh.run(clk) })
 		}
+	}
+	if cfg.Metrics != nil {
+		db.tel = newStoreTelemetry(cfg.Metrics)
+		db.locks.waits = cfg.Metrics.Counter("lambdafs_ndb_lock_waits_total")
+		registerShardGauges(cfg.Metrics, db.shards)
 	}
 	return db
 }
@@ -221,8 +233,13 @@ func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
 
 func (db *DB) bumpStat(f func(*Stats)) {
 	db.statsMu.Lock()
+	before := db.stats
 	f(&db.stats)
+	after := db.stats
 	db.statsMu.Unlock()
+	// Mirror the deltas into the telemetry registry outside the stats
+	// lock; counters there agree with Stats() by construction.
+	db.tel.mirror(before, after)
 }
 
 // Stats returns a snapshot of the store counters.

@@ -1,0 +1,52 @@
+package ndb
+
+import (
+	"strconv"
+
+	"lambdafs/internal/telemetry"
+)
+
+// storeTelemetry mirrors the Stats counters into the telemetry registry.
+// The mirroring happens in bumpStat from before/after deltas, so the
+// registry counters agree with Stats() by construction. All fields are
+// nil-safe instruments: with no registry wired the mirror is a no-op.
+type storeTelemetry struct {
+	reads        *telemetry.Counter
+	writes       *telemetry.Counter
+	commits      *telemetry.Counter
+	aborts       *telemetry.Counter
+	lockTimeouts *telemetry.Counter
+}
+
+func newStoreTelemetry(reg *telemetry.Registry) *storeTelemetry {
+	return &storeTelemetry{
+		reads:        reg.Counter("lambdafs_ndb_reads_total"),
+		writes:       reg.Counter("lambdafs_ndb_writes_total"),
+		commits:      reg.Counter("lambdafs_ndb_tx_commits_total"),
+		aborts:       reg.Counter("lambdafs_ndb_tx_aborts_total"),
+		lockTimeouts: reg.Counter("lambdafs_ndb_lock_timeouts_total"),
+	}
+}
+
+func (t *storeTelemetry) mirror(before, after Stats) {
+	if t == nil {
+		return
+	}
+	t.reads.Add(float64(after.Reads - before.Reads))
+	t.writes.Add(float64(after.Writes - before.Writes))
+	t.commits.Add(float64(after.Commits - before.Commits))
+	t.aborts.Add(float64(after.Aborts - before.Aborts))
+	t.lockTimeouts.Add(float64(after.LockTimeouts - before.LockTimeouts))
+}
+
+// registerShardGauges exposes each data-node shard's instantaneous queue
+// depth. Reading len() of the task channel is concurrency-safe and takes
+// no store locks, so the scraper can sample it at any time.
+func registerShardGauges(reg *telemetry.Registry, shards []*shard) {
+	for i := range shards {
+		sh := shards[i]
+		reg.GaugeFunc("lambdafs_ndb_queue_depth",
+			func() float64 { return float64(len(sh.tasks)) },
+			telemetry.L("shard", strconv.Itoa(i)))
+	}
+}

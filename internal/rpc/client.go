@@ -29,6 +29,7 @@ type Client struct {
 	seq    atomic.Uint64
 	window *metrics.MovingWindow
 	tracer *trace.Tracer // nil when tracing is off
+	tel    rpcTelemetry  // instruments are nil when telemetry is off
 
 	mu              sync.Mutex
 	rng             *rand.Rand
@@ -51,6 +52,7 @@ func (vm *VM) NewClient(id string, ring *partition.Ring, inv Invoker) *Client {
 		cfg:    vm.cfg,
 		window: metrics.NewMovingWindow(vm.cfg.LatencyWindow),
 		tracer: vm.Tracer(),
+		tel:    vm.tel,
 		rng:    rand.New(rand.NewSource(clientSeed(vm.cfg.Seed, id))),
 	}
 }
@@ -140,6 +142,7 @@ func (c *Client) noteLatency(lat time.Duration) {
 		}
 		c.mu.Unlock()
 		c.stats.antiThrash.Add(1)
+		c.tel.antiThrash.Inc()
 	}
 }
 
@@ -155,9 +158,13 @@ func (c *Client) Do(op namespace.OpType, path, dest string) (*namespace.Response
 	tc := c.tracer.StartTrace(op.String(), path, c.id)
 	dep := c.ring.DeploymentForPath(path)
 	start := c.vm.clk.Now()
+	c.tel.inflight.Add(1)
 	resp, err := c.attempt(tc, dep, req)
+	c.tel.inflight.Add(-1)
 	if err == nil {
-		c.noteLatency(c.vm.clk.Since(start))
+		lat := c.vm.clk.Since(start)
+		c.noteLatency(lat)
+		c.tel.latency.Observe(lat)
 	}
 	if tc != nil {
 		switch {
@@ -178,6 +185,7 @@ func (c *Client) attempt(tc *trace.Ctx, dep int, req namespace.Request) (*namesp
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.stats.retries.Add(1)
+			c.tel.retries.Inc()
 			tc.Emit(trace.Event{
 				Type: trace.EventRetry, Client: c.id, Deployment: dep,
 				Detail: fmt.Sprintf("attempt=%d", attempt),
@@ -207,6 +215,8 @@ func (c *Client) attempt(tc *trace.Ctx, dep int, req namespace.Request) (*namesp
 		}
 		lastErr = err
 	}
+	// Retry budget exhausted: the operation times out at the client.
+	c.tel.timeouts.Inc()
 	return nil, lastErr
 }
 
@@ -231,6 +241,7 @@ func (c *Client) backoff(attempt int) {
 // effect (handled by the NameNode via Payload.ReplyTo).
 func (c *Client) callHTTP(tc *trace.Ctx, dep int, req namespace.Request) (*namespace.Response, error) {
 	c.stats.http.Add(1)
+	c.tel.http.Inc()
 	sp := tc.Start(trace.KindRPCHTTP)
 	sp.SetDeployment(dep)
 	// Re-point the request's context at the transport span so server-side
@@ -267,6 +278,7 @@ func (c *Client) callTCP(tc *trace.Ctx, conn *Conn, req namespace.Request) (*nam
 		}
 	}
 	c.stats.tcp.Add(1)
+	c.tel.tcp.Inc()
 	sp := tc.Start(trace.KindRPCTCP)
 	sp.SetDeployment(conn.inst.DeploymentIndex())
 	sp.SetInstance(conn.InstanceID())
@@ -327,11 +339,13 @@ func (c *Client) callTCPHedged(tc *trace.Ctx, dep int, conn *Conn, req namespace
 		if primary.err != nil {
 			c.connBroken(dep, conn)
 			c.stats.failovers.Add(1)
+			c.tel.failovers.Inc()
 		}
 		return primary.resp, primary.err
 	}
 	// Straggler: hedge on a different instance, falling back to HTTP.
 	c.stats.hedges.Add(1)
+	c.tel.hedges.Inc()
 	tc.Emit(trace.Event{
 		Type: trace.EventHedgedRetry, Client: c.id, Deployment: dep,
 		Instance: conn.InstanceID(), Dur: threshold,
@@ -371,6 +385,7 @@ func (c *Client) tcpWithFailover(tc *trace.Ctx, dep int, conn *Conn, req namespa
 	}
 	c.connBroken(dep, conn)
 	c.stats.failovers.Add(1)
+	c.tel.failovers.Inc()
 	if alt, _ := c.vm.findConn(dep, c.tcp, conn); alt != nil {
 		if resp, err2 := c.callTCP(tc, alt, req); err2 == nil {
 			return resp, nil

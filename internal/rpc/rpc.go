@@ -23,6 +23,7 @@ import (
 	"lambdafs/internal/clock"
 	"lambdafs/internal/faas"
 	"lambdafs/internal/namespace"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
 
@@ -94,6 +95,12 @@ type Config struct {
 	// fails it with a lost connection, forcing the failover and replacement
 	// paths. Must be safe for concurrent use.
 	OnTCPFault func(clientID string, dep int) (drop bool, delay time.Duration)
+
+	// Metrics, when non-nil, receives RPC instruments (lambdafs_rpc_*):
+	// in-flight gauge, end-to-end latency histogram, and counters for
+	// TCP/HTTP calls, retries, hedges, retry-budget exhaustions,
+	// failovers, and anti-thrash triggers.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig mirrors the paper's settings: ~0.3 ms one-way TCP,
@@ -219,6 +226,8 @@ type VM struct {
 	clk clock.Clock
 	cfg Config
 
+	tel rpcTelemetry
+
 	mu         sync.Mutex
 	servers    []*TCPServer
 	numClients int
@@ -251,7 +260,7 @@ func NewVM(clk clock.Clock, cfg Config) *VM {
 	if cfg.LatencyWindow <= 0 {
 		cfg.LatencyWindow = 64
 	}
-	return &VM{clk: clk, cfg: cfg}
+	return &VM{clk: clk, cfg: cfg, tel: newRPCTelemetry(cfg.Metrics)}
 }
 
 // assignServer places a new client on a TCP server, creating servers as

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden pins the text exposition format: stable name and
+// label ordering, one # TYPE header per metric name, counters/gauges as
+// single samples, histograms as summaries. Any formatting change must
+// update this golden deliberately.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lambdafs_core_cache_hits_total").Add(7)
+	r.Gauge("lambdafs_faas_active_instances").Set(3)
+	r.Gauge("lambdafs_ndb_queue_depth", L("shard", "1")).Set(5)
+	r.Gauge("lambdafs_ndb_queue_depth", L("shard", "0")).Set(2)
+	r.Histogram("lambdafs_rpc_latency_seconds") // empty: deterministic zeros
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE lambdafs_core_cache_hits_total counter
+lambdafs_core_cache_hits_total 7
+# TYPE lambdafs_faas_active_instances gauge
+lambdafs_faas_active_instances 3
+# TYPE lambdafs_ndb_queue_depth gauge
+lambdafs_ndb_queue_depth{shard="0"} 2
+lambdafs_ndb_queue_depth{shard="1"} 5
+# TYPE lambdafs_rpc_latency_seconds summary
+lambdafs_rpc_latency_seconds{quantile="0.5"} 0
+lambdafs_rpc_latency_seconds{quantile="0.95"} 0
+lambdafs_rpc_latency_seconds{quantile="0.99"} 0
+lambdafs_rpc_latency_seconds_sum 0
+lambdafs_rpc_latency_seconds_count 0
+`
+	if sb.String() != golden {
+		t.Fatalf("prometheus exposition drifted:\n--- got ---\n%s\n--- want ---\n%s", sb.String(), golden)
+	}
+}
+
+func TestPrometheusHistogramSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lambdafs_rpc_latency_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "lambdafs_rpc_latency_seconds_count 100") {
+		t.Fatalf("missing count sample:\n%s", out)
+	}
+	if !strings.Contains(out, `lambdafs_rpc_latency_seconds{quantile="0.95"}`) {
+		t.Fatalf("missing quantile sample:\n%s", out)
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", L("k", "v")).Add(2)
+	r.Gauge("b").Set(1.5)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("JSON exposition does not parse: %v", err)
+	}
+	if len(got) != 2 || got[0]["name"] != "a_total" || got[0]["kind"] != "counter" {
+		t.Fatalf("unexpected JSON exposition: %v", got)
+	}
+	if got[0]["labels"].(map[string]any)["k"] != "v" {
+		t.Fatalf("labels lost: %v", got[0])
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lambdafs_test_total").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "lambdafs_test_total 1") {
+		t.Fatalf("GET /metrics = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil || len(got) != 1 {
+		t.Fatalf("GET /metrics.json: %v %v", err, got)
+	}
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+// Snapshot is one scrape of the registry: every instrument flattened to
+// series-key → value at a single virtual-time instant. Series keys are
+// the exposition identity name{labels}; histograms contribute
+// <name>_count and <name>_sum series plus quantile series
+// <name>{quantile="0.5"} etc. (merged with any instrument labels).
+type Snapshot struct {
+	Time   time.Time
+	Values map[string]float64
+}
+
+// VirtualUS returns the snapshot time as microseconds since clock.Epoch,
+// matching the t_us convention of the trace JSONL stream.
+func (s Snapshot) VirtualUS() int64 { return s.Time.Sub(clock.Epoch).Microseconds() }
+
+func flatten(ms []Metric, out map[string]float64) {
+	for _, m := range ms {
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			out[m.ID()] = m.Value
+		case KindHistogram:
+			ls := labelString(m.Labels)
+			out[m.Name+"_count"+ls] = float64(m.Count)
+			out[m.Name+"_sum"+ls] = m.Sum
+			out[m.Name+labelString(append(append([]Label(nil), m.Labels...), L("quantile", "0.5")))] = m.Q50
+			out[m.Name+labelString(append(append([]Label(nil), m.Labels...), L("quantile", "0.95")))] = m.Q95
+			out[m.Name+labelString(append(append([]Label(nil), m.Labels...), L("quantile", "0.99")))] = m.Q99
+		}
+	}
+}
+
+// Scraper snapshots a registry on a virtual-time ticker into an
+// append-only series. It follows the same clock discipline as every
+// other background loop in the repo (clock.Go + per-iteration After +
+// clock.Idle), so it participates correctly in Sim-clock quiescence.
+type Scraper struct {
+	clk      clock.Clock
+	reg      *Registry
+	interval time.Duration
+
+	mu     sync.Mutex
+	snaps  []Snapshot
+	onSnap func(Snapshot)
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewScraper builds a scraper over reg ticking every interval (default
+// 1s). Call Start to begin scraping.
+func NewScraper(clk clock.Clock, reg *Registry, interval time.Duration) *Scraper {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Scraper{clk: clk, reg: reg, interval: interval}
+}
+
+// OnSnapshot registers fn to be called (on the scraper goroutine) after
+// every scrape, including manual ScrapeNow calls. Used to feed the
+// flight recorder and live dashboards. Must be set before Start.
+func (s *Scraper) OnSnapshot(fn func(Snapshot)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onSnap = fn
+	s.mu.Unlock()
+}
+
+// ScrapeNow takes an immediate snapshot, appends it to the series, and
+// returns it.
+func (s *Scraper) ScrapeNow() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{Time: s.clk.Now(), Values: make(map[string]float64)}
+	flatten(s.reg.Gather(), snap.Values)
+	s.mu.Lock()
+	s.snaps = append(s.snaps, snap)
+	fn := s.onSnap
+	s.mu.Unlock()
+	if fn != nil {
+		fn(snap)
+	}
+	return snap
+}
+
+// Start launches the scrape loop. Stop terminates it.
+func (s *Scraper) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stop, s.done = stop, done
+	s.mu.Unlock()
+	clock.Go(s.clk, func() { s.loop(stop, done) })
+}
+
+func (s *Scraper) loop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		stopped := false
+		after := s.clk.After(s.interval)
+		clock.Idle(s.clk, func() {
+			select {
+			case <-stop:
+				stopped = true
+			case <-after:
+			}
+		})
+		if stopped {
+			return
+		}
+		s.ScrapeNow()
+	}
+}
+
+// Stop halts the scrape loop and waits for it to exit. Safe to call
+// multiple times and on a never-started scraper.
+func (s *Scraper) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	// Run registers the waiter with a Sim clock so the blocking wait does
+	// not look like a stall; on other clocks it runs inline.
+	clock.Run(s.clk, func() {
+		clock.Idle(s.clk, func() { <-done })
+	})
+}
+
+// Snapshots returns a copy of the accumulated series, in scrape order.
+func (s *Scraper) Snapshots() []Snapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Snapshot(nil), s.snaps...)
+}
+
+// Series extracts one flattened series key across all snapshots,
+// carrying absent values as 0.
+func (s *Scraper) Series(key string) []float64 {
+	snaps := s.Snapshots()
+	out := make([]float64, len(snaps))
+	for i, sn := range snaps {
+		out[i] = sn.Values[key]
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lambdafs_test_ops_total")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+}
+
+func TestGaugeSetAddAndFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("lambdafs_test_depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+	f := r.GaugeFunc("lambdafs_test_fn", func() float64 { return 42 })
+	if got := f.Value(); got != 42 {
+		t.Fatalf("gauge func = %v, want 42", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lambdafs_test_latency_seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Fatalf("q50 = %v", q)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("shard", "1"))
+	b := r.Counter("x_total", L("shard", "1"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	c := r.Counter("x_total", L("shard", "2"))
+	if a == c {
+		t.Fatal("different labels must return distinct counters")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("y", L("b", "2"), L("a", "1"))
+	g2 := r.Gauge("y", L("a", "1"), L("b", "2"))
+	if g1 != g2 {
+		t.Fatal("label order must not affect identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("z_total")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := r.Gauge("b")
+	g.Set(1)
+	g.Add(1)
+	_ = g.Value()
+	gf := r.GaugeFunc("bf", func() float64 { return 1 })
+	_ = gf.Value()
+	h := r.Histogram("c")
+	h.Observe(time.Second)
+	_ = h.Count()
+	_ = h.Quantile(0.5)
+	if r.Gather() != nil {
+		t.Fatal("nil registry must gather nil")
+	}
+	var sc *Scraper
+	sc.Start()
+	sc.ScrapeNow()
+	sc.Stop()
+	_ = sc.Snapshots()
+	var fr *FlightRecorder
+	fr.RecordEvent(eventAt(time.Time{}))
+	fr.RecordSnapshot(Snapshot{})
+	_ = fr.Events()
+	_ = fr.Snapshots()
+	if err := fr.DumpJSONL(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total")
+	r.Counter("a_total", L("x", "2"))
+	r.Counter("a_total", L("x", "1"))
+	r.Gauge("c")
+	ms := r.Gather()
+	want := []string{`a_total{x="1"}`, `a_total{x="2"}`, "b_total", "c"}
+	if len(ms) != len(want) {
+		t.Fatalf("gathered %d metrics, want %d", len(ms), len(want))
+	}
+	for i, m := range ms {
+		if m.ID() != want[i] {
+			t.Fatalf("gather[%d] = %s, want %s", i, m.ID(), want[i])
+		}
+	}
+}
+
+// TestScraperOnSimClock drives a scraper on the DES clock and checks the
+// series it accumulates is chronological with nondecreasing counter
+// readings.
+func TestScraperOnSimClock(t *testing.T) {
+	clk := clock.NewSim()
+	defer clk.Close()
+	r := NewRegistry()
+	c := r.Counter("lambdafs_test_ticks_total")
+	sc := NewScraper(clk, r, time.Second)
+	sc.Start()
+	clock.Run(clk, func() {
+		for i := 0; i < 5; i++ {
+			c.Inc()
+			clk.Sleep(time.Second)
+		}
+	})
+	final := sc.ScrapeNow()
+	sc.Stop()
+	if got := final.Values["lambdafs_test_ticks_total"]; got != 5 {
+		t.Fatalf("final counter = %v, want 5", got)
+	}
+	snaps := sc.Snapshots()
+	if len(snaps) < 4 {
+		t.Fatalf("expected >= 4 snapshots, got %d", len(snaps))
+	}
+	prev := snaps[0]
+	for _, s := range snaps[1:] {
+		if s.Time.Before(prev.Time) {
+			t.Fatalf("snapshots out of order: %v then %v", prev.Time, s.Time)
+		}
+		if s.Values["lambdafs_test_ticks_total"] < prev.Values["lambdafs_test_ticks_total"] {
+			t.Fatal("counter series must be nondecreasing")
+		}
+		prev = s
+	}
+}
+
+// TestConcurrentScrapeAndUpdate is the -race stress test from the issue:
+// hot-path updates race against Gather/exposition/scrapes.
+func TestConcurrentScrapeAndUpdate(t *testing.T) {
+	clk := clock.NewScaled(0)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("stress_ops_total", L("worker", fmt.Sprint(i)))
+			g := r.Gauge("stress_depth", L("worker", fmt.Sprint(i)))
+			h := r.Histogram("stress_latency_seconds")
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(j % 100))
+				h.Observe(time.Duration(j%1000) * time.Microsecond)
+			}
+		}(i)
+	}
+	sc := NewScraper(clk, r, time.Millisecond)
+	var snapMu sync.Mutex
+	var seen int
+	sc.OnSnapshot(func(Snapshot) { snapMu.Lock(); seen++; snapMu.Unlock() })
+	sc.Start()
+	for k := 0; k < 50; k++ {
+		var sb writerCounter
+		if err := WritePrometheus(&sb, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&sb, r); err != nil {
+			t.Fatal(err)
+		}
+		sc.ScrapeNow()
+	}
+	sc.Stop()
+	close(stop)
+	wg.Wait()
+	if len(sc.Snapshots()) < 50 {
+		t.Fatalf("expected >= 50 snapshots, got %d", len(sc.Snapshots()))
+	}
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	if seen < 50 {
+		t.Fatalf("OnSnapshot saw %d snapshots, want >= 50", seen)
+	}
+}
+
+// writerCounter is a trivial io.Writer that discards bytes (a sink for
+// exposition output under stress).
+type writerCounter struct{ n int }
+
+func (w *writerCounter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }

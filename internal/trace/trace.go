@@ -195,9 +195,22 @@ type Tracer struct {
 	droppedSpans  atomic.Uint64
 	droppedEvents atomic.Uint64
 
+	sink atomic.Value // func(Event); fan-out for flight recorders etc.
+
 	mu     sync.Mutex
 	traces []*Trace
 	events []Event
+}
+
+// SetEventSink registers fn to receive every emitted event (after its
+// time is stamped), regardless of the retention cap — a full Tracer
+// still feeds the sink. Used to wire a telemetry flight recorder. Pass
+// nil is not supported; set once at wiring time. Safe on a nil tracer.
+func (tr *Tracer) SetEventSink(fn func(Event)) {
+	if tr == nil || fn == nil {
+		return
+	}
+	tr.sink.Store(fn)
 }
 
 // New creates a tracer on clk. Zero-valued cfg fields fall back to
@@ -258,6 +271,9 @@ func (tr *Tracer) Emit(ev Event) {
 	}
 	if ev.Time.IsZero() {
 		ev.Time = tr.clk.Now()
+	}
+	if fn, ok := tr.sink.Load().(func(Event)); ok {
+		fn(ev)
 	}
 	tr.mu.Lock()
 	if len(tr.events) >= tr.cfg.MaxEvents {

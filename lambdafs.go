@@ -34,6 +34,7 @@ import (
 	"lambdafs/internal/metrics"
 	"lambdafs/internal/ndb"
 	"lambdafs/internal/rpc"
+	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
 
@@ -125,6 +126,7 @@ type Cluster struct {
 	sys      *core.System
 	vm       *rpc.VM
 	tracer   *trace.Tracer // nil when tracing is off
+	registry *telemetry.Registry
 
 	lambdaMeter      *metrics.LambdaMeter
 	provisionedMeter *metrics.ProvisionedMeter
@@ -174,10 +176,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.clk = clock.NewScaled(cfg.TimeScale)
 	}
 
+	// The telemetry plane is always on: every subsystem registers its
+	// instruments here (counters and gauges are cheap atomics). A caller-
+	// provided registry in any sub-config is honoured; otherwise the
+	// cluster creates one, reachable via Telemetry().
+	c.registry = cfg.Store.Metrics
+	if c.registry == nil {
+		c.registry = telemetry.NewRegistry()
+	}
+	cfg.Store.Metrics = c.registry
+	cfg.Platform.Metrics = c.registry
+	cfg.RPC.Metrics = c.registry
+	cfg.Engine.Metrics = c.registry
+	c.cfg = cfg
+
 	c.db = ndb.New(c.clk, cfg.Store)
 
 	coordCfg := coordinator.DefaultConfig()
 	coordCfg.HopLatency = cfg.CoordinatorHop
+	coordCfg.Metrics = c.registry
 	coordCfg.OnCrash = func(id string) { core.CleanupCrashedNameNode(c.db, id) }
 	switch cfg.Coordinator {
 	case CoordinatorZooKeeper:
@@ -213,8 +230,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.sys = core.NewSystem(c.clk, c.db, c.coord, c.platform, sysCfg)
 	c.vm = rpc.NewVM(c.clk, cfg.RPC)
 	c.vm.SetTracer(c.tracer)
+
+	// Cumulative cost, the paper's headline metric (Figures 8/12): both
+	// billing models exposed side by side, sampled lazily at scrape time.
+	c.registry.GaugeFunc("lambdafs_cost_payperuse_usd",
+		func() float64 { return c.lambdaMeter.TotalUSD() })
+	c.registry.GaugeFunc("lambdafs_cost_provisioned_usd",
+		func() float64 { return c.provisionedMeter.TotalUSD() })
 	return c, nil
 }
+
+// Telemetry exposes the cluster's metrics registry: every subsystem
+// (store, platform, RPC fabric, engines, coordinator, cost meters)
+// registers its lambdafs_* instruments here. Scrape it with
+// telemetry.NewScraper or expose it with telemetry.Handler.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.registry }
 
 // Clock exposes the cluster's virtual clock.
 func (c *Cluster) Clock() clock.Clock { return c.clk }
