@@ -35,4 +35,7 @@ go test -race ./internal/trace/ ./internal/metrics/ ./internal/telemetry/ ./inte
 echo "== chaos smoke (bounded, fixed seed) =="
 go test ./internal/chaos/ -run TestChaosRandomized -chaosseed 3 -count=1
 
+echo "== hotpath perf baseline (quick mode, >10% batched-throughput regression fails) =="
+go run ./cmd/lambdafs-bench -checkbaseline BENCH_hotpath.json
+
 echo "all checks passed"

@@ -10,6 +10,8 @@
 //	lambdafs-bench fig8a fig11          # run selected experiments
 //	lambdafs-bench -full fig8a          # paper-scale counts (slow)
 //	lambdafs-bench -seed 42 fig16
+//	lambdafs-bench -baseline BENCH_hotpath.json        # write perf baseline
+//	lambdafs-bench -checkbaseline BENCH_hotpath.json   # fail on regression
 package main
 
 import (
@@ -32,6 +34,8 @@ func main() {
 	traceDir := flag.String("trace", "", "dump raw trace/event JSONL from traced experiments into this directory")
 	metricsDir := flag.String("metrics", "", "write per-experiment telemetry artifacts (Prometheus text dump, scraped snapshot JSON, flight-recorder JSONL on chaos violations) into this directory")
 	chaosSeed := flag.Int64("chaosseed", 0, "replay a single chaos episode with this seed (0 = full chaos experiment; use the seed a failing run printed)")
+	baseline := flag.String("baseline", "", "measure the hotpath experiment and write the perf baseline JSON to this file, then exit")
+	checkBaseline := flag.String("checkbaseline", "", "re-measure the hotpath experiment at this baseline file's mode and exit nonzero on a >10% batched-throughput regression")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
@@ -41,6 +45,25 @@ func main() {
 	}
 	flag.Parse()
 	args := flag.Args()
+
+	if *baseline != "" || *checkBaseline != "" {
+		opts := bench.Options{Quick: !*full, Seed: *seed}
+		if *baseline != "" {
+			if err := bench.WriteHotpathBaseline(*baseline, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "baseline:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote hotpath baseline to %s\n", *baseline)
+		}
+		if *checkBaseline != "" {
+			if err := bench.CheckHotpathBaseline(*checkBaseline, opts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("hotpath baseline %s holds (no >10%% batched-throughput regression)\n", *checkBaseline)
+		}
+		return
+	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)

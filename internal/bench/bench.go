@@ -165,6 +165,7 @@ func All() []Experiment {
 		{"fig16", "Figure 16: λIndexFS vs IndexFS (tree-test)", RunFig16},
 		{"ablation-rpc", "Ablation: hybrid RPC and replacement probability", RunAblationRPC},
 		{"ablation-batch", "Ablation: subtree batch size and offloading", RunAblationBatch},
+		{"hotpath", "Hot-path parallelism: batched resolution, fan-out invalidation, partitioned subtree mv", RunHotpath},
 		{"trace", "Observability: latency decomposition and structured event log", RunTrace},
 		{"chaos", "Chaos: deterministic fault-injection episodes + full-stack fault storm", RunChaos},
 	}

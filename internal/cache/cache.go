@@ -13,6 +13,16 @@
 //  2. Touching an entry touches its ancestors, so an ancestor is never
 //     older than its hottest descendant and evicting the LRU victim's
 //     subtree only removes colder entries.
+//
+// # Concurrency and ownership
+//
+// A Cache is owned by one NameNode engine but accessed from many
+// goroutines: request handlers reading and inserting chains, and
+// coordinator delivery goroutines applying INVs (possibly several
+// concurrently during a batch round). All operations take the cache's
+// single internal mutex, so invalidations are atomic with respect to
+// lookups. The cache holds clones, never live store rows — freshness is
+// owned by the coherence protocol, not by the cache.
 package cache
 
 import (

@@ -116,5 +116,7 @@ func checkMonotone(prev, cur ndb.Stats) []string {
 	chk("commits", prev.Commits, cur.Commits)
 	chk("aborts", prev.Aborts, cur.Aborts)
 	chk("lock_timeouts", prev.LockTimeouts, cur.LockTimeouts)
+	chk("batched_resolves", prev.BatchedResolves, cur.BatchedResolves)
+	chk("resolve_hops", prev.ResolveHops, cur.ResolveHops)
 	return bad
 }

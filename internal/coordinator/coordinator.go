@@ -10,6 +10,21 @@
 // in-memory service (zk.go) and an NDB-backed one that persists membership
 // in the metadata store and pays store round trips for protocol messages
 // (ndbcoord.go).
+//
+// # Concurrency and ownership
+//
+// Coordinators are safe for concurrent use by any number of NameNodes.
+// Membership is owned by the coordinator's internal mutex; INV delivery
+// never runs under it — rounds snapshot the membership, dedup and sort
+// targets by id (so concurrent rounds are deterministic regardless of
+// map iteration order), then fan out on a bounded pool
+// (Config.InvFanout) of clock.Go goroutines with a single AckTimeout
+// deadline per round and hedged re-sends after Config.HedgeAfter.
+// Invalidation handlers are invoked from those delivery goroutines, may
+// run concurrently with each other, and must be idempotent (hedging can
+// deliver an INV twice). A member that expires mid-round is excused
+// from the ACK gather; remaining timeouts surface as one errors.Join
+// naming every un-ACKed target.
 package coordinator
 
 import (
@@ -18,6 +33,7 @@ import (
 
 	"lambdafs/internal/namespace"
 	"lambdafs/internal/telemetry"
+	"lambdafs/internal/trace"
 )
 
 // Invalidation is the payload of an INV message (§3.5, Appendix D).
@@ -77,6 +93,30 @@ type Coordinator interface {
 	Leader(group string) string
 }
 
+// BatchInvalidator is an optional extension a Coordinator may implement
+// to deliver many invalidations in one INV/ACK round: every target member
+// receives the whole batch in a single message, all targets concurrently
+// (bounded by Config.InvFanout) under a single ACK deadline, with hedged
+// re-sends to stragglers after Config.HedgeAfter. The round's latency is
+// therefore ~max of the per-target latencies instead of the per-path sum
+// a loop over Invalidate pays. A per-inv Writer is skipped at its own
+// member exactly as in Invalidate. On ACK timeout the returned error
+// joins one wrapped ErrAckTimeout per missing target, naming it.
+// Callers type-assert and fall back to per-path Invalidate calls.
+type BatchInvalidator interface {
+	Coordinator
+	InvalidateBatch(deps []int, invs []Invalidation) error
+}
+
+// TracedBatchInvalidator additionally attributes the round to a trace:
+// each target's INV/ACK leg becomes a coherence.target child span of tc
+// tagged with the target's instance ID. A nil tc is exactly
+// InvalidateBatch.
+type TracedBatchInvalidator interface {
+	BatchInvalidator
+	InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ctx) error
+}
+
 // Config tunes the coordinator's latency model.
 type Config struct {
 	// HopLatency is the one-way latency of a message routed through the
@@ -85,6 +125,15 @@ type Config struct {
 	// AckTimeout bounds the wait for ACKs from live members (real time
 	// scaled by the clock; generous because handler execution is fast).
 	AckTimeout time.Duration
+	// InvFanout bounds how many concurrent INV deliveries one
+	// InvalidateBatch round keeps in flight (≤0 = deliver to all targets
+	// at once). It models the coordinator's outbound messaging capacity.
+	InvFanout int
+	// HedgeAfter, when > 0, re-sends the INV to any target that has not
+	// ACKed within this duration (hedged stragglers; InvalidateBatch
+	// only). Duplicate delivery is benign — invalidation handlers are
+	// idempotent, they only remove cache entries.
+	HedgeAfter time.Duration
 	// OnCrash, when set, is invoked with the instance ID of every crashed
 	// session (used to break store locks, §3.6).
 	OnCrash func(id string)
@@ -97,9 +146,13 @@ type Config struct {
 }
 
 // DefaultConfig returns ZooKeeper-like latencies: sub-millisecond hops.
+// HedgeAfter is far above a healthy round's latency, so hedges fire only
+// for genuine stragglers (a stalled handler or a wedged delivery).
 func DefaultConfig() Config {
 	return Config{
 		HopLatency: 500 * time.Microsecond,
 		AckTimeout: 30 * time.Second,
+		InvFanout:  64,
+		HedgeAfter: 250 * time.Millisecond,
 	}
 }

@@ -1,11 +1,15 @@
 package coordinator
 
 import (
+	"errors"
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"lambdafs/internal/clock"
 	"lambdafs/internal/telemetry"
+	"lambdafs/internal/trace"
 )
 
 // ZK is the ZooKeeper-like in-memory Coordinator: ephemeral sessions for
@@ -30,6 +34,7 @@ type coordTelemetry struct {
 	invalidations *telemetry.Counter
 	watches       *telemetry.Counter
 	failovers     *telemetry.Counter
+	hedgedINVs    *telemetry.Counter
 }
 
 func newCoordTelemetry(reg *telemetry.Registry) coordTelemetry {
@@ -39,10 +44,12 @@ func newCoordTelemetry(reg *telemetry.Registry) coordTelemetry {
 		invalidations: reg.Counter("lambdafs_coordinator_invalidations_total"),
 		watches:       reg.Counter("lambdafs_coordinator_watch_deliveries_total"),
 		failovers:     reg.Counter("lambdafs_coordinator_failovers_total"),
+		hedgedINVs:    reg.Counter("lambdafs_coordinator_hedged_invs_total"),
 	}
 }
 
 var _ Coordinator = (*ZK)(nil)
+var _ TracedBatchInvalidator = (*ZK)(nil)
 
 type zkSession struct {
 	zk      *ZK
@@ -206,6 +213,144 @@ func (z *ZK) Invalidate(deps []int, inv Invalidation) error {
 		return ErrAckTimeout
 	}
 	return nil
+}
+
+// InvalidateBatch delivers the whole batch of invalidations to every live
+// member of the target deployments in one concurrent INV/ACK round.
+func (z *ZK) InvalidateBatch(deps []int, invs []Invalidation) error {
+	return z.InvalidateBatchTraced(deps, invs, nil)
+}
+
+// InvalidateBatchTraced is InvalidateBatch with per-target trace
+// attribution: each delivery leg is a coherence.target child span of tc
+// tagged with the target instance's ID.
+func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ctx) error {
+	if len(invs) == 0 {
+		return nil
+	}
+	// Snapshot the membership at protocol start, deduplicating members that
+	// appear in several target deployments so each receives the batch once.
+	z.mu.Lock()
+	var targets []*zkSession
+	seen := make(map[string]bool)
+	for _, dep := range deps {
+		for id, s := range z.deps[dep] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			// A member that wrote every inv in the batch has nothing to
+			// invalidate; per-inv writers are skipped at delivery time.
+			all := true
+			for _, inv := range invs {
+				if inv.Writer != id {
+					all = false
+					break
+				}
+			}
+			if !all {
+				targets = append(targets, s)
+			}
+		}
+	}
+	z.mu.Unlock()
+	z.tel.invalidations.Inc()
+	if len(targets) == 0 {
+		return nil
+	}
+	// Deterministic delivery order: membership is a map, so sort by id
+	// before fanning out.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+	z.tel.watches.Add(float64(len(targets)))
+
+	fan := z.cfg.InvFanout
+	if fan <= 0 || fan > len(targets) {
+		fan = len(targets)
+	}
+	sem := make(chan struct{}, fan)
+	// Buffered for 2× the targets so late primary and hedged deliveries can
+	// always post their ACK without blocking after the gather loop exits.
+	acks := make(chan int, 2*len(targets))
+	ackDone := make([]chan struct{}, len(targets))
+	for i := range ackDone {
+		ackDone[i] = make(chan struct{})
+	}
+
+	deliver := func(i int, s *zkSession) {
+		clock.Idle(z.clk, func() { sem <- struct{}{} })
+		tsp := tc.Start(trace.KindCoherenceTarget)
+		tsp.SetInstance(s.id)
+		// Leader → coordinator → member hop.
+		z.clk.Sleep(2 * z.cfg.HopLatency)
+		select {
+		case <-s.gone:
+			// Excused: the member terminated mid-protocol.
+		default:
+			for _, inv := range invs {
+				if inv.Writer == s.id {
+					continue
+				}
+				s.handler(inv)
+			}
+			// Member → coordinator → leader ACK hop.
+			z.clk.Sleep(2 * z.cfg.HopLatency)
+		}
+		tsp.End()
+		<-sem
+		acks <- i
+	}
+	for i, s := range targets {
+		i, s := i, s
+		clock.Go(z.clk, func() { deliver(i, s) })
+		if z.cfg.HedgeAfter > 0 {
+			clock.Go(z.clk, func() {
+				hedge := false
+				clock.Idle(z.clk, func() {
+					select {
+					case <-ackDone[i]:
+					case <-s.gone:
+					case <-clock.Timeout(z.clk, z.cfg.HedgeAfter):
+						hedge = true
+					}
+				})
+				if hedge {
+					// Straggler: re-send. Duplicate delivery is benign —
+					// handlers are idempotent.
+					z.tel.hedgedINVs.Inc()
+					deliver(i, s)
+				}
+			})
+		}
+	}
+
+	deadline := clock.Timeout(z.clk, z.cfg.AckTimeout)
+	acked := make([]bool, len(targets))
+	need := len(targets)
+	timedOut := false
+	for need > 0 && !timedOut {
+		clock.Idle(z.clk, func() {
+			select {
+			case i := <-acks:
+				if !acked[i] {
+					acked[i] = true
+					close(ackDone[i])
+					need--
+				}
+			case <-deadline:
+				timedOut = true
+			}
+		})
+	}
+	if !timedOut {
+		return nil
+	}
+	var errs []error
+	for i, s := range targets {
+		if !acked[i] {
+			errs = append(errs, fmt.Errorf("target %s: %w", s.id, ErrAckTimeout))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // ExpireSession force-expires the ephemeral session of id, as when its

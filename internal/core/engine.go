@@ -10,6 +10,22 @@
 // NameNode; with caching and coherence disabled it is a stateless HopsFS
 // NameNode. The baselines in internal/hopsfs reuse it directly, which is
 // what makes the evaluation an apples-to-apples architecture comparison.
+//
+// # Concurrency and ownership
+//
+// An Engine is safe for concurrent Execute calls; its mutable state is
+// the metadata cache (internally locked) and nil-safe telemetry
+// instruments. Correctness across engines is owned by the store's strict
+// 2PL row locks plus the coherence protocol — never by engine-local
+// locking. Every goroutine the engine starts (parallel subtree
+// partitions, batch invalidation rounds) runs under clock.Go on the
+// simulation clock, and all blocking waits are wrapped in clock.Idle.
+// EngineConfig.SerialHotPaths selects between the optimized hot paths
+// (batched resolution, batch INV rounds, partitioned subtree ops — the
+// default) and the historical serial shapes; outcomes are identical
+// either way, only latency shapes differ. Lock-order discipline is
+// global and identical in both modes: path ancestors in path order, then
+// the child-key slot, then the inode row.
 package core
 
 import (
@@ -72,6 +88,15 @@ type EngineConfig struct {
 	// request to a non-owner deployment: the op is served without
 	// populating the cache.
 	PassThroughNonOwner bool
+	// SerialHotPaths reverts the hot-path parallelism and coalescing
+	// optimizations to their original serial shapes: per-component path
+	// resolution (one dependent store round per ancestor), per-path
+	// invalidation rounds, and per-INode sequential subtree quiesce reads.
+	// The zero value enables the optimized paths — batched per-shard
+	// multi-get resolution, one concurrent INV/ACK round per write, and
+	// batched quiesce reads — when the store/coordinator support them.
+	// Results are identical either way; only latency shapes differ.
+	SerialHotPaths bool
 
 	// Metrics, when non-nil, receives engine instruments
 	// (lambdafs_core_*): metadata-cache hits/misses and invalidation
@@ -119,16 +144,20 @@ type Engine struct {
 // counters accumulate across every engine ever started, so they survive
 // NameNode reclamation.
 type coreTelemetry struct {
-	hits      *telemetry.Counter
-	misses    *telemetry.Counter
-	invRounds *telemetry.Counter
+	hits         *telemetry.Counter
+	misses       *telemetry.Counter
+	invRounds    *telemetry.Counter
+	parallelInvs *telemetry.Counter
+	subtreeParts *telemetry.Counter
 }
 
 func newCoreTelemetry(reg *telemetry.Registry) coreTelemetry {
 	return coreTelemetry{
-		hits:      reg.Counter("lambdafs_core_cache_hits_total"),
-		misses:    reg.Counter("lambdafs_core_cache_misses_total"),
-		invRounds: reg.Counter("lambdafs_core_invalidation_rounds_total"),
+		hits:         reg.Counter("lambdafs_core_cache_hits_total"),
+		misses:       reg.Counter("lambdafs_core_cache_misses_total"),
+		invRounds:    reg.Counter("lambdafs_core_invalidation_rounds_total"),
+		parallelInvs: reg.Counter("lambdafs_core_parallel_invalidations_total"),
+		subtreeParts: reg.Counter("lambdafs_core_subtree_partitions_total"),
 	}
 }
 
@@ -244,8 +273,15 @@ func (e *Engine) begin(tc *trace.Ctx) store.Tx {
 	return e.st.Begin(e.id)
 }
 
-// resolveStore is Store.ResolvePath with trace attribution when available.
+// resolveStore is Store.ResolvePath with trace attribution when available,
+// using the store's batched per-shard multi-get resolution unless
+// SerialHotPaths reverts to the per-component walk.
 func (e *Engine) resolveStore(tc *trace.Ctx, path string) ([]*namespace.INode, error) {
+	if !e.cfg.SerialHotPaths {
+		if bs, ok := e.st.(store.BatchedStore); ok {
+			return bs.ResolvePathBatched(path, tc)
+		}
+	}
 	if tc != nil {
 		if ts, ok := e.st.(store.TracedStore); ok {
 			return ts.ResolvePathTraced(path, tc)
@@ -288,7 +324,13 @@ func (e *Engine) resolve(tc *trace.Ctx, path string) (chain []*namespace.INode, 
 		e.tel.misses.Inc()
 		tx := e.begin(tc)
 		defer tx.Abort()
-		chain, err := tx.ResolvePath(path, store.LockShared)
+		var chain []*namespace.INode
+		var err error
+		if e.cfg.SerialHotPaths {
+			chain, err = tx.ResolvePath(path, store.LockShared)
+		} else {
+			chain, err = tx.ResolvePathBatched(path, store.LockShared, store.LockShared)
+		}
 		if err != nil {
 			return chain, false, err
 		}
@@ -430,9 +472,16 @@ func (e *Engine) invTargets(paths ...string) []int {
 
 // invalidateAll runs the INV/ACK exchange for the given paths (remote
 // caches first — Algorithm 1 requires all ACKs before persisting) and
-// then updates the local cache identically. When traced, the whole
-// exchange becomes a coherence.inv span and one coherence_inv event whose
-// duration is the ACK wait.
+// then updates the local cache identically. When the coordinator supports
+// batch invalidation (and SerialHotPaths is off), all paths go out in one
+// concurrent round whose latency is ~max of the per-target legs; otherwise
+// the per-path rounds run serially, with every path attempted and the
+// per-path failures aggregated via errors.Join (each naming its path and,
+// through the coordinator, the timed-out target IDs). When traced, the
+// exchange becomes a coherence.inv span — with one coherence.target child
+// per remote member on the batched path — and one coherence_inv event
+// whose duration is the ACK wait and whose detail carries any failure,
+// including the unresponsive targets.
 func (e *Engine) invalidateAll(tc *trace.Ctx, deps []int, paths ...string) error {
 	e.tel.invRounds.Inc()
 	sp := tc.Start(trace.KindCoherence)
@@ -443,28 +492,52 @@ func (e *Engine) invalidateAll(tc *trace.Ctx, deps []int, paths ...string) error
 		sp.SetDetail(fmt.Sprintf("deps=%d paths=%d", len(deps), len(paths)))
 		start = e.clk.Now()
 	}
-	for _, p := range paths {
-		if e.coord != nil {
-			inv := coordinator.Invalidation{Path: p, Writer: e.id}
-			if err := e.coord.Invalidate(deps, inv); err != nil {
-				sp.End()
-				return err
+	var invErr error
+	if e.coord != nil {
+		if bi, ok := e.coord.(coordinator.BatchInvalidator); ok && !e.cfg.SerialHotPaths {
+			invs := make([]coordinator.Invalidation, len(paths))
+			for i, p := range paths {
+				invs[i] = coordinator.Invalidation{Path: p, Writer: e.id}
 			}
+			e.tel.parallelInvs.Add(float64(len(paths)))
+			if tbi, ok := e.coord.(coordinator.TracedBatchInvalidator); ok {
+				invErr = tbi.InvalidateBatchTraced(deps, invs, tc)
+			} else {
+				invErr = bi.InvalidateBatch(deps, invs)
+			}
+		} else {
+			var errs []error
+			for _, p := range paths {
+				inv := coordinator.Invalidation{Path: p, Writer: e.id}
+				if err := e.coord.Invalidate(deps, inv); err != nil {
+					errs = append(errs, fmt.Errorf("path %s: %w", p, err))
+				}
+			}
+			invErr = errors.Join(errs...)
 		}
-		if e.cache != nil {
+	}
+	// The local invalidation is unconditionally safe (it only removes
+	// entries), so apply it even when a remote ACK timed out — the caller
+	// aborts the write, leaving the store unchanged.
+	if e.cache != nil {
+		for _, p := range paths {
 			e.cache.Invalidate(p)
 			e.cache.ClearComplete(namespace.ParentPath(p))
 		}
 	}
 	if tc != nil {
+		detail := fmt.Sprintf("deps=%d paths=%d", len(deps), len(paths))
+		if invErr != nil {
+			detail += " err=" + invErr.Error()
+		}
 		tc.Emit(trace.Event{
 			Type: trace.EventCoherenceINV, Deployment: e.dep, Instance: e.id,
 			Dur:    e.clk.Since(start),
-			Detail: fmt.Sprintf("deps=%d paths=%d", len(deps), len(paths)),
+			Detail: detail,
 		})
 	}
 	sp.End()
-	return nil
+	return invErr
 }
 
 // retryWrite runs fn with lock-timeout retries, mirroring store.RunTx but

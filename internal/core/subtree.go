@@ -92,7 +92,13 @@ func (e *Engine) subtreeUnlock(tc *trace.Ctx, rootID namespace.INodeID) {
 func (e *Engine) quiesce(tc *trace.Ctx, rootPath string, root *namespace.INode) (*subtreeWalk, error) {
 	sp := tc.Start(trace.KindSubtreeQuiesce)
 	defer sp.End()
-	nodes, err := e.st.ListSubtree(root.ID)
+	var nodes []*namespace.INode
+	var err error
+	if bs, ok := e.st.(store.BatchedStore); ok && !e.cfg.SerialHotPaths {
+		nodes, err = bs.ListSubtreeBatched(root.ID, tc)
+	} else {
+		nodes, err = e.st.ListSubtree(root.ID)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +180,7 @@ func (e *Engine) runBatches(tc *trace.Ctx, n int, exec func(start, end int, cpu 
 		if end > n {
 			end = n
 		}
+		e.tel.subtreeParts.Inc()
 		wg.Add(1)
 		run := func(cpu CPU) {
 			defer wg.Done()
@@ -325,17 +332,29 @@ func (e *Engine) mvSubtree(tc *trace.Ctx, src, dest string) *namespace.Response 
 		return fail(err)
 	}
 	// Quiesce sub-operations: take and release write locks on every
-	// INode in the subtree, batched and in parallel.
+	// INode in the subtree, batched and in parallel. Each batch reads its
+	// rows in one per-shard multi-get (GetINodesBatched) rather than one
+	// dependent store round per INode, unless SerialHotPaths reverts to
+	// the sequential shape. Missing rows (deleted concurrently before the
+	// subtree lock landed) are simply skipped in both shapes.
 	perINodeCPU := e.cfg.SubtreeCPUPerINode
 	nodes := w.nodes[1:]
 	e.runBatches(tc, len(nodes), func(start, end int, cpu CPU) {
 		cpu.AcquireCPU(time.Duration(end-start) * perINodeCPU)
 		tx := e.begin(tc)
-		for _, n := range nodes[start:end] {
-			if _, err := tx.GetINode(n.ID, store.LockExclusive); err != nil &&
-				!errors.Is(err, namespace.ErrNotFound) {
-				break
+		if e.cfg.SerialHotPaths {
+			for _, n := range nodes[start:end] {
+				if _, err := tx.GetINode(n.ID, store.LockExclusive); err != nil &&
+					!errors.Is(err, namespace.ErrNotFound) {
+					break
+				}
 			}
+		} else {
+			ids := make([]namespace.INodeID, 0, end-start)
+			for _, n := range nodes[start:end] {
+				ids = append(ids, n.ID)
+			}
+			_, _ = tx.GetINodesBatched(ids, store.LockExclusive)
 		}
 		tx.Abort() // releases the quiesce locks
 	})

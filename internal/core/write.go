@@ -13,7 +13,12 @@ import (
 // INode. The parent is locked exclusively without an upgrade (ancestors
 // are resolved only up to the grandparent) so concurrent creators in the
 // same directory serialize cleanly instead of deadlocking on a
-// shared→exclusive upgrade.
+// shared→exclusive upgrade. Unless SerialHotPaths reverts it, the chain
+// read and the parent read coalesce into one batched store resolution
+// (ResolvePathBatched with an exclusive terminal), halving the dependent
+// store rounds on the write hot path; the lock order — ancestors in path
+// order, then the parent's directory-entry slot, then its row — is
+// identical in both shapes.
 func (e *Engine) lockParent(tx store.Tx, path string) (*namespace.INode, error) {
 	parentPath := namespace.ParentPath(path)
 	if parentPath == "/" {
@@ -23,17 +28,29 @@ func (e *Engine) lockParent(tx store.Tx, path string) (*namespace.INode, error) 
 		}
 		return root, nil
 	}
-	grandChain, err := tx.ResolvePath(namespace.ParentPath(parentPath), store.LockShared)
-	if err != nil {
-		return nil, err
-	}
-	if err := checkSubtreeLocks(grandChain, e.id); err != nil {
-		return nil, err
-	}
-	grand := grandChain[len(grandChain)-1]
-	parent, err := tx.GetChild(grand.ID, namespace.BaseName(parentPath), store.LockExclusive)
-	if err != nil {
-		return nil, err
+	var parent *namespace.INode
+	if e.cfg.SerialHotPaths {
+		grandChain, err := tx.ResolvePath(namespace.ParentPath(parentPath), store.LockShared)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkSubtreeLocks(grandChain, e.id); err != nil {
+			return nil, err
+		}
+		grand := grandChain[len(grandChain)-1]
+		parent, err = tx.GetChild(grand.ID, namespace.BaseName(parentPath), store.LockExclusive)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		chain, err := tx.ResolvePathBatched(parentPath, store.LockShared, store.LockExclusive)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkSubtreeLocks(chain[:len(chain)-1], e.id); err != nil {
+			return nil, err
+		}
+		parent = chain[len(chain)-1]
 	}
 	if !parent.IsDir {
 		return nil, namespace.ErrNotDir

@@ -6,6 +6,15 @@
 // It corresponds to the HDFS/HopsFS metadata schema the paper builds on:
 // each file or directory is an INode row keyed by (parentID, name), and
 // all namespace operations resolve a path component-by-component.
+//
+// # Concurrency and ownership
+//
+// The types here are plain data with no internal locking. An INode
+// pointer returned by a store is a clone owned by the caller; shared
+// ownership of a live row never crosses a package boundary. Stores and
+// caches that hand out INodes are responsible for cloning on the way in
+// and out, which is what lets engines mutate resolved chains freely
+// inside a transaction.
 package namespace
 
 import (

@@ -7,6 +7,21 @@
 // pool of data-node workers, so the store saturates and queues exactly
 // like the paper's NDB cluster does (making it the write-path bottleneck
 // for all systems and the read-path bottleneck for cache-less HopsFS).
+//
+// # Concurrency and ownership
+//
+// A DB is safe for any number of concurrent transactions; rows are owned
+// by whichever transaction holds their lock, and a transaction is owned
+// by a single goroutine (Tx is not safe for concurrent use). Row locks
+// charge no service time — only row reads/writes consume shard capacity,
+// serialized through each shard's fixed worker pool on the simulation
+// clock. Serial operations charge one RTT + service per access
+// (serviceT); batched operations (ResolvePathBatched, GetINodesBatched,
+// ListSubtreeBatched) group keys per shard and charge the shards in
+// parallel under a single RTT (serviceMultiT), taking the same locks in
+// the same global order as their serial equivalents. Deadlock avoidance
+// is therefore the callers' lock-order discipline plus the
+// LockWaitTimeout backstop, identical in both shapes.
 package ndb
 
 import (
@@ -83,6 +98,15 @@ type Stats struct {
 	Commits      uint64
 	Aborts       uint64
 	LockTimeouts uint64
+	// BatchedResolves counts multi-get path resolutions (one per
+	// ResolvePathBatched call, transactional or not).
+	BatchedResolves uint64
+	// ResolveHops counts dependent path-resolution rounds: a serial
+	// resolution of an n-component path adds n (one awaited lookup per
+	// component), a batched resolution adds 1 (the whole chain fetched
+	// in a single multi-get round). The hotpath benchmark divides this
+	// by ops to report NDB round trips per resolution.
+	ResolveHops uint64
 }
 
 // DB is the NDB-like store. It implements store.Store.
@@ -105,8 +129,9 @@ type DB struct {
 }
 
 var (
-	_ store.Store       = (*DB)(nil)
-	_ store.TracedStore = (*DB)(nil)
+	_ store.Store        = (*DB)(nil)
+	_ store.TracedStore  = (*DB)(nil)
+	_ store.BatchedStore = (*DB)(nil)
 )
 
 // shard is one data node's service queue: a fixed worker pool consuming
@@ -197,9 +222,7 @@ func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
 		db.clk.Sleep(db.cfg.RTT)
 		sp.End()
 	}
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key)) // hash.Hash.Write never fails
-	idx := int(h.Sum32() % uint32(len(db.shards)))
+	idx := db.shardFor(key)
 	if db.cfg.OnShardService != nil {
 		// Consulted even for zero-cost accesses: an injected stall delays
 		// the access regardless of how cheap its nominal service is.
@@ -229,6 +252,13 @@ func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
 	ssp.SetShard(idx)
 	clock.Idle(db.clk, func() { <-t.done })
 	ssp.End()
+}
+
+// shardFor hashes a row key onto its owning data-node shard.
+func (db *DB) shardFor(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key)) // hash.Hash.Write never fails
+	return int(h.Sum32() % uint32(len(db.shards)))
 }
 
 func (db *DB) bumpStat(f func(*Stats)) {
@@ -289,7 +319,14 @@ func (db *DB) ResolvePathTraced(path string, tc *trace.Ctx) ([]*namespace.INode,
 	comps := namespace.SplitPath(p)
 	batches := 1 + len(comps)/db.cfg.BatchRows
 	db.serviceT(p, time.Duration(batches)*db.cfg.ReadService, tc)
-	db.bumpStat(func(s *Stats) { s.Reads++ })
+	hops := uint64(len(comps))
+	if hops == 0 {
+		hops = 1
+	}
+	db.bumpStat(func(s *Stats) {
+		s.Reads++
+		s.ResolveHops += hops
+	})
 
 	db.mu.RLock()
 	defer db.mu.RUnlock()

@@ -11,20 +11,24 @@ import (
 // registry counters agree with Stats() by construction. All fields are
 // nil-safe instruments: with no registry wired the mirror is a no-op.
 type storeTelemetry struct {
-	reads        *telemetry.Counter
-	writes       *telemetry.Counter
-	commits      *telemetry.Counter
-	aborts       *telemetry.Counter
-	lockTimeouts *telemetry.Counter
+	reads           *telemetry.Counter
+	writes          *telemetry.Counter
+	commits         *telemetry.Counter
+	aborts          *telemetry.Counter
+	lockTimeouts    *telemetry.Counter
+	batchedResolves *telemetry.Counter
+	resolveHops     *telemetry.Counter
 }
 
 func newStoreTelemetry(reg *telemetry.Registry) *storeTelemetry {
 	return &storeTelemetry{
-		reads:        reg.Counter("lambdafs_ndb_reads_total"),
-		writes:       reg.Counter("lambdafs_ndb_writes_total"),
-		commits:      reg.Counter("lambdafs_ndb_tx_commits_total"),
-		aborts:       reg.Counter("lambdafs_ndb_tx_aborts_total"),
-		lockTimeouts: reg.Counter("lambdafs_ndb_lock_timeouts_total"),
+		reads:           reg.Counter("lambdafs_ndb_reads_total"),
+		writes:          reg.Counter("lambdafs_ndb_writes_total"),
+		commits:         reg.Counter("lambdafs_ndb_tx_commits_total"),
+		aborts:          reg.Counter("lambdafs_ndb_tx_aborts_total"),
+		lockTimeouts:    reg.Counter("lambdafs_ndb_lock_timeouts_total"),
+		batchedResolves: reg.Counter("lambdafs_ndb_batched_resolves_total"),
+		resolveHops:     reg.Counter("lambdafs_ndb_resolve_hops_total"),
 	}
 }
 
@@ -37,6 +41,8 @@ func (t *storeTelemetry) mirror(before, after Stats) {
 	t.commits.Add(float64(after.Commits - before.Commits))
 	t.aborts.Add(float64(after.Aborts - before.Aborts))
 	t.lockTimeouts.Add(float64(after.LockTimeouts - before.LockTimeouts))
+	t.batchedResolves.Add(float64(after.BatchedResolves - before.BatchedResolves))
+	t.resolveHops.Add(float64(after.ResolveHops - before.ResolveHops))
 }
 
 // registerShardGauges exposes each data-node shard's instantaneous queue

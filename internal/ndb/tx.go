@@ -136,7 +136,14 @@ func (t *tx) ResolvePath(path string, mode store.LockMode) ([]*namespace.INode, 
 	comps := namespace.SplitPath(p)
 	batches := 1 + len(comps)/t.db.cfg.BatchRows
 	t.db.serviceT(p, time.Duration(batches)*t.db.cfg.ReadService, t.tc)
-	t.db.bumpStat(func(s *Stats) { s.Reads++ })
+	hops := uint64(len(comps))
+	if hops == 0 {
+		hops = 1
+	}
+	t.db.bumpStat(func(s *Stats) {
+		s.Reads++
+		s.ResolveHops += hops
+	})
 
 	chain := make([]*namespace.INode, 0, len(comps)+1)
 	if err := t.lock(inodeKey(namespace.RootID), mode); err != nil {

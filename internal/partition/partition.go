@@ -5,6 +5,13 @@
 // the same deployment, which makes directory-local operations (ls, create,
 // path resolution caching) deployment-local, while FaaS intra-deployment
 // auto-scaling absorbs hot directories.
+//
+// # Concurrency and ownership
+//
+// A Ring is immutable after construction and therefore safe for
+// unsynchronized concurrent reads from every client and engine; mapping
+// is a pure function of (path, deployment count), so all parties agree
+// on ownership without coordination.
 package partition
 
 import (

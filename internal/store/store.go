@@ -7,6 +7,19 @@
 // λFS and all baselines speak this interface; internal/ndb provides the
 // MySQL-Cluster-NDB-like implementation with row locks, ACID transactions,
 // and an explicit capacity model.
+//
+// # Concurrency and ownership
+//
+// A Store must be safe for concurrent use; a Tx belongs to the single
+// goroutine that Begin()s it and must end in exactly one Commit or
+// Abort. Rows a transaction has locked are owned by that transaction
+// until it ends; implementations enforce strict two-phase locking, and
+// callers own the global lock-acquisition order (path ancestors first,
+// then child-key slot, then inode row). Optional capabilities are
+// extension interfaces discovered by type assertion — TracedStore for
+// span-carrying variants, BatchedStore for single-round batched
+// resolution and subtree listing — so alternative Store implementations
+// need only the base interface.
 package store
 
 import (
@@ -81,6 +94,27 @@ type Tx interface {
 	// exactly like Store.ResolvePath.
 	ResolvePath(path string, lock LockMode) ([]*namespace.INode, error)
 
+	// ResolvePathBatched resolves path as one batched per-shard multi-get
+	// (MySQL Cluster's batched PK reads): every shard owning a row of the
+	// chain serves its share concurrently, so the charge is one shared
+	// round trip plus the max — not the sum — of the per-shard service
+	// times, and the whole chain counts as a single dependent resolution
+	// hop. Ancestor rows are locked with ancestors; the terminal
+	// component's row and its (parent, name) slot are locked with
+	// terminal, giving the same phantom protection as a trailing GetChild
+	// — which lets write paths collapse their resolve-then-lock-parent
+	// sequence into one call. Lock acquisition order matches ResolvePath
+	// exactly (deadlock parity with serial resolvers). Partial chains are
+	// returned with namespace.ErrNotFound.
+	ResolvePathBatched(path string, ancestors, terminal LockMode) ([]*namespace.INode, error)
+
+	// GetINodesBatched fetches the given INodes as one batched per-shard
+	// multi-get, locking each row with lock in the order given (callers
+	// must pass a deterministic, protocol-consistent order — e.g. the BFS
+	// order of a quiesced subtree). Missing rows are skipped, so the
+	// result may be shorter than ids.
+	GetINodesBatched(ids []namespace.INodeID, lock LockMode) ([]*namespace.INode, error)
+
 	// KVGet/KVPut/KVDelete/KVScan access a generic KV table.
 	KVGet(table, key string, lock LockMode) ([]byte, bool, error)
 	KVPut(table, key string, val []byte) error
@@ -132,6 +166,22 @@ type TracedStore interface {
 	BeginTraced(owner string, tc *trace.Ctx) Tx
 	// ResolvePathTraced is ResolvePath with a trace context.
 	ResolvePathTraced(path string, tc *trace.Ctx) ([]*namespace.INode, error)
+}
+
+// BatchedStore is an optional extension a Store may implement to expose
+// lock-free batched reads with per-shard parallel service charging (the
+// multi-get shapes behind Tx.ResolvePathBatched, outside a transaction).
+// Callers type-assert and fall back to the serial Store methods; a nil
+// trace context must behave exactly like an untraced call.
+type BatchedStore interface {
+	Store
+	// ResolvePathBatched is Store.ResolvePath with the chain fetched as
+	// one per-shard multi-get: one shared round trip, per-shard service
+	// in parallel, one resolution hop.
+	ResolvePathBatched(path string, tc *trace.Ctx) ([]*namespace.INode, error)
+	// ListSubtreeBatched is Store.ListSubtree with the walk's row reads
+	// partitioned over the shards and served concurrently.
+	ListSubtreeBatched(root namespace.INodeID, tc *trace.Ctx) ([]*namespace.INode, error)
 }
 
 // RunTx runs fn inside a transaction with automatic retry on lock

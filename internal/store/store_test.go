@@ -56,6 +56,12 @@ func (t *fakeTx) GetChild(namespace.INodeID, string, LockMode) (*namespace.INode
 	return nil, namespace.ErrNotFound
 }
 func (t *fakeTx) ResolvePath(string, LockMode) ([]*namespace.INode, error) { return nil, nil }
+func (t *fakeTx) ResolvePathBatched(string, LockMode, LockMode) ([]*namespace.INode, error) {
+	return nil, nil
+}
+func (t *fakeTx) GetINodesBatched([]namespace.INodeID, LockMode) ([]*namespace.INode, error) {
+	return nil, nil
+}
 func (t *fakeTx) ListChildren(namespace.INodeID) ([]*namespace.INode, error) {
 	return nil, nil
 }

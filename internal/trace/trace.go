@@ -45,11 +45,12 @@ const (
 	KindColdStart Kind = "faas.coldstart" // instance provisioning on the critical path
 
 	// NameNode engine (internal/core).
-	KindEngineExec     Kind = "engine.exec"     // whole server-side execution
-	KindEngineCPU      Kind = "engine.cpu"      // instance CPU acquisition (queue + service)
-	KindCoherence      Kind = "coherence.inv"   // INV/ACK exchange wait
-	KindSubtreeQuiesce Kind = "subtree.quiesce" // Phase-2 subtree walk
-	KindSubtreeExec    Kind = "subtree.exec"    // batched sub-operation execution
+	KindEngineExec      Kind = "engine.exec"      // whole server-side execution
+	KindEngineCPU       Kind = "engine.cpu"       // instance CPU acquisition (queue + service)
+	KindCoherence       Kind = "coherence.inv"    // INV/ACK exchange wait
+	KindCoherenceTarget Kind = "coherence.target" // one target's INV/ACK leg of a batched round
+	KindSubtreeQuiesce  Kind = "subtree.quiesce"  // Phase-2 subtree walk
+	KindSubtreeExec     Kind = "subtree.exec"     // batched sub-operation execution
 
 	// Persistent store (internal/ndb).
 	KindStoreRTT     Kind = "ndb.rtt"     // network round trip to the store
@@ -64,7 +65,7 @@ const (
 var KindOrder = []Kind{
 	KindRPCTCP, KindRPCTCPNet, KindRPCHTTP, KindBackoff,
 	KindGateway, KindAdmit, KindColdStart,
-	KindEngineExec, KindEngineCPU, KindCoherence, KindSubtreeQuiesce, KindSubtreeExec,
+	KindEngineExec, KindEngineCPU, KindCoherence, KindCoherenceTarget, KindSubtreeQuiesce, KindSubtreeExec,
 	KindStoreRTT, KindStoreQueue, KindStoreService, KindStoreCommit,
 }
 
