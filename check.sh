@@ -9,10 +9,11 @@ set -e
 cd "$(dirname "$0")"
 
 echo "== gofmt =="
-unformatted=$(gofmt -l . 2>/dev/null | grep -v '^related/' || true)
+unformatted=$(gofmt -l . 2>/dev/null || true)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:"
     echo "$unformatted"
+    gofmt -d $unformatted
     exit 1
 fi
 echo "ok"
@@ -35,7 +36,20 @@ go test -race ./internal/trace/ ./internal/metrics/ ./internal/telemetry/ ./inte
 echo "== chaos smoke (bounded, fixed seed) =="
 go test ./internal/chaos/ -run TestChaosRandomized -chaosseed 3 -count=1
 
-echo "== hotpath perf baseline (quick mode, >10% batched-throughput regression fails) =="
+echo "== hotpath perf baseline (quick mode; gates batched throughput, allocs/op, lock-wait/op) =="
 go run ./cmd/lambdafs-bench -checkbaseline BENCH_hotpath.json
+
+echo "== profiling smoke =="
+profdir=$(mktemp -d)
+trap 'rm -rf "$profdir"' EXIT
+go run ./cmd/lambdafs-bench -pprof "$profdir" hotpath >/dev/null
+for suffix in cpu heap mutex block; do
+    f="$profdir/hotpath.$suffix.pprof"
+    if [ ! -s "$f" ]; then
+        echo "profiling smoke: $f missing or empty"
+        exit 1
+    fi
+done
+echo "ok"
 
 echo "all checks passed"

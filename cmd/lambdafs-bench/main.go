@@ -34,10 +34,11 @@ func main() {
 	traceDir := flag.String("trace", "", "dump raw trace/event JSONL from traced experiments into this directory")
 	metricsDir := flag.String("metrics", "", "write per-experiment telemetry artifacts (Prometheus text dump, scraped snapshot JSON, flight-recorder JSONL on chaos violations) into this directory")
 	chaosSeed := flag.Int64("chaosseed", 0, "replay a single chaos episode with this seed (0 = full chaos experiment; use the seed a failing run printed)")
+	pprofDir := flag.String("pprof", "", "profile each experiment's host cost and write <experiment>.{cpu,heap,mutex,block}.pprof into this directory")
 	baseline := flag.String("baseline", "", "measure the hotpath experiment and write the perf baseline JSON to this file, then exit")
-	checkBaseline := flag.String("checkbaseline", "", "re-measure the hotpath experiment at this baseline file's mode and exit nonzero on a >10% batched-throughput regression")
+	checkBaseline := flag.String("checkbaseline", "", "re-measure the hotpath experiment at this baseline file's mode and exit nonzero on a >10% batched-throughput regression or an allocs/op or lock-wait/op blow-up")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] list | all | <experiment>...\n\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] [-pprof DIR] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
 		for _, e := range bench.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.Name, e.Brief)
@@ -119,7 +120,18 @@ func main() {
 	for _, e := range selected {
 		elapsed := wallTimer()
 		fmt.Printf("--- %s: %s\n", e.Name, e.Brief)
-		tables := e.Run(opts)
+		var tables []*bench.Table
+		if *pprofDir != "" {
+			profDur, err := bench.Profile(*pprofDir, e.Name, func() { tables = e.Run(opts) })
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("--- %s profiles written to %s (%v profiled)\n",
+				e.Name, *pprofDir, profDur.Round(time.Millisecond))
+		} else {
+			tables = e.Run(opts)
+		}
 		if *csvDir != "" {
 			for _, tb := range tables {
 				if err := tb.SaveCSV(*csvDir); err != nil {

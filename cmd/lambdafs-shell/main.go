@@ -9,8 +9,8 @@
 //
 // Commands: mkdir <path> | create <path> | stat <path> | read <path> |
 // ls <path> | mv <src> <dst> | rm <path> | kill <deployment> | stats |
-// top [seconds] [clients] | metrics | trace [n] | chaos [episodes] [seed] |
-// help
+// top [seconds] [clients] | metrics | trace [n] | prof |
+// chaos [episodes] [seed] | help
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lambdafs"
+	"lambdafs/internal/bench"
 	"lambdafs/internal/chaos"
 	"lambdafs/internal/clock"
 	"lambdafs/internal/telemetry"
@@ -179,6 +180,15 @@ func main() {
 				}
 			}
 			printTraces(cluster.Tracer(), n)
+		case "prof":
+			// prof: critical-path and resource attribution over every trace
+			// recorded so far in the session.
+			traces := cluster.Tracer().Traces()
+			if len(traces) == 0 {
+				fmt.Println("prof: no traces recorded yet")
+				return
+			}
+			bench.CriticalPathTable(trace.CriticalPath(traces)).Fprint(os.Stdout)
 		case "chaos":
 			// chaos [episodes] [seed]: run deterministic fault-injection
 			// episodes (separate model-checked mini-clusters, not this one).
@@ -223,7 +233,7 @@ func main() {
 				s.CacheHits, s.CacheMisses, s.Store.Reads, s.Store.Writes, s.Store.Commits)
 			fmt.Printf("cost: pay-per-use $%.6f, provisioned $%.6f\n", s.PayPerUseUSD, s.ProvisionedUSD)
 		case "help":
-			fmt.Println("commands: mkdir create stat read ls mv rm kill stats top metrics trace chaos help")
+			fmt.Println("commands: mkdir create stat read ls mv rm kill stats top metrics trace prof chaos help")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/trace"
+	"lambdafs/internal/workload"
+)
+
+// tracedDeepStatReport runs the deep_stat hot path (stats of files under a
+// 10-deep directory chain) with tracing on and returns its critical-path
+// report.
+func tracedDeepStatReport(t *testing.T, serial bool) *trace.CritReport {
+	t.Helper()
+	clk := clock.NewSim()
+	defer clk.Close()
+	var c *hotpathCluster
+	var tr *trace.Tracer
+	var paths []string
+	clock.Run(clk, func() {
+		c = newHotpathCluster(clk, serial, 2)
+		tr = trace.New(clk, trace.Config{})
+		dir := ""
+		var dirs []string
+		for d := 0; d < 10; d++ {
+			dir = fmt.Sprintf("%s/h%d", dir, d)
+			dirs = append(dirs, dir)
+		}
+		for f := 0; f < 24; f++ {
+			paths = append(paths, fmt.Sprintf("%s/f%02d", dir, f))
+		}
+		workload.PreloadNDB(c.db, dirs, paths)
+	})
+	clock.Run(clk, func() {
+		for _, p := range paths {
+			tc := tr.StartTrace("stat", p, "c0")
+			resp := c.writer.Execute(namespace.Request{Op: namespace.OpStat, Path: p, TC: tc})
+			tc.Finish(resp.Err)
+			mustOK(resp, namespace.OpStat, p)
+		}
+	})
+	return trace.CriticalPath(tr.Traces())
+}
+
+// TestDeepStatCriticalPathShift pins the headline behavior of the
+// critical-path report on deep_stat. Serial and batched resolution spend
+// identical virtual time in the store (one 300µs round trip + one 300µs
+// service phase), so pure latency attribution cannot tell them apart; the
+// resource ledgers can. Serial resolution's wire exchange carries the
+// whole dependent-hop chain (hops and row materializations bill to
+// ndb.rtt), so the round trip ranks first; batched resolution collapses
+// the exchange to one hop and moves the row materialization into the
+// per-shard service phase, so ndb.service takes over the top slot.
+func TestDeepStatCriticalPathShift(t *testing.T) {
+	top := func(r *trace.CritReport, cohort string) *trace.CritKind {
+		t.Helper()
+		op := r.Op("stat")
+		if op == nil {
+			t.Fatal("no stat traces in report")
+		}
+		co := op.P99
+		if cohort == "p50" {
+			co = op.P50
+		}
+		ranked := co.Ranked()
+		if len(ranked) == 0 {
+			t.Fatalf("%s cohort has no contributors", cohort)
+		}
+		return ranked[0]
+	}
+
+	serial := tracedDeepStatReport(t, true)
+	for _, cohort := range []string{"p50", "p99"} {
+		got := top(serial, cohort)
+		if got.Kind != trace.KindStoreRTT {
+			t.Errorf("serial %s top contributor = %s, want %s (NDB wire exchange carries the resolve chain)",
+				cohort, got.Kind, trace.KindStoreRTT)
+		}
+		if got.Res.StoreHops == 0 {
+			t.Errorf("serial %s top contributor has no store hops in its ledger", cohort)
+		}
+	}
+
+	batched := tracedDeepStatReport(t, false)
+	for _, cohort := range []string{"p50", "p99"} {
+		got := top(batched, cohort)
+		if got.Kind != trace.KindStoreService {
+			t.Errorf("batched %s top contributor = %s, want %s (rows materialize in the per-shard service phase)",
+				cohort, got.Kind, trace.KindStoreService)
+		}
+	}
+
+	// The shift is a ledger effect, not a latency effect: both modes put
+	// the same virtual time on the store round trip and the service phase.
+	sst := serial.Op("stat")
+	bst := batched.Op("stat")
+	if sst.P50.Kind(trace.KindStoreRTT).PathTotal != bst.P50.Kind(trace.KindStoreRTT).PathTotal {
+		t.Errorf("rtt path time differs between modes: serial %v, batched %v",
+			sst.P50.Kind(trace.KindStoreRTT).PathTotal, bst.P50.Kind(trace.KindStoreRTT).PathTotal)
+	}
+}

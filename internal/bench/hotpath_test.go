@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaselineFile(t *testing.T, b *HotpathBaseline) string {
+	t.Helper()
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal baseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write baseline: %v", err)
+	}
+	return path
+}
+
+// cloneBaseline deep-copies via the JSON round trip the gate itself uses.
+func cloneBaseline(t *testing.T, b *HotpathBaseline) *HotpathBaseline {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out HotpathBaseline
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return &out
+}
+
+// TestHotpathBaselineGate measures a tiny baseline once and then drives
+// CheckHotpathBaseline three ways: an honest baseline must pass, a
+// deliberately-deflated allocs_per_op fixture must fail mentioning
+// allocs, and a stale schema must be rejected outright.
+func TestHotpathBaselineGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-measures the hotpath experiment")
+	}
+	opts := Options{Tiny: true, Seed: 1, Out: io.Discard}
+	cur := HotpathMeasure(opts)
+
+	ds := cur.Scenarios["deep_stat"]
+	if ds.Batched.AllocsPerOp <= 2*hotpathAllocsSlack {
+		t.Fatalf("deep_stat batched allocs/op = %.0f, too small for the deflation fixture to trip the gate",
+			ds.Batched.AllocsPerOp)
+	}
+	if ds.Batched.LockWaitUsPerOp < 0 {
+		t.Fatalf("negative lock-wait/op %.1f", ds.Batched.LockWaitUsPerOp)
+	}
+
+	t.Run("honest baseline passes", func(t *testing.T) {
+		path := writeBaselineFile(t, cur)
+		if err := CheckHotpathBaseline(path, Options{Out: io.Discard}); err != nil {
+			t.Fatalf("honest baseline failed the gate: %v", err)
+		}
+	})
+
+	t.Run("deflated allocs fixture fails", func(t *testing.T) {
+		regressed := cloneBaseline(t, cur)
+		// A committed baseline claiming near-zero allocations makes the
+		// current (honest) measurement look like an allocation regression.
+		regressed.Scenarios["deep_stat"].Batched.AllocsPerOp = 0
+		path := writeBaselineFile(t, regressed)
+		err := CheckHotpathBaseline(path, Options{Out: io.Discard})
+		if err == nil {
+			t.Fatal("deflated allocs baseline passed the gate")
+		}
+		if !strings.Contains(err.Error(), "allocs/op") {
+			t.Fatalf("gate failure does not mention allocs/op: %v", err)
+		}
+	})
+
+	t.Run("stale schema rejected", func(t *testing.T) {
+		stale := cloneBaseline(t, cur)
+		stale.Schema = "lambdafs-hotpath-baseline/v1"
+		path := writeBaselineFile(t, stale)
+		err := CheckHotpathBaseline(path, Options{Out: io.Discard})
+		if err == nil || !strings.Contains(err.Error(), "schema") {
+			t.Fatalf("v1 schema not rejected: %v", err)
+		}
+	})
+}

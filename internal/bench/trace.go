@@ -15,9 +15,10 @@ import (
 // RunTrace runs the observability experiment: a traced λFS deployment
 // through three phases — a warm mixed workload, an instance-kill storm
 // (cold starts, retries, anti-thrashing), and an idle window (reclamation)
-// — then renders the per-op-type latency decomposition and the structured
-// event log. With Options.TraceDir set, the raw traces and events are
-// dumped as JSONL for external tooling.
+// — then renders the per-op-type latency decomposition, the
+// critical-path/resource-attribution report, and the structured event
+// log. With Options.TraceDir set, the raw traces and events are dumped
+// as JSONL for external tooling.
 func RunTrace(opts Options) []*Table {
 	clk := clock.NewSim()
 	defer clk.Close()
@@ -87,7 +88,8 @@ func RunTrace(opts Options) []*Table {
 	})
 
 	bd := trace.Aggregate(tr.Traces())
-	tables := []*Table{BreakdownTable(bd), eventTable(tr)}
+	cp := trace.CriticalPath(tr.Traces())
+	tables := []*Table{BreakdownTable(bd), CriticalPathTable(cp), eventTable(tr)}
 	for _, t := range tables {
 		t.Fprint(opts.out())
 	}

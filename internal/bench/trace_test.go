@@ -70,7 +70,7 @@ func TestRunTraceExperiment(t *testing.T) {
 	dir := t.TempDir()
 	opts := Options{Tiny: true, Quick: true, Seed: 7, TraceDir: dir}
 	tables := RunTrace(opts)
-	if len(tables) != 2 {
+	if len(tables) != 3 {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	bd := tables[0]

@@ -280,6 +280,7 @@ func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ct
 		clock.Idle(z.clk, func() { sem <- struct{}{} })
 		tsp := tc.Start(trace.KindCoherenceTarget)
 		tsp.SetInstance(s.id)
+		tsp.AddINVTargets(1)
 		// Leader → coordinator → member hop.
 		z.clk.Sleep(2 * z.cfg.HopLatency)
 		select {

@@ -225,6 +225,9 @@ func (e *Engine) Execute(req namespace.Request) *namespace.Response {
 	e.cpu.AcquireCPU(e.cfg.OpCPUCost)
 	cpuSp.End()
 	resp := e.execute(tc, req)
+	// The response object plus any entries/blocks it materializes are the
+	// engine's own contribution to the op's allocation bill.
+	sp.AddAllocs(1 + uint64(len(resp.Entries)) + uint64(len(resp.Blocks)))
 	sp.End()
 	resp.ServedBy = e.id
 	if req.ClientID != "" {
@@ -501,7 +504,10 @@ func (e *Engine) invalidateAll(tc *trace.Ctx, deps []int, paths ...string) error
 			}
 			e.tel.parallelInvs.Add(float64(len(paths)))
 			if tbi, ok := e.coord.(coordinator.TracedBatchInvalidator); ok {
-				invErr = tbi.InvalidateBatchTraced(deps, invs, tc)
+				// Target legs nest under the coherence.inv span, so the
+				// critical-path walk sees the exchange as parent of its
+				// slowest member leg; each leg bills its own INV delivery.
+				invErr = tbi.InvalidateBatchTraced(deps, invs, sp.Ctx())
 			} else {
 				invErr = bi.InvalidateBatch(deps, invs)
 			}
@@ -514,6 +520,9 @@ func (e *Engine) invalidateAll(tc *trace.Ctx, deps []int, paths ...string) error
 				}
 			}
 			invErr = errors.Join(errs...)
+			// The serial rounds emit no per-target spans; bill the requested
+			// fan-out (paths × target deployments) on the exchange span.
+			sp.AddINVTargets(uint64(len(paths)) * uint64(len(deps)))
 		}
 	}
 	// The local invalidation is unconditionally safe (it only removes

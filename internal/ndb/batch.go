@@ -21,8 +21,12 @@ import (
 // the given row keys: a single RTT, then each shard owning any of the
 // rows serves ceil(rows/BatchRows) read batches, all shards in parallel.
 // With a trace context, the round trip and each shard's queue/service
-// phases become spans exactly as in serviceT. Safe for concurrent use;
-// blocks until every shard has served its share.
+// phases become spans exactly as in serviceT. Resource attribution
+// mirrors the execution shape: the single shared round trip bills one
+// dependent store round, and each shard's service span bills the rows it
+// materializes — the inverse of the serial shape, where the wire exchange
+// carries everything. Safe for concurrent use; blocks until every shard
+// has served its share.
 func (db *DB) serviceMultiT(keys []string, tc *trace.Ctx) {
 	if len(keys) == 0 {
 		return
@@ -33,6 +37,7 @@ func (db *DB) serviceMultiT(keys []string, tc *trace.Ctx) {
 	}
 	if db.cfg.RTT > 0 {
 		sp := tc.Start(trace.KindStoreRTT)
+		sp.AddStoreHops(1)
 		db.clk.Sleep(db.cfg.RTT)
 		sp.End()
 	}
@@ -74,6 +79,7 @@ func (db *DB) serviceMultiT(keys []string, tc *trace.Ctx) {
 			qsp.End()
 			ssp := tc.Start(trace.KindStoreService)
 			ssp.SetShard(idx)
+			ssp.AddAllocs(uint64(rows))
 			clock.Idle(db.clk, func() { <-tk.done })
 			ssp.End()
 			done <- struct{}{}

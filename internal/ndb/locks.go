@@ -105,8 +105,10 @@ func (lm *lockManager) grant(rl *rowLock, key, txKey string, exclusive bool) {
 	}
 }
 
-// Acquire blocks until the lock is granted or the wait times out.
-func (lm *lockManager) Acquire(txKey, key string, exclusive bool) error {
+// Acquire blocks until the lock is granted or the wait times out. It
+// returns the *virtual* time spent waiting (0 on an immediate grant) so
+// callers can attribute lock contention per transaction and per span.
+func (lm *lockManager) Acquire(txKey, key string, exclusive bool) (time.Duration, error) {
 	lm.mu.Lock()
 	rl := lm.rows[key]
 	if rl == nil {
@@ -116,12 +118,13 @@ func (lm *lockManager) Acquire(txKey, key string, exclusive bool) error {
 	if rl.canGrant(txKey, exclusive) {
 		lm.grant(rl, key, txKey, exclusive)
 		lm.mu.Unlock()
-		return nil
+		return 0, nil
 	}
 	w := &lockWaiter{txKey: txKey, exclusive: exclusive, ready: make(chan struct{})}
 	rl.waiters = append(rl.waiters, w)
 	lm.mu.Unlock()
 	lm.waits.Inc()
+	waitStart := lm.clk.Now()
 
 	timeout := clock.Timeout(lm.clk, lm.waitTimeout)
 	timedOut := false
@@ -133,7 +136,7 @@ func (lm *lockManager) Acquire(txKey, key string, exclusive bool) error {
 		}
 	})
 	if !timedOut {
-		return nil
+		return lm.clk.Now().Sub(waitStart), nil
 	}
 	{
 		lm.mu.Lock()
@@ -141,7 +144,7 @@ func (lm *lockManager) Acquire(txKey, key string, exclusive bool) error {
 			// Lost the race: the grant arrived as we timed out; keep it.
 			lm.mu.Unlock()
 			clock.Idle(lm.clk, func() { <-w.ready })
-			return nil
+			return lm.clk.Now().Sub(waitStart), nil
 		}
 		// Remove ourselves from the wait queue.
 		for i, other := range rl.waiters {
@@ -151,7 +154,7 @@ func (lm *lockManager) Acquire(txKey, key string, exclusive bool) error {
 			}
 		}
 		lm.mu.Unlock()
-		return store.ErrLockTimeout
+		return lm.clk.Now().Sub(waitStart), store.ErrLockTimeout
 	}
 }
 

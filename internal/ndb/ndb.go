@@ -107,6 +107,10 @@ type Stats struct {
 	// in a single multi-get round). The hotpath benchmark divides this
 	// by ops to report NDB round trips per resolution.
 	ResolveHops uint64
+	// LockWaitNS accumulates virtual nanoseconds transactions spent
+	// waiting on contended row locks (0 while every acquire is granted
+	// immediately). The hotpath baseline gates lock-wait/op on it.
+	LockWaitNS uint64
 }
 
 // DB is the NDB-like store. It implements store.Store.
@@ -208,17 +212,21 @@ func (sh *shard) run(clk clock.Clock) {
 // until served; RTT is charged on top. This is the single point where the
 // store's capacity model applies.
 func (db *DB) service(key string, dur time.Duration) {
-	db.serviceT(key, dur, nil)
+	db.serviceT(key, dur, nil, trace.Resources{})
 }
 
 // serviceT is service with per-phase trace attribution: the network round
 // trip (ndb.rtt), the wait for a shard worker (ndb.queue), and the shard
 // service time (ndb.service) become separate spans tagged with the shard
-// index. With a nil context it is exactly service (no extra allocation,
-// no started channel).
-func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
+// index. The caller's resource ledger (dependent store rounds this
+// exchange represents, rows materialized by it) attaches to the round-trip
+// span — the wire exchange is what carries the rows in the serial shape.
+// With a nil context it is exactly service (no extra allocation, no
+// started channel).
+func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx, res trace.Resources) {
 	if db.cfg.RTT > 0 {
 		sp := tc.Start(trace.KindStoreRTT)
+		sp.AddRes(res)
 		db.clk.Sleep(db.cfg.RTT)
 		sp.End()
 	}
@@ -250,6 +258,10 @@ func (db *DB) serviceT(key string, dur time.Duration, tc *trace.Ctx) {
 	qsp.End()
 	ssp := tc.Start(trace.KindStoreService)
 	ssp.SetShard(idx)
+	if db.cfg.RTT <= 0 {
+		// No round-trip span to carry the ledger; the service span does.
+		ssp.AddRes(res)
+	}
 	clock.Idle(db.clk, func() { <-t.done })
 	ssp.End()
 }
@@ -318,11 +330,12 @@ func (db *DB) ResolvePathTraced(path string, tc *trace.Ctx) ([]*namespace.INode,
 	}
 	comps := namespace.SplitPath(p)
 	batches := 1 + len(comps)/db.cfg.BatchRows
-	db.serviceT(p, time.Duration(batches)*db.cfg.ReadService, tc)
 	hops := uint64(len(comps))
 	if hops == 0 {
 		hops = 1
 	}
+	db.serviceT(p, time.Duration(batches)*db.cfg.ReadService, tc,
+		trace.Resources{StoreHops: hops, Allocs: uint64(len(comps) + 1)})
 	db.bumpStat(func(s *Stats) {
 		s.Reads++
 		s.ResolveHops += hops

@@ -18,6 +18,7 @@ type storeTelemetry struct {
 	lockTimeouts    *telemetry.Counter
 	batchedResolves *telemetry.Counter
 	resolveHops     *telemetry.Counter
+	lockWaitSec     *telemetry.Counter
 }
 
 func newStoreTelemetry(reg *telemetry.Registry) *storeTelemetry {
@@ -29,6 +30,7 @@ func newStoreTelemetry(reg *telemetry.Registry) *storeTelemetry {
 		lockTimeouts:    reg.Counter("lambdafs_ndb_lock_timeouts_total"),
 		batchedResolves: reg.Counter("lambdafs_ndb_batched_resolves_total"),
 		resolveHops:     reg.Counter("lambdafs_ndb_resolve_hops_total"),
+		lockWaitSec:     reg.Counter("lambdafs_ndb_lock_wait_seconds_total"),
 	}
 }
 
@@ -43,6 +45,7 @@ func (t *storeTelemetry) mirror(before, after Stats) {
 	t.lockTimeouts.Add(float64(after.LockTimeouts - before.LockTimeouts))
 	t.batchedResolves.Add(float64(after.BatchedResolves - before.BatchedResolves))
 	t.resolveHops.Add(float64(after.ResolveHops - before.ResolveHops))
+	t.lockWaitSec.Add(float64(after.LockWaitNS-before.LockWaitNS) / 1e9)
 }
 
 // registerShardGauges exposes each data-node shard's instantaneous queue

@@ -35,7 +35,19 @@ func (t *tx) lock(key string, mode store.LockMode) error {
 	if mode == store.LockNone {
 		return nil
 	}
-	err := t.db.locks.Acquire(t.key, key, mode == store.LockExclusive)
+	// The span is opened before the acquire so a contended wait is timed
+	// from its true start; an immediate grant cancels it (no span spam on
+	// the uncontended fast path — with a nil trace context this is free).
+	sp := t.tc.Start(trace.KindStoreLock)
+	wait, err := t.db.locks.Acquire(t.key, key, mode == store.LockExclusive)
+	if wait > 0 {
+		sp.SetDetail(key)
+		sp.AddLockWait(wait)
+		sp.End()
+		t.db.bumpStat(func(s *Stats) { s.LockWaitNS += uint64(wait.Nanoseconds()) })
+	} else {
+		sp.Cancel()
+	}
 	if err != nil {
 		t.db.bumpStat(func(s *Stats) { s.LockTimeouts++ })
 	}
@@ -50,7 +62,8 @@ func (t *tx) GetINode(id namespace.INodeID, mode store.LockMode) (*namespace.INo
 	if err := t.lock(inodeKey(id), mode); err != nil {
 		return nil, err
 	}
-	t.db.serviceT(inodeKey(id), t.db.cfg.ReadService, t.tc)
+	t.db.serviceT(inodeKey(id), t.db.cfg.ReadService, t.tc,
+		trace.Resources{StoreHops: 1, Allocs: 1})
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	if t.delINodes[id] {
 		return nil, namespace.ErrNotFound
@@ -88,7 +101,8 @@ func (t *tx) GetChild(parent namespace.INodeID, name string, mode store.LockMode
 	if err := t.lock(childKey(parent, name), mode); err != nil {
 		return nil, err
 	}
-	t.db.serviceT(childKey(parent, name), t.db.cfg.ReadService, t.tc)
+	t.db.serviceT(childKey(parent, name), t.db.cfg.ReadService, t.tc,
+		trace.Resources{StoreHops: 1, Allocs: 1})
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	if n := t.bufferedChild(parent, name); n != nil {
 		if err := t.lock(inodeKey(n.ID), mode); err != nil {
@@ -135,11 +149,12 @@ func (t *tx) ResolvePath(path string, mode store.LockMode) ([]*namespace.INode, 
 	}
 	comps := namespace.SplitPath(p)
 	batches := 1 + len(comps)/t.db.cfg.BatchRows
-	t.db.serviceT(p, time.Duration(batches)*t.db.cfg.ReadService, t.tc)
 	hops := uint64(len(comps))
 	if hops == 0 {
 		hops = 1
 	}
+	t.db.serviceT(p, time.Duration(batches)*t.db.cfg.ReadService, t.tc,
+		trace.Resources{StoreHops: hops, Allocs: uint64(len(comps) + 1)})
 	t.db.bumpStat(func(s *Stats) {
 		s.Reads++
 		s.ResolveHops += hops
@@ -251,7 +266,8 @@ func (t *tx) ListChildren(dir namespace.INodeID) ([]*namespace.INode, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	batches := 1 + len(out)/t.db.cfg.BatchRows
-	t.db.serviceT(inodeKey(dir), time.Duration(batches)*t.db.cfg.ReadService, t.tc)
+	t.db.serviceT(inodeKey(dir), time.Duration(batches)*t.db.cfg.ReadService, t.tc,
+		trace.Resources{StoreHops: 1, Allocs: uint64(len(out))})
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	return out, nil
 }
@@ -327,7 +343,8 @@ func (t *tx) KVGet(table, key string, mode store.LockMode) ([]byte, bool, error)
 	if err := t.lock(kvKey(table, key), mode); err != nil {
 		return nil, false, err
 	}
-	t.db.serviceT(kvKey(table, key), t.db.cfg.ReadService, t.tc)
+	t.db.serviceT(kvKey(table, key), t.db.cfg.ReadService, t.tc,
+		trace.Resources{StoreHops: 1, Allocs: 1})
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	if t.kvDels[table][key] {
 		return nil, false, nil
@@ -409,7 +426,8 @@ func (t *tx) KVScan(table, prefix string) (map[string][]byte, error) {
 		delete(out, k)
 	}
 	batches := 1 + len(out)/t.db.cfg.BatchRows
-	t.db.serviceT(kvKey(table, prefix), time.Duration(batches)*t.db.cfg.ReadService, t.tc)
+	t.db.serviceT(kvKey(table, prefix), time.Duration(batches)*t.db.cfg.ReadService, t.tc,
+		trace.Resources{StoreHops: 1, Allocs: uint64(len(out))})
 	t.db.bumpStat(func(s *Stats) { s.Reads++ })
 	return out, nil
 }
@@ -443,6 +461,7 @@ func (t *tx) Commit() error {
 	if writes > 0 {
 		sp := t.tc.Start(trace.KindStoreCommit)
 		sp.SetDetail(fmt.Sprintf("writes=%d", writes))
+		sp.AddRes(trace.Resources{StoreHops: 1, Allocs: uint64(writes)})
 		t.chargeCommit(writes)
 		sp.End()
 	}

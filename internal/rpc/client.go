@@ -244,6 +244,11 @@ func (c *Client) callHTTP(tc *trace.Ctx, dep int, req namespace.Request) (*names
 	c.tel.http.Inc()
 	sp := tc.Start(trace.KindRPCHTTP)
 	sp.SetDeployment(dep)
+	// The request's bytes (plus the gateway envelope) go on the wire whether
+	// or not the invocation succeeds; the response's only on success.
+	reqBytes := reqWireBytes(req) + wireHTTPOverheadBytes
+	sp.AddWireBytes(reqBytes)
+	c.tel.wireBytes.Add(float64(reqBytes))
 	// Re-point the request's context at the transport span so server-side
 	// spans (gateway, cold start, engine, store) nest under it.
 	req.TC = sp.Ctx()
@@ -253,11 +258,15 @@ func (c *Client) callHTTP(tc *trace.Ctx, dep int, req namespace.Request) (*names
 		sp.End()
 		return nil, err
 	}
-	sp.End()
 	resp, ok := v.(*namespace.Response)
 	if !ok || resp == nil {
+		sp.End()
 		return nil, namespace.ErrUnavailable
 	}
+	respBytes := respWireBytes(resp) + wireHTTPOverheadBytes
+	sp.AddWireBytes(respBytes)
+	c.tel.wireBytes.Add(float64(respBytes))
+	sp.End()
 	return resp, nil
 }
 
@@ -282,6 +291,11 @@ func (c *Client) callTCP(tc *trace.Ctx, conn *Conn, req namespace.Request) (*nam
 	sp := tc.Start(trace.KindRPCTCP)
 	sp.SetDeployment(conn.inst.DeploymentIndex())
 	sp.SetInstance(conn.InstanceID())
+	// Request bytes bill up front (sent even when the connection then
+	// drops); response bytes only once a response made it back.
+	reqBytes := reqWireBytes(req)
+	sp.AddWireBytes(reqBytes)
+	c.tel.wireBytes.Add(float64(reqBytes))
 	req.TC = sp.Ctx()
 	nsp := sp.Ctx().Start(trace.KindRPCTCPNet)
 	c.vm.clk.Sleep(c.cfg.TCPOneWay)
@@ -295,11 +309,15 @@ func (c *Client) callTCP(tc *trace.Ctx, conn *Conn, req namespace.Request) (*nam
 	nsp = sp.Ctx().Start(trace.KindRPCTCPNet)
 	c.vm.clk.Sleep(c.cfg.TCPOneWay)
 	nsp.End()
-	sp.End()
 	resp, ok := v.(*namespace.Response)
 	if !ok || resp == nil {
+		sp.End()
 		return nil, namespace.ErrUnavailable
 	}
+	respBytes := respWireBytes(resp)
+	sp.AddWireBytes(respBytes)
+	c.tel.wireBytes.Add(float64(respBytes))
+	sp.End()
 	return resp, nil
 }
 

@@ -19,6 +19,7 @@ type rpcTelemetry struct {
 	timeouts   *telemetry.Counter
 	failovers  *telemetry.Counter
 	antiThrash *telemetry.Counter
+	wireBytes  *telemetry.Counter
 }
 
 func newRPCTelemetry(reg *telemetry.Registry) rpcTelemetry {
@@ -32,5 +33,6 @@ func newRPCTelemetry(reg *telemetry.Registry) rpcTelemetry {
 		timeouts:   reg.Counter("lambdafs_rpc_timeouts_total"),
 		failovers:  reg.Counter("lambdafs_rpc_failovers_total"),
 		antiThrash: reg.Counter("lambdafs_rpc_antithrash_total"),
+		wireBytes:  reg.Counter("lambdafs_rpc_wire_bytes_total"),
 	}
 }

@@ -119,3 +119,40 @@ func TestTracerSinkFeedsRecorder(t *testing.T) {
 		t.Fatalf("recorder saw %d events, want all 6 (sink bypasses cap)", len(evs))
 	}
 }
+
+// TestFlightRecorderWraparoundBoundary pins the ring's behavior at the
+// exact capacity boundary: filling to capacity retains everything in
+// insertion order, and one more event evicts exactly the oldest.
+func TestFlightRecorderWraparoundBoundary(t *testing.T) {
+	const cap = 4
+	fr := NewFlightRecorder(cap, 1)
+	base := clock.Epoch
+	for i := 0; i < cap; i++ {
+		fr.RecordEvent(eventAt(base.Add(time.Duration(i) * time.Second)))
+	}
+	evs := fr.Events()
+	if len(evs) != cap {
+		t.Fatalf("at capacity: retained %d events, want %d", len(evs), cap)
+	}
+	for i, ev := range evs {
+		if want := base.Add(time.Duration(i) * time.Second); !ev.Time.Equal(want) {
+			t.Fatalf("at capacity: event[%d].Time = %v, want %v (oldest first)", i, ev.Time, want)
+		}
+	}
+
+	// Capacity+1: the head wraps, the oldest event (t+0s) is gone, and the
+	// dump order is still oldest-first starting at t+1s.
+	fr.RecordEvent(eventAt(base.Add(cap * time.Second)))
+	evs = fr.Events()
+	if len(evs) != cap {
+		t.Fatalf("past capacity: retained %d events, want %d", len(evs), cap)
+	}
+	for i, ev := range evs {
+		if want := base.Add(time.Duration(i+1) * time.Second); !ev.Time.Equal(want) {
+			t.Fatalf("past capacity: event[%d].Time = %v, want %v (oldest first)", i, ev.Time, want)
+		}
+	}
+	if ne, _ := fr.Len(); ne != cap {
+		t.Fatalf("Len = %d, want %d", ne, cap)
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -228,3 +229,61 @@ func TestConcurrentScrapeAndUpdate(t *testing.T) {
 type writerCounter struct{ n int }
 
 func (w *writerCounter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// TestHistogramQuantileEdges pins the summary's edge behavior: extreme
+// quantiles on a populated histogram bracket the observed range, and an
+// empty histogram answers 0 everywhere — including through Gather and
+// both exposition formats — rather than panicking.
+func TestHistogramQuantileEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edges_seconds")
+	for _, d := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond} {
+		h.Observe(d)
+	}
+	q0, q1 := h.Quantile(0), h.Quantile(1)
+	if q0 <= 0 || q0 > 2*time.Millisecond {
+		t.Errorf("Quantile(0) = %v, want ~1ms (smallest observation's bucket)", q0)
+	}
+	if q1 < 100*time.Millisecond || q1 > 110*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want ~100ms (largest observation's bucket)", q1)
+	}
+	if q0 > h.Quantile(0.5) || h.Quantile(0.5) > q1 {
+		t.Errorf("quantiles not monotonic: q0=%v q50=%v q1=%v", q0, h.Quantile(0.5), q1)
+	}
+
+	empty := reg.Histogram("empty_seconds")
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if empty.Count() != 0 {
+		t.Errorf("empty Count = %d", empty.Count())
+	}
+
+	// The whole exposition path must survive an observation-free summary.
+	var found bool
+	for _, m := range reg.Gather() {
+		if m.Name != "empty_seconds" {
+			continue
+		}
+		found = true
+		if m.Count != 0 || m.Sum != 0 || m.Q50 != 0 || m.Q99 != 0 {
+			t.Errorf("empty summary gathered as %+v, want all zeros", m)
+		}
+	}
+	if !found {
+		t.Fatal("empty_seconds missing from Gather")
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg); err != nil {
+		t.Fatalf("WritePrometheus with empty summary: %v", err)
+	}
+	if !strings.Contains(sb.String(), "empty_seconds_count 0") {
+		t.Errorf("Prometheus exposition lacks empty summary count:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WriteJSON(&sb, reg); err != nil {
+		t.Fatalf("WriteJSON with empty summary: %v", err)
+	}
+}

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"lambdafs/internal/metrics"
+)
+
+// Critical-path analysis. Where aggregate.go answers "how much total time
+// went into each span kind", this file answers "which spans the request
+// actually waited on": for each finished trace it extracts the dominant
+// path through the span tree and attributes every instant of the
+// end-to-end window to exactly one span kind (or to the untraced gap).
+//
+// The walk runs backward from the trace end. Within a window owned by a
+// span, its children are visited latest-ending first; the stretch between
+// the current cursor and a child's end belongs to the parent, the child's
+// own interval is attributed recursively, and the cursor jumps to the
+// child's start. Children overlapping a stretch already attributed are
+// parallel branches that finished earlier — off the critical path — and
+// are skipped. Unlike self-time attribution, the per-kind critical times
+// of one trace always sum to exactly the end-to-end latency (with the
+// remainder in Unattributed), so "top contributor" rankings are exact
+// shares of what the client waited for.
+//
+// Alongside the time on the path, the report carries each kind's resource
+// ledger (Resources, summed over all spans of the kind, on or off the
+// path): parallel branches still bill allocations, store hops, and INV
+// deliveries even when they are not the thing the client waited on.
+
+// CritKind aggregates one span kind within a cohort.
+type CritKind struct {
+	Kind Kind
+	// PathTotal is critical-path time attributed to the kind, summed over
+	// the cohort's traces.
+	PathTotal time.Duration
+	// PathCount is the number of traces where the kind contributed >0 to
+	// the path.
+	PathCount uint64
+	// Spans counts spans of this kind across the cohort (on or off path).
+	Spans uint64
+	// Res is the kind's total resource ledger across the cohort.
+	Res Resources
+}
+
+// CritCohort is one latency cohort of an operation type: "p50" (traces at
+// or below the median) or "p99" (the tail at or above the 99th
+// percentile).
+type CritCohort struct {
+	Name         string
+	Traces       int
+	E2ETotal     time.Duration
+	Unattributed time.Duration // end-to-end time in untraced gaps
+	kinds        map[Kind]*CritKind
+}
+
+// Kind returns the cohort aggregate for kind k (nil when absent).
+func (c *CritCohort) Kind(k Kind) *CritKind { return c.kinds[k] }
+
+// Ranked returns the cohort's kinds ordered by critical-path time
+// (descending). Exact ties — common in the deterministic simulation — are
+// broken by the denser resource ledger: allocations first, then store
+// hops, then canonical kind order, so among equal-time contributors the
+// one materializing more data ranks first.
+func (c *CritCohort) Ranked() []*CritKind {
+	out := make([]*CritKind, 0, len(c.kinds))
+	for _, ck := range c.kinds {
+		out = append(out, ck)
+	}
+	idx := make(map[Kind]int, len(KindOrder))
+	for i, k := range KindOrder {
+		idx[k] = i + 1
+	}
+	rank := func(k Kind) int {
+		if i, ok := idx[k]; ok {
+			return i
+		}
+		return len(KindOrder) + 1
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PathTotal != b.PathTotal {
+			return a.PathTotal > b.PathTotal
+		}
+		if a.Res.Allocs != b.Res.Allocs {
+			return a.Res.Allocs > b.Res.Allocs
+		}
+		if a.Res.StoreHops != b.Res.StoreHops {
+			return a.Res.StoreHops > b.Res.StoreHops
+		}
+		return rank(a.Kind) < rank(b.Kind)
+	})
+	return out
+}
+
+// CritOp is the critical-path analysis of one operation type.
+type CritOp struct {
+	Op     string
+	Traces int
+	E2E    *metrics.Histogram
+	P50    *CritCohort
+	P99    *CritCohort
+}
+
+// CritReport is the per-op critical-path report over a set of traces.
+type CritReport struct {
+	ops map[string]*CritOp
+}
+
+// OpNames returns the operation types present, sorted.
+func (r *CritReport) OpNames() []string {
+	out := make([]string, 0, len(r.ops))
+	for op := range r.ops {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Op returns the analysis for one operation type (nil when absent).
+func (r *CritReport) Op(name string) *CritOp { return r.ops[name] }
+
+// traceCrit is one trace's critical-path decomposition.
+type traceCrit struct {
+	e2e   time.Duration
+	gap   time.Duration
+	path  map[Kind]time.Duration
+	res   map[Kind]Resources
+	spans map[Kind]uint64
+}
+
+// CriticalPath analyzes finished traces into a per-op "top contributors
+// to p50/p99" report (unfinished traces are skipped).
+func CriticalPath(traces []*Trace) *CritReport {
+	perOp := make(map[string][]traceCrit)
+	for _, t := range traces {
+		end := t.End()
+		if end.IsZero() {
+			continue
+		}
+		e2e := end.Sub(t.Start)
+		if e2e < 0 {
+			continue
+		}
+		perOp[t.Op] = append(perOp[t.Op], critOne(t, end, e2e))
+	}
+
+	r := &CritReport{ops: make(map[string]*CritOp, len(perOp))}
+	for op, tcs := range perOp {
+		co := &CritOp{Op: op, Traces: len(tcs), E2E: metrics.NewHistogram()}
+		lats := make([]time.Duration, len(tcs))
+		for i, tc := range tcs {
+			co.E2E.Observe(tc.e2e)
+			lats[i] = tc.e2e
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50 := lats[(len(lats)-1)/2]
+		p99 := lats[int(float64(len(lats)-1)*0.99)]
+		co.P50 = newCohort("p50")
+		co.P99 = newCohort("p99")
+		for _, tc := range tcs {
+			if tc.e2e <= p50 {
+				co.P50.add(tc)
+			}
+			if tc.e2e >= p99 {
+				co.P99.add(tc)
+			}
+		}
+		r.ops[op] = co
+	}
+	return r
+}
+
+func newCohort(name string) *CritCohort {
+	return &CritCohort{Name: name, kinds: make(map[Kind]*CritKind)}
+}
+
+func (c *CritCohort) add(tc traceCrit) {
+	c.Traces++
+	c.E2ETotal += tc.e2e
+	c.Unattributed += tc.gap
+	for k, d := range tc.path {
+		c.kind(k).PathTotal += d
+		if d > 0 {
+			c.kind(k).PathCount++
+		}
+	}
+	for k, res := range tc.res {
+		c.kind(k).Res.Add(res)
+	}
+	for k, n := range tc.spans {
+		c.kind(k).Spans += n
+	}
+}
+
+func (c *CritCohort) kind(k Kind) *CritKind {
+	ck := c.kinds[k]
+	if ck == nil {
+		ck = &CritKind{Kind: k}
+		c.kinds[k] = ck
+	}
+	return ck
+}
+
+// critOne decomposes one trace: the backward walk over the span tree
+// attributes every instant of [t.Start, end] to a kind or the gap, and the
+// resource ledgers of all spans are summed per kind.
+func critOne(t *Trace, end time.Time, e2e time.Duration) traceCrit {
+	tc := traceCrit{
+		e2e:   e2e,
+		path:  make(map[Kind]time.Duration),
+		res:   make(map[Kind]Resources),
+		spans: make(map[Kind]uint64),
+	}
+	spans := t.Spans()
+	// Clip spans to the trace window (hedged attempts may outlive it).
+	clipped := spans[:0]
+	for _, s := range spans {
+		if !s.Start.Before(end) {
+			continue
+		}
+		if s.Start.Before(t.Start) {
+			s.Dur -= t.Start.Sub(s.Start)
+			s.Start = t.Start
+		}
+		if over := s.Start.Add(s.Dur).Sub(end); over > 0 {
+			s.Dur -= over
+		}
+		if s.Dur < 0 {
+			s.Dur = 0
+		}
+		clipped = append(clipped, s)
+	}
+	for i := range clipped {
+		s := &clipped[i]
+		tc.res[s.Kind] = addRes(tc.res[s.Kind], s.Res)
+		tc.spans[s.Kind]++
+	}
+	kids := make(map[uint64][]int, len(clipped))
+	for i, s := range clipped {
+		kids[s.Parent] = append(kids[s.Parent], i)
+	}
+	// Latest-ending first; equal ends prefer the longer child (the fuller
+	// explanation of the window), then span ID for determinism.
+	for _, c := range kids {
+		sort.Slice(c, func(i, j int) bool {
+			a, b := clipped[c[i]], clipped[c[j]]
+			ae, be := a.Start.Add(a.Dur), b.Start.Add(b.Dur)
+			if !ae.Equal(be) {
+				return ae.After(be)
+			}
+			if a.Dur != b.Dur {
+				return a.Dur > b.Dur
+			}
+			return a.ID < b.ID
+		})
+	}
+
+	attr := func(kind Kind, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		if kind == "" {
+			tc.gap += d
+		} else {
+			tc.path[kind] += d
+		}
+	}
+	var walk func(id uint64, kind Kind, lo, hi time.Time)
+	walk = func(id uint64, kind Kind, lo, hi time.Time) {
+		cur := hi
+		for _, ci := range kids[id] {
+			c := clipped[ci]
+			cEnd := c.Start.Add(c.Dur)
+			if cEnd.After(cur) {
+				// Parallel branch finishing after the cursor: the stretch it
+				// covers is already attributed — off the critical path.
+				continue
+			}
+			if !cEnd.After(lo) {
+				break // this and all earlier-ending children lie before the window
+			}
+			attr(kind, cur.Sub(cEnd))
+			cStart := c.Start
+			if cStart.Before(lo) {
+				cStart = lo
+			}
+			walk(c.ID, c.Kind, cStart, cEnd)
+			cur = cStart
+			if !cur.After(lo) {
+				return
+			}
+		}
+		attr(kind, cur.Sub(lo))
+	}
+	walk(0, "", t.Start, end)
+	return tc
+}
+
+func addRes(a, b Resources) Resources {
+	a.Add(b)
+	return a
+}

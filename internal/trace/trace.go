@@ -57,6 +57,7 @@ const (
 	KindStoreQueue   Kind = "ndb.queue"   // wait for a shard worker
 	KindStoreService Kind = "ndb.service" // shard service time
 	KindStoreCommit  Kind = "ndb.commit"  // distributed commit (RTT + queue + service)
+	KindStoreLock    Kind = "ndb.lock"    // contended row-lock wait (emitted only when waited)
 )
 
 // KindOrder is the canonical ordering of span kinds in decomposition
@@ -66,7 +67,7 @@ var KindOrder = []Kind{
 	KindRPCTCP, KindRPCTCPNet, KindRPCHTTP, KindBackoff,
 	KindGateway, KindAdmit, KindColdStart,
 	KindEngineExec, KindEngineCPU, KindCoherence, KindCoherenceTarget, KindSubtreeQuiesce, KindSubtreeExec,
-	KindStoreRTT, KindStoreQueue, KindStoreService, KindStoreCommit,
+	KindStoreRTT, KindStoreQueue, KindStoreService, KindStoreCommit, KindStoreLock,
 }
 
 // EventType names a control-plane event.
@@ -90,6 +91,40 @@ const (
 	EventChaosFault      EventType = "chaos_fault"       // fault injector armed or fired a fault
 )
 
+// Resources is the per-span resource ledger: what a span *consumed*, as
+// opposed to how long it took. Emitters attach entries at the points that
+// already emit spans/metrics; the critical-path analyzer (critpath.go) and
+// the JSONL export surface them per op. All fields are additive counts in
+// virtual-time semantics — none reads the host.
+type Resources struct {
+	// Allocs counts tracked metadata-object allocations: store rows
+	// materialized as INode/KV clones and response objects built for the
+	// client. It is the ledger the zero-allocation hot-path work drives down.
+	Allocs uint64
+	// StoreHops counts dependent NDB store rounds represented by the span
+	// (a serial path resolution is one wire exchange but len(components)
+	// dependent rounds; a batched multi-get is one).
+	StoreHops uint64
+	// LockWaitNS is virtual nanoseconds spent waiting on store row locks.
+	LockWaitNS int64
+	// INVTargets counts cache-invalidation deliveries fanned out.
+	INVTargets uint64
+	// WireBytes is modeled RPC payload bytes on the wire.
+	WireBytes uint64
+}
+
+// Add accumulates o into r.
+func (r *Resources) Add(o Resources) {
+	r.Allocs += o.Allocs
+	r.StoreHops += o.StoreHops
+	r.LockWaitNS += o.LockWaitNS
+	r.INVTargets += o.INVTargets
+	r.WireBytes += o.WireBytes
+}
+
+// IsZero reports whether the ledger is empty.
+func (r Resources) IsZero() bool { return r == Resources{} }
+
 // Span is one completed, timed segment of a trace. Spans form a tree via
 // Parent (0 = direct child of the trace root).
 type Span struct {
@@ -98,6 +133,9 @@ type Span struct {
 	Kind   Kind
 	Start  time.Time
 	Dur    time.Duration
+
+	// Res is the span's resource ledger (zero when nothing was attached).
+	Res Resources
 
 	// Tags; -1 / "" when not applicable.
 	Deployment int
@@ -150,6 +188,18 @@ func (t *Trace) Spans() []Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]Span(nil), t.spans...)
+}
+
+// Resources sums the resource ledgers of every recorded span: the total
+// resource bill of the request.
+func (t *Trace) Resources() Resources {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var r Resources
+	for i := range t.spans {
+		r.Add(t.spans[i].Res)
+	}
+	return r
 }
 
 // Event is one structured control-plane event. Time is virtual; TraceID is
@@ -437,6 +487,48 @@ func (a *ActiveSpan) SetInstance(id string) {
 func (a *ActiveSpan) SetDetail(d string) {
 	if a != nil {
 		a.span.Detail = d
+	}
+}
+
+// AddRes accumulates a resource ledger entry onto the span.
+func (a *ActiveSpan) AddRes(r Resources) {
+	if a != nil {
+		a.span.Res.Add(r)
+	}
+}
+
+// AddAllocs records tracked metadata-object allocations.
+func (a *ActiveSpan) AddAllocs(n uint64) {
+	if a != nil {
+		a.span.Res.Allocs += n
+	}
+}
+
+// AddStoreHops records dependent NDB store rounds.
+func (a *ActiveSpan) AddStoreHops(n uint64) {
+	if a != nil {
+		a.span.Res.StoreHops += n
+	}
+}
+
+// AddLockWait records virtual time spent waiting on store row locks.
+func (a *ActiveSpan) AddLockWait(d time.Duration) {
+	if a != nil {
+		a.span.Res.LockWaitNS += d.Nanoseconds()
+	}
+}
+
+// AddINVTargets records cache-invalidation deliveries fanned out.
+func (a *ActiveSpan) AddINVTargets(n uint64) {
+	if a != nil {
+		a.span.Res.INVTargets += n
+	}
+}
+
+// AddWireBytes records modeled RPC payload bytes on the wire.
+func (a *ActiveSpan) AddWireBytes(n uint64) {
+	if a != nil {
+		a.span.Res.WireBytes += n
 	}
 }
 

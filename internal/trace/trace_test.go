@@ -33,6 +33,12 @@ func TestNilSafety(t *testing.T) {
 	sp.SetShard(2)
 	sp.SetInstance("x")
 	sp.SetDetail("d")
+	sp.AddRes(Resources{Allocs: 1})
+	sp.AddAllocs(1)
+	sp.AddStoreHops(2)
+	sp.AddLockWait(time.Millisecond)
+	sp.AddINVTargets(3)
+	sp.AddWireBytes(4)
 	sp.Cancel()
 	sp.End()
 	if sp.Ctx() != nil {

@@ -87,7 +87,7 @@ func checkGolden(t *testing.T, name string, wantSuppressed int) {
 	}
 }
 
-func TestGoldenVirtualTime(t *testing.T) { checkGolden(t, "virtualtime", 1) }
+func TestGoldenVirtualTime(t *testing.T) { checkGolden(t, "virtualtime", 3) }
 func TestGoldenDeterminism(t *testing.T) { checkGolden(t, "determinism", 1) }
 func TestGoldenLocks(t *testing.T)       { checkGolden(t, "locks", 1) }
 func TestGoldenSpans(t *testing.T)       { checkGolden(t, "spans", 1) }
