@@ -2,8 +2,9 @@
 # Repo health check: formatting, vet, the in-repo lambdafs-vet analyzer,
 # build, full test suite, the race detector over the concurrency-heavy
 # packages (tracer, metrics, telemetry plane, FaaS platform, RPC fabric,
-# chaos harness, coordinator, NDB, core), and a bounded fixed-seed chaos
-# smoke run. Run before sending changes.
+# chaos harness, coordinator, NDB, LSM, core), bounded fixed-seed chaos
+# and crash-restart smoke runs, and the perf/durability baseline gates.
+# Run before sending changes.
 set -e
 
 cd "$(dirname "$0")"
@@ -30,14 +31,21 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (trace, metrics, telemetry, faas, rpc, chaos, coordinator, ndb, core) =="
-go test -race ./internal/trace/ ./internal/metrics/ ./internal/telemetry/ ./internal/faas/ ./internal/rpc/ ./internal/chaos/ ./internal/coordinator/ ./internal/ndb/ ./internal/core/
+echo "== go test -race (trace, metrics, telemetry, faas, rpc, chaos, coordinator, ndb, lsm, core) =="
+go test -race ./internal/trace/ ./internal/metrics/ ./internal/telemetry/ ./internal/faas/ ./internal/rpc/ ./internal/chaos/ ./internal/coordinator/ ./internal/ndb/ ./internal/lsm/ ./internal/core/
 
 echo "== chaos smoke (bounded, fixed seed) =="
 go test ./internal/chaos/ -run TestChaosRandomized -chaosseed 3 -count=1
 
+echo "== crash-restart smoke (durability: WAL torn-tail sweep + episode battery) =="
+go test ./internal/ndb/ -run TestWALTornTailPrefixRecovery -count=1
+go test ./internal/chaos/ -run 'TestCrashRestartEpisodes|TestCrashRestartCatchesSabotage' -count=1
+
 echo "== hotpath perf baseline (quick mode; gates batched throughput, allocs/op, lock-wait/op) =="
 go run ./cmd/lambdafs-bench -checkbaseline BENCH_hotpath.json
+
+echo "== restart durability baseline (quick mode; gates digest-exact recovery, replayed records, recovery time) =="
+go run ./cmd/lambdafs-bench -checkrestartbaseline BENCH_restart.json
 
 echo "== profiling smoke =="
 profdir=$(mktemp -d)

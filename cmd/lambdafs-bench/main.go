@@ -12,6 +12,8 @@
 //	lambdafs-bench -seed 42 fig16
 //	lambdafs-bench -baseline BENCH_hotpath.json        # write perf baseline
 //	lambdafs-bench -checkbaseline BENCH_hotpath.json   # fail on regression
+//	lambdafs-bench -restartbaseline BENCH_restart.json      # write durability baseline
+//	lambdafs-bench -checkrestartbaseline BENCH_restart.json # fail on recovery regression
 package main
 
 import (
@@ -37,6 +39,8 @@ func main() {
 	pprofDir := flag.String("pprof", "", "profile each experiment's host cost and write <experiment>.{cpu,heap,mutex,block}.pprof into this directory")
 	baseline := flag.String("baseline", "", "measure the hotpath experiment and write the perf baseline JSON to this file, then exit")
 	checkBaseline := flag.String("checkbaseline", "", "re-measure the hotpath experiment at this baseline file's mode and exit nonzero on a >10% batched-throughput regression or an allocs/op or lock-wait/op blow-up")
+	restartBaseline := flag.String("restartbaseline", "", "measure the restart experiment's recovery sweep and write the durability baseline JSON to this file, then exit")
+	checkRestartBaseline := flag.String("checkrestartbaseline", "", "re-measure the restart recovery sweep at this baseline file's mode and exit nonzero on a digest divergence, a replayed-record drift, or a >10% recovery-time regression")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] [-pprof DIR] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
@@ -47,7 +51,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 
-	if *baseline != "" || *checkBaseline != "" {
+	if *baseline != "" || *checkBaseline != "" || *restartBaseline != "" || *checkRestartBaseline != "" {
 		opts := bench.Options{Quick: !*full, Seed: *seed}
 		if *baseline != "" {
 			if err := bench.WriteHotpathBaseline(*baseline, opts); err != nil {
@@ -62,6 +66,20 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("hotpath baseline %s holds (no >10%% batched-throughput regression)\n", *checkBaseline)
+		}
+		if *restartBaseline != "" {
+			if err := bench.WriteRestartBaseline(*restartBaseline, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "restartbaseline:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote restart baseline to %s\n", *restartBaseline)
+		}
+		if *checkRestartBaseline != "" {
+			if err := bench.CheckRestartBaseline(*checkRestartBaseline, opts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("restart baseline %s holds (digest-exact recovery, no >10%% recovery-time regression)\n", *checkRestartBaseline)
 		}
 		return
 	}

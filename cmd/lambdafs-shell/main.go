@@ -10,7 +10,7 @@
 // Commands: mkdir <path> | create <path> | stat <path> | read <path> |
 // ls <path> | mv <src> <dst> | rm <path> | kill <deployment> | stats |
 // top [seconds] [clients] | metrics | trace [n] | prof |
-// chaos [episodes] [seed] | help
+// chaos [episodes] [seed] | restart [episodes] [seed] | help
 package main
 
 import (
@@ -204,6 +204,23 @@ func main() {
 				}
 			}
 			runChaosEpisodes(episodes, seed)
+		case "restart":
+			// restart [episodes] [seed]: run crash_restart durability
+			// episodes (crash a durable store mid-workload under WAL
+			// drop/tear and checkpoint-loss faults, recover, check the
+			// committed prefix survived digest-exact).
+			episodes, seed := 3, int64(1)
+			if len(args) > 0 {
+				if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+					episodes = v
+				}
+			}
+			if len(args) > 1 {
+				if v, err := strconv.ParseInt(args[1], 10, 64); err == nil {
+					seed = v
+				}
+			}
+			runRestartEpisodes(episodes, seed)
 		case "top":
 			// top [seconds] [clients]: drive a short mixed workload and
 			// render the telemetry plane's key series once per virtual
@@ -233,7 +250,7 @@ func main() {
 				s.CacheHits, s.CacheMisses, s.Store.Reads, s.Store.Writes, s.Store.Commits)
 			fmt.Printf("cost: pay-per-use $%.6f, provisioned $%.6f\n", s.PayPerUseUSD, s.ProvisionedUSD)
 		case "help":
-			fmt.Println("commands: mkdir create stat read ls mv rm kill stats top metrics trace prof chaos help")
+			fmt.Println("commands: mkdir create stat read ls mv rm kill stats top metrics trace prof chaos restart help")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}
@@ -405,6 +422,27 @@ func runChaosEpisodes(n int, seed int64) {
 		}
 		if res.Failed() {
 			fmt.Printf("  replay: go test ./internal/chaos/ -run TestChaosRandomized -chaosseed %d\n", s)
+		}
+	}
+}
+
+// runRestartEpisodes runs n crash_restart durability episodes and prints
+// one summary line each; violations print in full with the replay seed.
+func runRestartEpisodes(n int, seed int64) {
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		res := chaos.RunCrashRestart(chaos.DefaultCrashRestart(s))
+		status := "OK"
+		if res.Failed() {
+			status = fmt.Sprintf("FAILED (%d violations)", len(res.Violations))
+		}
+		fmt.Printf("restart seed=%d: %s commits=%d crashes=%d ckpts=%d replayed=%d discarded=%d digest=%s\n",
+			s, status, res.Commits, res.Crashes, res.Checkpoints, res.Replayed, res.Discarded, res.Digest[:16])
+		for _, v := range res.Violations {
+			fmt.Println("  violation:", v)
+		}
+		if res.Failed() {
+			fmt.Printf("  replay: go test ./internal/chaos/ -run TestCrashRestart -v  (seed %d)\n", s)
 		}
 	}
 }

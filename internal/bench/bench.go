@@ -168,6 +168,7 @@ func All() []Experiment {
 		{"hotpath", "Hot-path parallelism: batched resolution, fan-out invalidation, partitioned subtree mv", RunHotpath},
 		{"trace", "Observability: latency decomposition and structured event log", RunTrace},
 		{"chaos", "Chaos: deterministic fault-injection episodes + full-stack fault storm", RunChaos},
+		{"restart", "Durability: recovery time vs WAL length + crash_restart episode battery", RunRestart},
 	}
 }
 

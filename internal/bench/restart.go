@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"lambdafs/internal/chaos"
+	"lambdafs/internal/clock"
+	"lambdafs/internal/lsm"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/ndb"
+)
+
+// This file implements the restart experiment: the durability tier's
+// recovery cost as a function of log length and checkpoint cadence.
+// Each scenario commits a fixed number of write transactions against a
+// durable store (optionally checkpointing on a cadence), "crashes" by
+// abandoning the live DB, recovers from the media with ndb.Recover, and
+// reports the WAL footprint, the replayed-record count, the virtual
+// recovery time, and whether the recovered state is digest-identical to
+// the pre-crash committed state. A second table summarises seeded
+// chaos crash_restart episodes (fault-flavoured crashes mid-workload).
+// All recovery latencies are virtual (WAL fsync, per-record replay, and
+// checkpoint probes are billed on the simulated clock), so runs are
+// deterministic and the committed BENCH_restart.json regression gate is
+// tight: replayed-record counts must match exactly and recovery time
+// may not regress more than 10%.
+
+// RestartSchema identifies the baseline file format.
+const RestartSchema = "lambdafs-restart-baseline/v1"
+
+// RestartRow is one measured recovery scenario.
+type RestartRow struct {
+	// Commits is the number of committed write transactions.
+	Commits int `json:"commits"`
+	// Checkpoints is how many checkpoint rounds the scenario took.
+	Checkpoints int `json:"checkpoints"`
+	// WALRecords / WALBytes are the surviving log footprint at crash
+	// time (checkpoints truncate the log, so this is what replay pays).
+	WALRecords int `json:"wal_records"`
+	WALBytes   int `json:"wal_bytes"`
+	// BaseLSN is the checkpoint LSN recovery started from.
+	BaseLSN uint64 `json:"base_lsn"`
+	// CheckpointRows / Replayed split the rebuild between snapshot rows
+	// loaded and WAL records replayed.
+	CheckpointRows int `json:"checkpoint_rows"`
+	Replayed       int `json:"replayed_records"`
+	// RecoveryUs is the virtual time the rebuild took (µs).
+	RecoveryUs int64 `json:"recovery_us"`
+	// DigestMatch reports whether the recovered state is row-for-row
+	// identical to the pre-crash committed state.
+	DigestMatch bool `json:"digest_match"`
+}
+
+// RestartBaseline is the committed BENCH_restart.json document.
+type RestartBaseline struct {
+	Schema string                 `json:"schema"`
+	Mode   string                 `json:"mode"`
+	Seed   int64                  `json:"seed"`
+	Rows   map[string]*RestartRow `json:"rows"`
+}
+
+// restartScenario names one (log length, checkpoint cadence) point.
+type restartScenario struct {
+	name      string
+	records   int
+	ckptEvery int // 0: never checkpoint, replay the whole log
+}
+
+// restartScenarios picks the measured points for a mode. The uncheck-
+// pointed points sweep log length (recovery time should scale with it);
+// the checkpointed point proves a checkpoint bounds replay to the tail.
+func restartScenarios(opts Options) []restartScenario {
+	switch {
+	case opts.Tiny:
+		return []restartScenario{
+			{"wal_64", 64, 0},
+			{"wal_256", 256, 0},
+			{"ckpt_256", 256, 64},
+		}
+	case opts.Quick:
+		return []restartScenario{
+			{"wal_256", 256, 0},
+			{"wal_1024", 1024, 0},
+			{"ckpt_1024", 1024, 256},
+		}
+	default:
+		return []restartScenario{
+			{"wal_512", 512, 0},
+			{"wal_2048", 2048, 0},
+			{"wal_8192", 8192, 0},
+			{"ckpt_8192", 8192, 2048},
+		}
+	}
+}
+
+// restartDigest canonically hashes the store's committed state: every
+// inode row (identity, link position, kind, size), sorted by ID. The
+// recovered store matches the pre-crash store iff the digests match.
+func restartDigest(db *ndb.DB) string {
+	nodes, err := db.ListSubtree(namespace.RootID)
+	if err != nil {
+		return fmt.Sprintf("walk-failed: %v", err)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	h := sha256.New()
+	for _, n := range nodes {
+		fmt.Fprintf(h, "%d %d %q %v %d %d\n", n.ID, n.ParentID, n.Name, n.IsDir, n.Perm, n.Size)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// measureRestart runs one scenario: load the log, crash, recover. It
+// runs on the discrete-event simulation clock so RecoveryTime is pure
+// virtual time (per-record replay, checkpoint probes) and deterministic
+// across runs — the regression gate depends on that.
+func measureRestart(sc restartScenario) *RestartRow {
+	clk := clock.NewSim()
+	defer clk.Close()
+	row := &RestartRow{Commits: sc.records}
+	clock.Run(clk, func() {
+		dur := ndb.NewDurable(clk, 4, lsm.DefaultConfig())
+		cfg := ndb.DefaultConfig()
+		cfg.Durable = dur
+		cfg.Durability = ndb.DefaultDurabilityConfig()
+		cfg.Durability.CheckpointEvery = 0 // the scenario drives checkpoints
+		db := ndb.New(clk, cfg)
+
+		dirID := db.NextID()
+		tx := db.Begin("restart-bench")
+		if err := tx.PutINode(&namespace.INode{
+			ID: dirID, ParentID: namespace.RootID, Name: "bench",
+			IsDir: true, Perm: namespace.PermDefaultDir,
+		}); err != nil {
+			panic(fmt.Sprintf("restart: mkdir /bench: %v", err))
+		}
+		if err := tx.Commit(); err != nil {
+			panic(fmt.Sprintf("restart: commit /bench: %v", err))
+		}
+		for i := 0; i < sc.records-1; i++ {
+			id := db.NextID()
+			tx := db.Begin("restart-bench")
+			if err := tx.PutINode(&namespace.INode{
+				ID: id, ParentID: dirID, Name: fmt.Sprintf("f%06d", i),
+				Perm: namespace.PermDefaultFile, Size: int64(i),
+			}); err != nil {
+				panic(fmt.Sprintf("restart: put f%06d: %v", i, err))
+			}
+			if err := tx.Commit(); err != nil {
+				panic(fmt.Sprintf("restart: commit f%06d: %v", i, err))
+			}
+			if sc.ckptEvery > 0 && (i+2)%sc.ckptEvery == 0 {
+				db.Checkpoint()
+				row.Checkpoints++
+			}
+		}
+
+		preDigest := restartDigest(db)
+		row.WALRecords, row.WALBytes = dur.WALSize()
+
+		// Crash: abandon the live store, rebuild from the media.
+		recovered, stats, err := ndb.Recover(clk, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("restart %s: recover: %v", sc.name, err))
+		}
+		row.BaseLSN = stats.BaseLSN
+		row.CheckpointRows = stats.CheckpointRows
+		row.Replayed = stats.ReplayedRecords
+		row.RecoveryUs = stats.RecoveryTime.Microseconds()
+		row.DigestMatch = restartDigest(recovered) == preDigest &&
+			len(recovered.CheckIntegrity()) == 0
+	})
+	return row
+}
+
+// RestartMeasure runs all scenarios and returns the baseline document.
+func RestartMeasure(opts Options) *RestartBaseline {
+	b := &RestartBaseline{
+		Schema: RestartSchema,
+		Mode:   hotpathMode(opts),
+		Seed:   opts.Seed,
+		Rows:   map[string]*RestartRow{},
+	}
+	for _, sc := range restartScenarios(opts) {
+		b.Rows[sc.name] = measureRestart(sc)
+	}
+	return b
+}
+
+// RunRestart renders the restart experiment: the recovery-cost sweep
+// plus a seeded crash_restart episode battery.
+func RunRestart(opts Options) []*Table {
+	b := RestartMeasure(opts)
+	t := &Table{
+		ID:    "restart",
+		Title: "Durability: crash-recovery cost vs WAL length and checkpoint cadence (virtual time)",
+		Columns: []string{"scenario", "commits", "ckpts", "wal_recs", "wal_bytes",
+			"base_lsn", "ckpt_rows", "replayed", "recovery", "digest"},
+	}
+	for _, sc := range restartScenarios(opts) {
+		r := b.Rows[sc.name]
+		match := "match"
+		if !r.DigestMatch {
+			match = "DIVERGED"
+		}
+		t.Rows = append(t.Rows, []string{
+			sc.name,
+			fmt.Sprintf("%d", r.Commits),
+			fmt.Sprintf("%d", r.Checkpoints),
+			fmt.Sprintf("%d", r.WALRecords),
+			fmt.Sprintf("%d", r.WALBytes),
+			fmt.Sprintf("%d", r.BaseLSN),
+			fmt.Sprintf("%d", r.CheckpointRows),
+			fmt.Sprintf("%d", r.Replayed),
+			fmtDur(time.Duration(r.RecoveryUs) * time.Microsecond),
+			match,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"recovery time is virtual: checkpoint probes + per-record replay billed on the simulated clock, so the sweep is deterministic",
+		"ckpt_* rows checkpoint on a cadence: replay covers only the records after the last complete round, bounding recovery regardless of history length")
+	t.Fprint(opts.out())
+
+	ep := &Table{
+		ID:    "restart-episodes",
+		Title: "Chaos crash_restart episodes: fault-flavoured crashes recover to the committed prefix",
+		Columns: []string{"seed", "steps", "commits", "crashes", "ckpts",
+			"replayed", "discarded", "violations"},
+	}
+	seeds := 6
+	if opts.Quick {
+		seeds = 4
+	}
+	if opts.Tiny {
+		seeds = 2
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		cfg := chaos.DefaultCrashRestart(opts.Seed*1000 + seed)
+		res := chaos.RunCrashRestart(cfg)
+		ep.Rows = append(ep.Rows, []string{
+			fmt.Sprintf("%d", res.Seed),
+			fmt.Sprintf("%d", res.Steps),
+			fmt.Sprintf("%d", res.Commits),
+			fmt.Sprintf("%d", res.Crashes),
+			fmt.Sprintf("%d", res.Checkpoints),
+			fmt.Sprintf("%d", res.Replayed),
+			fmt.Sprintf("%d", res.Discarded),
+			fmt.Sprintf("%d", len(res.Violations)),
+		})
+		for _, v := range res.Violations {
+			ep.Notes = append(ep.Notes, fmt.Sprintf("VIOLATION seed %d: %s", res.Seed, v))
+		}
+	}
+	ep.Notes = append(ep.Notes,
+		"each episode mixes clean kills, dropped WAL records, torn tails, and lost checkpoint rounds; every recovery must land digest-exact on the committed prefix",
+		"replay any violation with `lambdafs-shell restart 1 <seed>`")
+	ep.Fprint(opts.out())
+	return []*Table{t, ep}
+}
+
+// WriteRestartBaseline measures and writes the baseline JSON to path.
+func WriteRestartBaseline(path string, opts Options) error {
+	b := RestartMeasure(opts)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// restartRecoverySlackUs absorbs rounding on near-zero baselines; the
+// relative gate is 10%, same as hotpath (virtual time is deterministic,
+// so any honest regression is a code change, not noise).
+const restartRecoverySlackUs = 50
+
+// CheckRestartBaseline re-measures at the committed baseline's mode and
+// fails when a scenario's recovered state diverges, its replayed-record
+// or surviving-WAL-record counts drift from the baseline, or its
+// recovery time regresses more than 10%.
+func CheckRestartBaseline(path string, opts Options) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var committed RestartBaseline
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if committed.Schema != RestartSchema {
+		return fmt.Errorf("baseline schema %q, want %q (regenerate with -restartbaseline)",
+			committed.Schema, RestartSchema)
+	}
+	opts.Quick = committed.Mode == "quick"
+	opts.Tiny = committed.Mode == "tiny"
+	opts.Seed = committed.Seed
+	cur := RestartMeasure(opts)
+	var fails []string
+	for _, sc := range restartScenarios(opts) {
+		want, ok := committed.Rows[sc.name]
+		if !ok {
+			return fmt.Errorf("baseline %s lacks scenario %q (regenerate with -restartbaseline)",
+				path, sc.name)
+		}
+		got := cur.Rows[sc.name]
+		if !got.DigestMatch {
+			fails = append(fails, fmt.Sprintf(
+				"%s: recovered state diverged from the pre-crash committed state", sc.name))
+		}
+		if got.Replayed != want.Replayed || got.WALRecords != want.WALRecords {
+			fails = append(fails, fmt.Sprintf(
+				"%s: replayed/wal records %d/%d, baseline %d/%d (durability bookkeeping drifted)",
+				sc.name, got.Replayed, got.WALRecords, want.Replayed, want.WALRecords))
+		}
+		if limit := want.RecoveryUs + want.RecoveryUs/10 + restartRecoverySlackUs; got.RecoveryUs > limit {
+			fails = append(fails, fmt.Sprintf(
+				"%s: recovery %dus > %dus (baseline %dus +10%% +%dus slack)",
+				sc.name, got.RecoveryUs, limit, want.RecoveryUs, restartRecoverySlackUs))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("restart recovery regression vs %s:\n  %s", path, joinLines(fails))
+	}
+	return nil
+}

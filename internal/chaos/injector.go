@@ -23,6 +23,10 @@ const (
 	FaultRPCDelay      FaultKind = "rpc_delay"        // rpc: TCP call stalled, forcing hedged retry
 	FaultLeaseExpiry   FaultKind = "lease_expiry"     // coordinator: ephemeral session expires
 	FaultLeaderFlap    FaultKind = "leader_flap"      // coordinator: leadership rotates without crash
+	FaultWALDrop       FaultKind = "wal_drop"         // ndb: a committed WAL record never reaches media
+	FaultWALTear       FaultKind = "wal_torn_write"   // ndb: crash mid-append leaves a torn WAL tail
+	FaultCkptLoss      FaultKind = "checkpoint_loss"  // ndb: one shard's checkpoint round silently lost
+	FaultCrashRestart  FaultKind = "crash_restart"    // ndb: whole store killed, recovered from media
 )
 
 // ErrInjected is the error surfaced by injected ndb faults. It crosses the
@@ -62,6 +66,10 @@ type Injector struct {
 	rpcDrops    int           // TCP calls to drop
 	rpcDelays   int           // TCP calls to stall
 	rpcDelayDur time.Duration // stall length
+	walDrops    int           // WAL appends to lose entirely
+	walTears    int           // WAL appends to tear
+	walTearKeep int           // bytes of a torn append that reach media
+	ckptLosses  int           // shard checkpoint rounds to lose
 	fired       map[FaultKind]uint64
 	totalFired  uint64
 	totalArmed  uint64
@@ -142,6 +150,35 @@ func (in *Injector) ArmRPCDrop(n int) {
 func (in *Injector) ArmRPCDelay(d time.Duration, n int) {
 	in.mu.Lock()
 	in.rpcDelays, in.rpcDelayDur = in.rpcDelays+n, d
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmWALDrop loses the next n committed WAL records entirely (the commit
+// acks, the record never reaches media — the crash eats the log tail).
+func (in *Injector) ArmWALDrop(n int) {
+	in.mu.Lock()
+	in.walDrops += n
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmWALTear tears the next n WAL appends: only keepBytes of each frame
+// reach media, modelling a crash mid-write. Recovery must cut the log at
+// the torn frame.
+func (in *Injector) ArmWALTear(keepBytes, n int) {
+	in.mu.Lock()
+	in.walTears, in.walTearKeep = in.walTears+n, keepBytes
+	in.totalArmed++
+	in.mu.Unlock()
+}
+
+// ArmCheckpointLoss silently loses the next n per-shard checkpoint
+// rounds (the shard keeps its previous snapshot, so the WAL retains the
+// records covering the gap).
+func (in *Injector) ArmCheckpointLoss(n int) {
+	in.mu.Lock()
+	in.ckptLosses += n
 	in.totalArmed++
 	in.mu.Unlock()
 }
@@ -233,6 +270,51 @@ func (in *Injector) RPCOnTCP(clientID string, dep int) (drop bool, delay time.Du
 	return false, 0
 }
 
+// NDBOnWALAppend is wired into ndb.Config.OnWALAppend; it returns how
+// many of the frame's bytes reach durable media. Drops win over tears
+// when both are armed.
+func (in *Injector) NDBOnWALAppend(shard int, lsn uint64, size int) int {
+	in.mu.Lock()
+	if in.walDrops > 0 {
+		in.walDrops--
+		notify := in.firedLocked(FaultWALDrop, fmt.Sprintf("shard=%d lsn=%d size=%d", shard, lsn, size))
+		in.mu.Unlock()
+		notify()
+		return 0
+	}
+	if in.walTears > 0 {
+		in.walTears--
+		keep := in.walTearKeep
+		if keep >= size {
+			keep = size - 1 // a tear must lose at least one byte
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		notify := in.firedLocked(FaultWALTear, fmt.Sprintf("shard=%d lsn=%d keep=%d/%d", shard, lsn, keep, size))
+		in.mu.Unlock()
+		notify()
+		return keep
+	}
+	in.mu.Unlock()
+	return size
+}
+
+// NDBOnCheckpoint is wired into ndb.Config.OnCheckpoint; false loses the
+// shard's checkpoint round.
+func (in *Injector) NDBOnCheckpoint(shard int) bool {
+	in.mu.Lock()
+	if in.ckptLosses <= 0 {
+		in.mu.Unlock()
+		return true
+	}
+	in.ckptLosses--
+	notify := in.firedLocked(FaultCkptLoss, fmt.Sprintf("shard=%d", shard))
+	in.mu.Unlock()
+	notify()
+	return false
+}
+
 // NoteFired records an externally executed fault (lease expiry and leader
 // flap run through coordinator methods rather than hooks) so counters and
 // the OnFault stream cover every class.
@@ -266,7 +348,8 @@ func (in *Injector) Pending() bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.txAborts > 0 || in.stallLeft > 0 || in.killInvokes > 0 ||
-		in.denyProvs > 0 || in.rpcDrops > 0 || in.rpcDelays > 0
+		in.denyProvs > 0 || in.rpcDrops > 0 || in.rpcDelays > 0 ||
+		in.walDrops > 0 || in.walTears > 0 || in.ckptLosses > 0
 }
 
 // Reset disarms everything (fired counters are preserved — they are
@@ -275,5 +358,6 @@ func (in *Injector) Reset() {
 	in.mu.Lock()
 	in.txAborts, in.stallLeft, in.killInvokes = 0, 0, 0
 	in.denyProvs, in.rpcDrops, in.rpcDelays = 0, 0, 0
+	in.walDrops, in.walTears, in.ckptLosses = 0, 0, 0
 	in.mu.Unlock()
 }

@@ -118,5 +118,8 @@ func checkMonotone(prev, cur ndb.Stats) []string {
 	chk("lock_timeouts", prev.LockTimeouts, cur.LockTimeouts)
 	chk("batched_resolves", prev.BatchedResolves, cur.BatchedResolves)
 	chk("resolve_hops", prev.ResolveHops, cur.ResolveHops)
+	chk("wal_appends", prev.WALAppends, cur.WALAppends)
+	chk("wal_bytes", prev.WALBytes, cur.WALBytes)
+	chk("checkpoints", prev.Checkpoints, cur.Checkpoints)
 	return bad
 }

@@ -79,6 +79,7 @@ func (t *sstable) get(key string) ([]byte, bool) {
 type Stats struct {
 	Puts        uint64
 	Gets        uint64
+	Scans       uint64
 	Deletes     uint64
 	Flushes     uint64
 	Compactions uint64
@@ -178,10 +179,11 @@ func (db *DB) Get(key string) ([]byte, bool) {
 }
 
 // Scan returns all live keys with the given prefix (merged across the
-// memtable and every table, newest version wins).
+// memtable and every table, newest version wins). Like Get it charges one
+// probe per table consulted — a scan reads every table, so its read
+// amplification is the full table count.
 func (db *DB) Scan(prefix string) map[string][]byte {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	merged := make(map[string][]byte)
 	// Oldest first so newer versions overwrite.
 	for i := len(db.levels) - 1; i >= 0; i-- {
@@ -212,6 +214,17 @@ func (db *DB) Scan(prefix string) map[string][]byte {
 			out[k] = append([]byte(nil), v...)
 		}
 	}
+	probes := len(db.l0)
+	for _, t := range db.levels {
+		if t != nil {
+			probes++
+		}
+	}
+	db.stats.Scans++
+	db.stats.Probes += uint64(probes)
+	probeCost := time.Duration(probes) * db.cfg.ProbeLatency
+	db.mu.Unlock()
+	db.clk.Sleep(probeCost)
 	return out
 }
 

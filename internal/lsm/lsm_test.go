@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"lambdafs/internal/clock"
 )
@@ -223,5 +224,45 @@ func TestProbeLatencyCharged(t *testing.T) {
 	db.Get("absent") // probes every table
 	if d := clk.Since(start); d < 10*1000*1000 {
 		t.Fatalf("miss charged only %v", d)
+	}
+}
+
+func TestScanProbeLatencyCharged(t *testing.T) {
+	// Regression: scans used to be free, which understated IndexFS
+	// readdir latency. A scan consults every table, so it must charge
+	// one ProbeLatency per L0 table and per non-empty deeper level,
+	// advancing the virtual clock like Get does.
+	cfg := DefaultConfig()
+	cfg.MemtableEntries = 2
+	cfg.ProbeLatency = 10 * 1000 * 1000 // 10ms
+	cfg.PutLatency = 0
+	cfg.FlushPerEntry = 0
+	cfg.CompactPerEntry = 0
+	clk := clock.NewScaled(0.01)
+	db := New(clk, cfg)
+	for i := 0; i < 8; i++ {
+		db.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	l0, deeper := db.TableCount()
+	tables := l0 + deeper
+	if tables == 0 {
+		t.Fatal("setup produced no tables")
+	}
+	before := db.Stats()
+	start := clk.Now()
+	got := db.Scan("k")
+	if len(got) != 8 {
+		t.Fatalf("scan returned %d keys, want 8", len(got))
+	}
+	want := time.Duration(tables) * cfg.ProbeLatency
+	if d := clk.Since(start); d < want {
+		t.Fatalf("scan over %d tables charged %v, want >= %v", tables, d, want)
+	}
+	after := db.Stats()
+	if after.Scans != before.Scans+1 {
+		t.Fatalf("scan not counted: %d -> %d", before.Scans, after.Scans)
+	}
+	if after.Probes-before.Probes != uint64(tables) {
+		t.Fatalf("scan probes = %d, want %d", after.Probes-before.Probes, tables)
 	}
 }

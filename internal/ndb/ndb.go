@@ -70,6 +70,29 @@ type Config struct {
 	// It must be safe for concurrent use.
 	OnCommit func(owner string) error
 
+	// Durable, when non-nil, attaches the durability tier: every
+	// committed write-transaction appends a WAL record before its locks
+	// release, checkpoints persist snapshots through internal/lsm, and
+	// Recover rebuilds the store from the media after a crash. New
+	// formats the media (a fresh store never resurrects a previous
+	// epoch); attach one Durable to at most one live DB at a time. When
+	// set, DataNodes is forced to the media's shard count.
+	Durable *Durable
+	// Durability tunes the durability tier's latency and checkpoint
+	// cadence; only consulted when Durable is non-nil.
+	Durability DurabilityConfig
+	// OnWALAppend, when non-nil, is consulted on every WAL append with
+	// the owning shard, the record's LSN, and the frame size; it returns
+	// how many bytes reach durable media (>= size: intact, 0: dropped,
+	// in between: torn write). Fault injection for crash-consistency
+	// testing. It must be safe for concurrent use.
+	OnWALAppend func(shard int, lsn uint64, size int) int
+	// OnCheckpoint, when non-nil, is consulted once per shard per
+	// checkpoint round; false silently loses that shard's round (its
+	// previous checkpoint and the WAL records covering the gap survive,
+	// so recovery still converges). It must be safe for concurrent use.
+	OnCheckpoint func(shard int) bool
+
 	// Metrics, when non-nil, receives store instruments
 	// (lambdafs_ndb_*): per-shard queue depth gauges, lock waits, and
 	// mirrors of the Stats counters.
@@ -111,6 +134,12 @@ type Stats struct {
 	// waiting on contended row locks (0 while every acquire is granted
 	// immediately). The hotpath baseline gates lock-wait/op on it.
 	LockWaitNS uint64
+	// WALAppends / WALBytes count WAL records appended and their frame
+	// bytes; Checkpoints counts completed checkpoint rounds. All zero
+	// without a durability tier attached.
+	WALAppends  uint64
+	WALBytes    uint64
+	Checkpoints uint64
 }
 
 // DB is the NDB-like store. It implements store.Store.
@@ -130,6 +159,11 @@ type DB struct {
 	stats   Stats
 	statsMu sync.Mutex
 	tel     *storeTelemetry
+
+	// Durability tier (nil when Config.Durable is nil).
+	dur        *Durable
+	ckptMu     sync.Mutex    // serializes checkpoint rounds
+	commitTick atomic.Uint64 // write-commits since New, for CheckpointEvery
 }
 
 var (
@@ -153,8 +187,29 @@ type task struct {
 	started chan struct{}
 }
 
-// New creates a store containing only the root directory.
+// New creates a store containing only the root directory. A durability
+// tier attached via Config.Durable is formatted (Recover, not New,
+// restores a previous epoch).
 func New(clk clock.Clock, cfg Config) *DB {
+	if cfg.Durable != nil {
+		cfg.Durable.reset()
+	}
+	db := newDB(clk, cfg)
+	root := namespace.NewRoot()
+	db.inodes[root.ID] = root
+	db.children[root.ID] = make(map[string]namespace.INodeID)
+	return db
+}
+
+// newDB builds an empty store shell (no root, no rows): shard worker
+// pools, lock manager, telemetry. New installs the root; Recover loads
+// checkpoint rows and replays the WAL instead.
+func newDB(clk clock.Clock, cfg Config) *DB {
+	if cfg.Durable != nil {
+		// The media's layout wins: row→shard placement must match the
+		// per-shard checkpoint stores.
+		cfg.DataNodes = cfg.Durable.Shards()
+	}
 	if cfg.DataNodes <= 0 {
 		cfg.DataNodes = 1
 	}
@@ -171,10 +226,8 @@ func New(clk clock.Clock, cfg Config) *DB {
 		children: make(map[namespace.INodeID]map[string]namespace.INodeID),
 		kv:       make(map[string]map[string][]byte),
 		locks:    newLockManager(clk, cfg.LockWaitTimeout),
+		dur:      cfg.Durable,
 	}
-	root := namespace.NewRoot()
-	db.inodes[root.ID] = root
-	db.children[root.ID] = make(map[string]namespace.INodeID)
 	db.nextID.Store(uint64(namespace.RootID))
 	db.shards = make([]*shard, cfg.DataNodes)
 	for i := range db.shards {
@@ -397,7 +450,6 @@ func (db *DB) ListSubtree(root namespace.INodeID) ([]*namespace.INode, error) {
 // must precede children.
 func (db *DB) Preload(nodes []*namespace.INode) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	maxID := db.nextID.Load()
 	for _, n := range nodes {
 		c := n.Clone()
@@ -414,6 +466,12 @@ func (db *DB) Preload(nodes []*namespace.INode) {
 		}
 	}
 	db.nextID.Store(maxID)
+	db.mu.Unlock()
+	// Preload bypasses the WAL; a preloaded namespace must survive
+	// restart like committed state, so snapshot it immediately.
+	if db.dur != nil {
+		db.Checkpoint()
+	}
 }
 
 // INodeCount reports the number of INodes (test/diagnostic hook).

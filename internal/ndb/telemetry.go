@@ -19,6 +19,9 @@ type storeTelemetry struct {
 	batchedResolves *telemetry.Counter
 	resolveHops     *telemetry.Counter
 	lockWaitSec     *telemetry.Counter
+	walAppends      *telemetry.Counter
+	walBytes        *telemetry.Counter
+	checkpoints     *telemetry.Counter
 }
 
 func newStoreTelemetry(reg *telemetry.Registry) *storeTelemetry {
@@ -31,6 +34,9 @@ func newStoreTelemetry(reg *telemetry.Registry) *storeTelemetry {
 		batchedResolves: reg.Counter("lambdafs_ndb_batched_resolves_total"),
 		resolveHops:     reg.Counter("lambdafs_ndb_resolve_hops_total"),
 		lockWaitSec:     reg.Counter("lambdafs_ndb_lock_wait_seconds_total"),
+		walAppends:      reg.Counter("lambdafs_ndb_wal_appends_total"),
+		walBytes:        reg.Counter("lambdafs_ndb_wal_bytes_total"),
+		checkpoints:     reg.Counter("lambdafs_ndb_checkpoints_total"),
 	}
 }
 
@@ -46,6 +52,9 @@ func (t *storeTelemetry) mirror(before, after Stats) {
 	t.batchedResolves.Add(float64(after.BatchedResolves - before.BatchedResolves))
 	t.resolveHops.Add(float64(after.ResolveHops - before.ResolveHops))
 	t.lockWaitSec.Add(float64(after.LockWaitNS-before.LockWaitNS) / 1e9)
+	t.walAppends.Add(float64(after.WALAppends - before.WALAppends))
+	t.walBytes.Add(float64(after.WALBytes - before.WALBytes))
+	t.checkpoints.Add(float64(after.Checkpoints - before.Checkpoints))
 }
 
 // registerShardGauges exposes each data-node shard's instantaneous queue

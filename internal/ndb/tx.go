@@ -445,7 +445,11 @@ func (t *tx) writeCount() int {
 }
 
 // Commit applies buffered writes atomically, charges write service time
-// across the shards in parallel, and releases all locks.
+// across the shards in parallel, and releases all locks. With a
+// durability tier attached, the WAL record is appended (and its fsync
+// charged) before the locks release, so a committed transaction is on
+// durable media before any conflicting transaction can observe it —
+// which is what makes the global LSN order a valid serialization.
 func (t *tx) Commit() error {
 	if t.done {
 		return store.ErrTxDone
@@ -458,19 +462,32 @@ func (t *tx) Commit() error {
 	}
 	t.done = true
 	writes := t.writeCount()
+	walBytes := 0
 	if writes > 0 {
 		sp := t.tc.Start(trace.KindStoreCommit)
 		sp.SetDetail(fmt.Sprintf("writes=%d", writes))
 		sp.AddRes(trace.Resources{StoreHops: 1, Allocs: uint64(writes)})
 		t.chargeCommit(writes)
+		walBytes = t.logAndApply()
+		if walBytes > 0 {
+			if d := t.db.cfg.Durability.WALFsync; d > 0 {
+				t.db.clk.Sleep(d)
+			}
+		}
 		sp.End()
 	}
-	t.apply()
 	t.db.locks.ReleaseAll(t.key)
 	t.db.bumpStat(func(s *Stats) {
 		s.Commits++
 		s.Writes += uint64(writes)
+		if walBytes > 0 {
+			s.WALAppends++
+			s.WALBytes += uint64(walBytes)
+		}
 	})
+	if writes > 0 {
+		t.db.maybeCheckpoint()
+	}
 	return nil
 }
 
@@ -523,14 +540,54 @@ func (t *tx) chargeCommit(writes int) {
 	})
 }
 
-// apply installs the buffered writes under the structure lock.
-func (t *tx) apply() {
-	if t.writeCount() == 0 {
-		return
-	}
+// logAndApply appends the transaction's WAL record (when a durability
+// tier is attached) and installs the buffered writes, both under the
+// structure lock: LSN assignment, log append, and apply are one atomic
+// step, so a checkpoint snapshot taken under the read lock always
+// reflects every LSN the media has. Returns the appended frame size
+// (0 without durability).
+func (t *tx) logAndApply() int {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	walBytes := 0
+	if db.dur != nil {
+		lsn := db.dur.LastLSN() + 1
+		rec := &walRecord{lsn: lsn, idHW: db.nextID.Load()}
+		for id, n := range t.putINodes {
+			if t.delINodes[id] {
+				continue
+			}
+			rec.puts = append(rec.puts, n)
+		}
+		for id := range t.delINodes {
+			rec.dels = append(rec.dels, id)
+		}
+		for table, m := range t.kvPuts {
+			for k, v := range m {
+				rec.kvPuts = append(rec.kvPuts, kvOp{table: table, key: k, val: v})
+			}
+		}
+		for table, m := range t.kvDels {
+			for k := range m {
+				rec.kvDels = append(rec.kvDels, kvOp{table: table, key: k})
+			}
+		}
+		frame := encodeFrame(encodeRecord(rec))
+		durable := len(frame)
+		if h := db.cfg.OnWALAppend; h != nil {
+			durable = h(db.dur.walShard(lsn), lsn, len(frame))
+		}
+		db.dur.appendFrame(lsn, frame, durable)
+		walBytes = len(frame)
+	}
+	t.applyLocked()
+	return walBytes
+}
+
+// applyLocked installs the buffered writes; caller holds db.mu.
+func (t *tx) applyLocked() {
+	db := t.db
 	for id, n := range t.putINodes {
 		if t.delINodes[id] {
 			continue

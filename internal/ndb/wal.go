@@ -1,0 +1,861 @@
+// Durability tier: a per-shard write-ahead log plus periodic checkpoints
+// persisted through internal/lsm, modelling MySQL Cluster NDB's redo log
+// and local checkpoints (the property §3 of the paper leans on when it
+// calls NameNodes disposable compute over a durable store).
+//
+// A Durable is the simulated durable media. It outlives DB instances:
+// New formats it, Commit appends one checksummed WAL record per
+// committed write-transaction, Checkpoint persists a full snapshot into
+// the per-shard LSM stores and truncates the logs, and Recover rebuilds
+// a fresh DB as checkpoint-load + WAL-replay. Records carry a single
+// global LSN sequence (strict 2PL means conflicting transactions commit
+// in lock order, so LSN order is a valid serialization); each record
+// lands on the shard owning its LSN. Recovery truncates every shard's
+// log at the first torn or corrupt frame and replays the merged records
+// only while LSNs stay contiguous, so the recovered state is always
+// exactly a committed prefix — never a partial transaction.
+package ndb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/lsm"
+	"lambdafs/internal/namespace"
+)
+
+// DurabilityConfig tunes the latency/cadence model of the durability
+// tier. It is only consulted when Config.Durable is non-nil.
+type DurabilityConfig struct {
+	// WALFsync is charged once per committed write-transaction for the
+	// group-committed log flush.
+	WALFsync time.Duration
+	// ReplayPerRecord is charged per WAL record replayed during Recover
+	// (on top of the checkpoint stores' own probe latencies).
+	ReplayPerRecord time.Duration
+	// CheckpointEvery triggers an automatic checkpoint after that many
+	// committed write-transactions; <= 0 disables automatic rounds
+	// (explicit Checkpoint calls only).
+	CheckpointEvery int
+	// CheckpointSync is charged per shard per checkpoint round for the
+	// final checkpoint metadata sync.
+	CheckpointSync time.Duration
+}
+
+// DefaultDurabilityConfig returns fsync/replay costs in line with the
+// store's RTT-scale latency model.
+func DefaultDurabilityConfig() DurabilityConfig {
+	return DurabilityConfig{
+		WALFsync:        100 * time.Microsecond,
+		ReplayPerRecord: 25 * time.Microsecond,
+		CheckpointEvery: 4096,
+		CheckpointSync:  200 * time.Microsecond,
+	}
+}
+
+// Durable is the simulated durable media under one NDB deployment:
+// per-shard WAL byte logs and per-shard LSM checkpoint stores. It is
+// created once and handed to New (which formats it) or Recover (which
+// rebuilds a store from it); it must be attached to at most one live DB
+// at a time. All methods are safe for concurrent use.
+type Durable struct {
+	clk     clock.Clock
+	ckptCfg lsm.Config
+
+	mu      sync.Mutex
+	wals    [][]byte
+	ckpts   []*lsm.DB
+	lastLSN uint64
+}
+
+// NewDurable creates empty durable media with one WAL and one
+// checkpoint store per shard. The checkpoint stores bill their IO to
+// clk under the given LSM latency model.
+func NewDurable(clk clock.Clock, shards int, ckptCfg lsm.Config) *Durable {
+	if shards <= 0 {
+		shards = 1
+	}
+	d := &Durable{
+		clk:     clk,
+		ckptCfg: ckptCfg,
+		wals:    make([][]byte, shards),
+		ckpts:   make([]*lsm.DB, shards),
+	}
+	for i := range d.ckpts {
+		d.ckpts[i] = lsm.New(clk, ckptCfg)
+	}
+	return d
+}
+
+// Shards returns the shard count the media was formatted for.
+func (d *Durable) Shards() int { return len(d.wals) }
+
+// LastLSN returns the highest LSN appended (0 before the first append).
+func (d *Durable) LastLSN() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastLSN
+}
+
+// WALSize reports the surviving WAL footprint across all shards:
+// intact records and total bytes (including any torn tail). Diagnostic;
+// parses host-side without billing virtual time.
+func (d *Durable) WALSize() (records, bytes int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, w := range d.wals {
+		bytes += len(w)
+		off := 0
+		for {
+			_, n, ok := decodeFrame(w[off:])
+			if !ok {
+				break
+			}
+			off += n
+			records++
+		}
+	}
+	return records, bytes
+}
+
+// walShard maps an LSN onto the shard whose log stores its record.
+func (d *Durable) walShard(lsn uint64) int {
+	return int(lsn % uint64(len(d.wals)))
+}
+
+// appendFrame records lsn as appended and writes the frame's first
+// durable bytes (a fault hook may shorten or drop the write) to the
+// owning shard's log. Callers serialize appends under the store's
+// structure lock, which keeps each shard's log LSN-ascending.
+func (d *Durable) appendFrame(lsn uint64, frame []byte, durable int) {
+	if durable > len(frame) {
+		durable = len(frame)
+	}
+	d.mu.Lock()
+	d.lastLSN = lsn
+	if durable > 0 {
+		s := d.walShard(lsn)
+		d.wals[s] = append(d.wals[s], frame[:durable]...)
+	}
+	d.mu.Unlock()
+}
+
+// cropWAL truncates shard's log to at most keep bytes (torn-tail test
+// and recovery truncation).
+func (d *Durable) cropWAL(shard, keep int) {
+	d.mu.Lock()
+	if keep < len(d.wals[shard]) {
+		d.wals[shard] = d.wals[shard][:keep]
+	}
+	d.mu.Unlock()
+}
+
+// truncateThrough drops every leading intact frame with LSN <= lsn from
+// each shard's log (checkpoint truncation). Torn tails and later
+// records are preserved byte-for-byte.
+func (d *Durable) truncateThrough(lsn uint64) {
+	d.mu.Lock()
+	for s, w := range d.wals {
+		off := 0
+		for {
+			rec, n, ok := decodeFrame(w[off:])
+			if !ok || rec.lsn > lsn {
+				break
+			}
+			off += n
+		}
+		if off > 0 {
+			d.wals[s] = append([]byte(nil), w[off:]...)
+		}
+	}
+	d.mu.Unlock()
+}
+
+// reset formats the media: empty logs, empty checkpoint stores, LSN 0.
+// New calls it so a fresh store never resurrects a previous epoch.
+func (d *Durable) reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lastLSN = 0
+	for s := range d.wals {
+		d.wals[s] = nil
+		// Rebuild rather than delete-by-scan: formatting is O(1), not a
+		// billed workload.
+		d.ckpts[s] = lsm.New(d.clk, d.ckptCfg)
+	}
+}
+
+// --- WAL record codec ------------------------------------------------------
+
+// Frame layout: u32 payload length, u32 CRC-32 (IEEE) of the payload,
+// payload. Payload: u64 LSN, u64 INode-ID high-water mark, u32 op
+// count, ops. Ops are tagged: 1 = put INode (full row), 2 = delete
+// INode, 3 = KV put, 4 = KV delete. All integers little-endian;
+// strings and byte slices are u32-length-prefixed.
+const (
+	opPutINode = 1
+	opDelINode = 2
+	opKVPut    = 3
+	opKVDel    = 4
+)
+
+// maxFramePayload bounds a frame's declared payload length so a corrupt
+// length prefix cannot make recovery attempt a giant allocation.
+const maxFramePayload = 1 << 30
+
+// kvOp is one KV mutation inside a WAL record (val nil for deletes).
+type kvOp struct {
+	table, key string
+	val        []byte
+}
+
+// walRecord is one decoded committed transaction.
+type walRecord struct {
+	lsn    uint64
+	idHW   uint64 // nextID high-water mark at commit
+	puts   []*namespace.INode
+	dels   []namespace.INodeID
+	kvPuts []kvOp
+	kvDels []kvOp
+}
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+func appendBytes(b, v []byte) []byte {
+	b = appendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// appendTime encodes a timestamp as a presence byte plus UnixNano (the
+// zero time's UnixNano is undefined, so it gets its own tag).
+func appendTime(b []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	return appendU64(b, uint64(t.UnixNano()))
+}
+
+func appendINode(b []byte, n *namespace.INode) []byte {
+	b = appendU64(b, uint64(n.ID))
+	b = appendU64(b, uint64(n.ParentID))
+	b = appendStr(b, n.Name)
+	if n.IsDir {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendU32(b, uint32(n.Perm))
+	b = appendStr(b, n.Owner)
+	b = appendStr(b, n.Group)
+	b = appendU64(b, uint64(n.Size))
+	b = appendTime(b, n.Mtime)
+	b = appendTime(b, n.Ctime)
+	b = appendU32(b, uint32(len(n.Blocks)))
+	for _, blk := range n.Blocks {
+		b = appendU64(b, uint64(blk.ID))
+		b = appendU64(b, uint64(blk.Size))
+		b = appendU32(b, uint32(len(blk.Locations)))
+		for _, loc := range blk.Locations {
+			b = appendStr(b, loc)
+		}
+	}
+	b = appendStr(b, n.SubtreeLockOwner)
+	return b
+}
+
+// encodeRecord renders a record's payload (ops sorted so identical
+// logical transactions always produce identical bytes).
+func encodeRecord(r *walRecord) []byte {
+	sort.Slice(r.puts, func(i, j int) bool { return r.puts[i].ID < r.puts[j].ID })
+	sort.Slice(r.dels, func(i, j int) bool { return r.dels[i] < r.dels[j] })
+	sortKV := func(ops []kvOp) {
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].table != ops[j].table {
+				return ops[i].table < ops[j].table
+			}
+			return ops[i].key < ops[j].key
+		})
+	}
+	sortKV(r.kvPuts)
+	sortKV(r.kvDels)
+
+	b := appendU64(nil, r.lsn)
+	b = appendU64(b, r.idHW)
+	nops := len(r.puts) + len(r.dels) + len(r.kvPuts) + len(r.kvDels)
+	b = appendU32(b, uint32(nops))
+	for _, n := range r.puts {
+		b = append(b, opPutINode)
+		b = appendINode(b, n)
+	}
+	for _, id := range r.dels {
+		b = append(b, opDelINode)
+		b = appendU64(b, uint64(id))
+	}
+	for _, op := range r.kvPuts {
+		b = append(b, opKVPut)
+		b = appendStr(b, op.table)
+		b = appendStr(b, op.key)
+		b = appendBytes(b, op.val)
+	}
+	for _, op := range r.kvDels {
+		b = append(b, opKVDel)
+		b = appendStr(b, op.table)
+		b = appendStr(b, op.key)
+	}
+	return b
+}
+
+// encodeFrame wraps a payload in the length+checksum frame.
+func encodeFrame(payload []byte) []byte {
+	b := appendU32(nil, uint32(len(payload)))
+	b = appendU32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// walReader decodes a payload; any overrun or malformed field sets err
+// and makes every subsequent read a zero-value no-op.
+type walReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *walReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("ndb: malformed WAL record at byte %d", r.off)
+	}
+}
+
+func (r *walReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *walReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *walReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *walReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *walReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := append([]byte(nil), r.b[r.off:r.off+n]...)
+	r.off += n
+	return v
+}
+
+func (r *walReader) time() time.Time {
+	if r.byte() == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(r.u64()))
+}
+
+func (r *walReader) inode() *namespace.INode {
+	n := &namespace.INode{
+		ID:       namespace.INodeID(r.u64()),
+		ParentID: namespace.INodeID(r.u64()),
+		Name:     r.str(),
+		IsDir:    r.byte() == 1,
+		Perm:     namespace.Permission(r.u32()),
+		Owner:    r.str(),
+		Group:    r.str(),
+		Size:     int64(r.u64()),
+		Mtime:    r.time(),
+		Ctime:    r.time(),
+	}
+	nblocks := int(r.u32())
+	if r.err != nil || nblocks < 0 || nblocks > len(r.b) {
+		r.fail()
+		return nil
+	}
+	for i := 0; i < nblocks; i++ {
+		blk := namespace.Block{
+			ID:   namespace.BlockID(r.u64()),
+			Size: int64(r.u64()),
+		}
+		nlocs := int(r.u32())
+		if r.err != nil || nlocs < 0 || nlocs > len(r.b) {
+			r.fail()
+			return nil
+		}
+		for j := 0; j < nlocs; j++ {
+			blk.Locations = append(blk.Locations, r.str())
+		}
+		n.Blocks = append(n.Blocks, blk)
+	}
+	n.SubtreeLockOwner = r.str()
+	if r.err != nil {
+		return nil
+	}
+	return n
+}
+
+// decodeRecord parses a payload into a record; nil on any malformation.
+func decodeRecord(payload []byte) *walRecord {
+	r := &walReader{b: payload}
+	rec := &walRecord{lsn: r.u64(), idHW: r.u64()}
+	nops := int(r.u32())
+	if r.err != nil || nops < 0 || nops > len(payload) {
+		return nil
+	}
+	for i := 0; i < nops; i++ {
+		switch r.byte() {
+		case opPutINode:
+			n := r.inode()
+			if n == nil {
+				return nil
+			}
+			rec.puts = append(rec.puts, n)
+		case opDelINode:
+			rec.dels = append(rec.dels, namespace.INodeID(r.u64()))
+		case opKVPut:
+			rec.kvPuts = append(rec.kvPuts, kvOp{table: r.str(), key: r.str(), val: r.bytes()})
+		case opKVDel:
+			rec.kvDels = append(rec.kvDels, kvOp{table: r.str(), key: r.str()})
+		default:
+			return nil
+		}
+		if r.err != nil {
+			return nil
+		}
+	}
+	if r.err != nil || r.off != len(payload) {
+		return nil
+	}
+	return rec
+}
+
+// decodeFrame parses the first frame of b. ok is false on a torn or
+// corrupt frame (short header, short payload, checksum mismatch,
+// malformed record) — the caller must treat everything from this offset
+// on as lost.
+func decodeFrame(b []byte) (rec *walRecord, size int, ok bool) {
+	if len(b) < 8 {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n <= 0 || n > maxFramePayload || 8+n > len(b) {
+		return nil, 0, false
+	}
+	sum := binary.LittleEndian.Uint32(b[4:])
+	payload := b[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, false
+	}
+	rec = decodeRecord(payload)
+	if rec == nil {
+		return nil, 0, false
+	}
+	return rec, 8 + n, true
+}
+
+// --- Checkpoints -----------------------------------------------------------
+
+// Checkpoint value tags: rows in a checkpoint store are self-describing
+// so recovery never parses row keys (KV table names may contain '/').
+const (
+	ckptTagINode = 'I'
+	ckptTagKV    = 'K'
+)
+
+// ckptMetaKey holds the shard's checkpoint metadata (LSN covered by the
+// snapshot and the INode-ID high-water mark). It sorts outside the
+// "i/"/"k/" row key space.
+const ckptMetaKey = "m/ckpt"
+
+func encodeCkptMeta(lsn, nextID uint64) []byte {
+	return appendU64(appendU64(nil, lsn), nextID)
+}
+
+func decodeCkptMeta(b []byte) (lsn, nextID uint64, ok bool) {
+	if len(b) != 16 {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:]), true
+}
+
+// Checkpoint persists a full snapshot of the store into the per-shard
+// checkpoint stores and truncates every WAL up to the lowest LSN any
+// shard's checkpoint covers (conservative: a shard whose round is lost
+// keeps its old metadata, so the records it still needs stay in the
+// log). Rows land on the shard owning their row key. It returns the LSN
+// the snapshot covers (0 with no durability tier attached). Safe to run
+// concurrently with serving; concurrent commits simply stay in the log.
+func (db *DB) Checkpoint() uint64 {
+	if db.dur == nil {
+		return 0
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	shards := len(db.shards)
+	rows := make([]map[string][]byte, shards)
+	for i := range rows {
+		rows[i] = make(map[string][]byte)
+	}
+	// Snapshot under the structure read lock: WAL append and apply are
+	// atomic under the write lock, so every LSN <= lastLSN is fully
+	// reflected in what we copy here.
+	db.mu.RLock()
+	lsn := db.dur.LastLSN()
+	nextID := db.nextID.Load()
+	for id, n := range db.inodes {
+		k := inodeKey(id)
+		rows[db.shardFor(k)][k] = append([]byte{ckptTagINode}, appendINode(nil, n)...)
+	}
+	for table, m := range db.kv {
+		for key, val := range m {
+			k := kvKey(table, key)
+			v := appendStr([]byte{ckptTagKV}, table)
+			v = appendStr(v, key)
+			v = appendBytes(v, val)
+			rows[db.shardFor(k)][k] = v
+		}
+	}
+	db.mu.RUnlock()
+
+	for s := 0; s < shards; s++ {
+		if h := db.cfg.OnCheckpoint; h != nil && !h(s) {
+			continue // this shard's round is lost (fault injection)
+		}
+		ck := db.dur.ckpts[s]
+		for k := range ck.Scan("") {
+			if k == ckptMetaKey {
+				continue
+			}
+			if _, live := rows[s][k]; !live {
+				ck.Delete(k)
+			}
+		}
+		for k, v := range rows[s] {
+			ck.Put(k, v)
+		}
+		ck.Put(ckptMetaKey, encodeCkptMeta(lsn, nextID))
+		if d := db.cfg.Durability.CheckpointSync; d > 0 {
+			db.clk.Sleep(d)
+		}
+	}
+
+	floor := db.ckptFloor()
+	db.dur.truncateThrough(floor)
+	db.bumpStat(func(s *Stats) { s.Checkpoints++ })
+	return lsn
+}
+
+// ckptFloor reads every shard's checkpoint metadata and returns the
+// lowest covered LSN — the point up to which the WAL is redundant.
+func (db *DB) ckptFloor() uint64 {
+	floor := ^uint64(0)
+	for s := range db.dur.ckpts {
+		v, ok := db.dur.ckpts[s].Get(ckptMetaKey)
+		if !ok {
+			return 0
+		}
+		lsn, _, ok := decodeCkptMeta(v)
+		if !ok {
+			return 0
+		}
+		if lsn < floor {
+			floor = lsn
+		}
+	}
+	if floor == ^uint64(0) {
+		return 0
+	}
+	return floor
+}
+
+// maybeCheckpoint runs an automatic round every CheckpointEvery
+// committed write-transactions.
+func (db *DB) maybeCheckpoint() {
+	every := db.cfg.Durability.CheckpointEvery
+	if db.dur == nil || every <= 0 {
+		return
+	}
+	if db.commitTick.Add(1)%uint64(every) == 0 {
+		db.Checkpoint()
+	}
+}
+
+// --- Recovery --------------------------------------------------------------
+
+// RecoveryStats describes one Recover run.
+type RecoveryStats struct {
+	// BaseLSN is the checkpoint LSN recovery started from (the minimum
+	// across shards; 0 with no checkpoint).
+	BaseLSN uint64
+	// LastLSN is the last LSN of the recovered committed prefix.
+	LastLSN uint64
+	// CheckpointRows counts rows loaded from checkpoint stores.
+	CheckpointRows int
+	// ReplayedRecords counts WAL records applied.
+	ReplayedRecords int
+	// DiscardedRecords counts intact records dropped because an earlier
+	// LSN was missing (a lost or torn record orphans its successors).
+	DiscardedRecords int
+	// TruncatedShards counts shards whose log was cut at a torn or
+	// corrupt frame; TruncatedBytes is the total tail length discarded.
+	TruncatedShards int
+	TruncatedBytes  int
+	// WALBytes is the surviving log footprint scanned.
+	WALBytes int
+	// RecoveryTime is the virtual time the rebuild took (checkpoint
+	// probes + per-record replay).
+	RecoveryTime time.Duration
+}
+
+// Recover rebuilds a store from cfg.Durable as checkpoint-load +
+// WAL-replay. Every shard's log is truncated at the first torn or
+// corrupt frame; the merged records then replay in LSN order only while
+// contiguous with the checkpoint base, so the result is exactly the
+// longest durable committed prefix. The media is rewritten to that
+// prefix, so a subsequent crash-recover cycle is idempotent and new
+// commits extend a consistent log.
+func Recover(clk clock.Clock, cfg Config) (*DB, *RecoveryStats, error) {
+	if cfg.Durable == nil {
+		return nil, nil, fmt.Errorf("ndb: Recover requires Config.Durable")
+	}
+	d := cfg.Durable
+	cfg.DataNodes = d.Shards()
+	start := clk.Now()
+	rs := &RecoveryStats{}
+	db := newDB(clk, cfg)
+
+	// Phase 1: load the newest checkpoint rows; the replay base is the
+	// lowest LSN any shard's snapshot covers (rows from shards ahead of
+	// the base are re-applied idempotently by replay).
+	base := ^uint64(0)
+	maxID := uint64(namespace.RootID)
+	for s := range d.ckpts {
+		snap := d.ckpts[s].Scan("")
+		meta, ok := snap[ckptMetaKey]
+		if !ok {
+			base = 0
+			continue
+		}
+		lsn, nid, ok := decodeCkptMeta(meta)
+		if !ok {
+			return nil, nil, fmt.Errorf("ndb: shard %d checkpoint metadata corrupt", s)
+		}
+		if lsn < base {
+			base = lsn
+		}
+		if nid > maxID {
+			maxID = nid
+		}
+		for k, v := range snap {
+			if k == ckptMetaKey {
+				continue
+			}
+			if err := db.loadCkptRow(k, v); err != nil {
+				return nil, nil, fmt.Errorf("ndb: shard %d: %w", s, err)
+			}
+			rs.CheckpointRows++
+		}
+	}
+	if base == ^uint64(0) {
+		base = 0
+	}
+	rs.BaseLSN = base
+
+	// Phase 2: scan the logs, cutting each shard at its first bad frame.
+	var recs []*walRecord
+	d.mu.Lock()
+	for s, w := range d.wals {
+		off := 0
+		for {
+			rec, n, ok := decodeFrame(w[off:])
+			if !ok {
+				break
+			}
+			off += n
+			if rec.lsn > base {
+				recs = append(recs, rec)
+			}
+		}
+		if off < len(w) {
+			rs.TruncatedShards++
+			rs.TruncatedBytes += len(w) - off
+			d.wals[s] = d.wals[s][:off]
+		}
+		rs.WALBytes += off
+	}
+	d.mu.Unlock()
+
+	// Phase 3: replay the contiguous prefix in LSN order.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].lsn < recs[j].lsn })
+	last := base
+	for _, rec := range recs {
+		if rec.lsn != last+1 {
+			break
+		}
+		db.applyRecord(rec)
+		if rec.idHW > maxID {
+			maxID = rec.idHW
+		}
+		last = rec.lsn
+		rs.ReplayedRecords++
+	}
+	rs.DiscardedRecords = len(recs) - rs.ReplayedRecords
+	rs.LastLSN = last
+
+	// Rewrite the media to exactly the recovered prefix: discarded
+	// records must not linger, or future appends would collide with
+	// their LSNs.
+	if rs.DiscardedRecords > 0 {
+		d.mu.Lock()
+		for s := range d.wals {
+			d.wals[s] = nil
+		}
+		for _, rec := range recs {
+			if rec.lsn > last {
+				break
+			}
+			frame := encodeFrame(encodeRecord(rec))
+			s := d.walShard(rec.lsn)
+			d.wals[s] = append(d.wals[s], frame...)
+		}
+		d.mu.Unlock()
+	}
+	d.mu.Lock()
+	d.lastLSN = last
+	d.mu.Unlock()
+
+	db.finishRecovery(maxID)
+	if per := cfg.Durability.ReplayPerRecord; per > 0 && rs.ReplayedRecords > 0 {
+		clk.Sleep(time.Duration(rs.ReplayedRecords) * per)
+	}
+	rs.RecoveryTime = clk.Since(start)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("lambdafs_ndb_recoveries_total").Add(1)
+		cfg.Metrics.Counter("lambdafs_ndb_replayed_records_total").Add(float64(rs.ReplayedRecords))
+		cfg.Metrics.Counter("lambdafs_ndb_wal_truncations_total").Add(float64(rs.TruncatedShards))
+	}
+	return db, rs, nil
+}
+
+// loadCkptRow decodes one self-describing checkpoint row into the store
+// maps (children index is rebuilt afterwards by finishRecovery).
+func (db *DB) loadCkptRow(key string, val []byte) error {
+	if len(val) == 0 {
+		return fmt.Errorf("checkpoint row %q empty", key)
+	}
+	switch val[0] {
+	case ckptTagINode:
+		r := &walReader{b: val[1:]}
+		n := r.inode()
+		if n == nil || r.off != len(r.b) {
+			return fmt.Errorf("checkpoint row %q: corrupt inode", key)
+		}
+		db.inodes[n.ID] = n
+	case ckptTagKV:
+		r := &walReader{b: val[1:]}
+		table, k, v := r.str(), r.str(), r.bytes()
+		if r.err != nil || r.off != len(r.b) {
+			return fmt.Errorf("checkpoint row %q: corrupt kv", key)
+		}
+		if db.kv[table] == nil {
+			db.kv[table] = make(map[string][]byte)
+		}
+		db.kv[table][k] = v
+	default:
+		return fmt.Errorf("checkpoint row %q: unknown tag %d", key, val[0])
+	}
+	return nil
+}
+
+// applyRecord replays one committed transaction (puts then deletes,
+// matching apply); full-row values make replay idempotent.
+func (db *DB) applyRecord(rec *walRecord) {
+	for _, n := range rec.puts {
+		db.inodes[n.ID] = n.Clone()
+	}
+	for _, id := range rec.dels {
+		delete(db.inodes, id)
+	}
+	for _, op := range rec.kvPuts {
+		if db.kv[op.table] == nil {
+			db.kv[op.table] = make(map[string][]byte)
+		}
+		db.kv[op.table][op.key] = op.val
+	}
+	for _, op := range rec.kvDels {
+		if db.kv[op.table] != nil {
+			delete(db.kv[op.table], op.key)
+		}
+	}
+}
+
+// finishRecovery installs the root if the media was empty, rebuilds the
+// derived children index from the recovered rows, and restores the ID
+// allocator above every ID the store has ever handed out.
+func (db *DB) finishRecovery(maxID uint64) {
+	if db.inodes[namespace.RootID] == nil {
+		root := namespace.NewRoot()
+		db.inodes[root.ID] = root
+	}
+	db.children = make(map[namespace.INodeID]map[string]namespace.INodeID)
+	for id, n := range db.inodes {
+		if n.IsDir && db.children[id] == nil {
+			db.children[id] = make(map[string]namespace.INodeID)
+		}
+		if id == namespace.RootID {
+			continue
+		}
+		if db.children[n.ParentID] == nil {
+			db.children[n.ParentID] = make(map[string]namespace.INodeID)
+		}
+		db.children[n.ParentID][n.Name] = id
+	}
+	for id := range db.inodes {
+		if uint64(id) > maxID {
+			maxID = uint64(id)
+		}
+	}
+	db.nextID.Store(maxID)
+}

@@ -1,0 +1,496 @@
+package ndb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"lambdafs/internal/clock"
+	"lambdafs/internal/lsm"
+	"lambdafs/internal/namespace"
+	"lambdafs/internal/store"
+)
+
+// zeroLSM returns a latency-free LSM config for checkpoint stores in
+// correctness tests (billing is covered by the bench experiment).
+func zeroLSM() lsm.Config {
+	cfg := lsm.DefaultConfig()
+	cfg.PutLatency = 0
+	cfg.ProbeLatency = 0
+	cfg.FlushPerEntry = 0
+	cfg.CompactPerEntry = 0
+	return cfg
+}
+
+// durableCfg returns a latency-free store config attached to d.
+func durableCfg(d *Durable) Config {
+	cfg := DefaultConfig()
+	cfg.RTT = 0
+	cfg.ReadService = 0
+	cfg.WriteService = 0
+	cfg.LockWaitTimeout = 100 * time.Millisecond
+	cfg.Durable = d
+	return cfg
+}
+
+// stateDigest renders the full committed state (rows, linkage, KV) as a
+// canonical string; two stores with equal digests are indistinguishable.
+// Must run at quiescence.
+func stateDigest(db *DB) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var lines []string
+	for id, n := range db.inodes {
+		lines = append(lines, fmt.Sprintf("i %d %d %q dir=%v size=%d owner=%s blocks=%d sub=%q",
+			id, n.ParentID, n.Name, n.IsDir, n.Size, n.Owner, len(n.Blocks), n.SubtreeLockOwner))
+	}
+	for parent, kids := range db.children {
+		for name, id := range kids {
+			lines = append(lines, fmt.Sprintf("c %d %q %d", parent, name, id))
+		}
+	}
+	for table, m := range db.kv {
+		for k, v := range m {
+			lines = append(lines, fmt.Sprintf("k %s %s %x", table, k, v))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// buildWALWorkload creates a fresh single-shard durable store and
+// commits n deterministic write-transactions (creates, a KV put, a
+// rename, a delete). It returns the store, its media, and the state
+// digest after every prefix: digests[i] is the state once i
+// transactions have committed.
+func buildWALWorkload(t *testing.T, n int) (*DB, *Durable, []string) {
+	t.Helper()
+	clk := clock.NewScaled(0)
+	d := NewDurable(clk, 1, zeroLSM())
+	db := New(clk, durableCfg(d))
+	digests := []string{stateDigest(db)}
+	var ids []namespace.INodeID
+	for i := 0; i < n; i++ {
+		tx := db.Begin(fmt.Sprintf("w%d", i))
+		switch {
+		case i == 3 && len(ids) > 0:
+			if err := tx.DeleteINode(ids[0]); err != nil {
+				t.Fatalf("tx %d delete: %v", i, err)
+			}
+		case i == 4 && len(ids) > 1:
+			moved := &namespace.INode{ID: ids[1], ParentID: namespace.RootID,
+				Name: "renamed", Perm: namespace.PermDefaultFile, Owner: "u", Group: "g"}
+			if err := tx.PutINode(moved); err != nil {
+				t.Fatalf("tx %d move: %v", i, err)
+			}
+		default:
+			id := db.NextID()
+			node := &namespace.INode{ID: id, ParentID: namespace.RootID,
+				Name: fmt.Sprintf("f%02d", i), Perm: namespace.PermDefaultFile,
+				Owner: "u", Group: "g", Size: int64(i * 10),
+				Mtime: clk.Now(),
+				Blocks: []namespace.Block{
+					{ID: namespace.BlockID(100 + i), Size: 64, Locations: []string{"dn1", "dn2"}},
+				}}
+			if err := tx.PutINode(node); err != nil {
+				t.Fatalf("tx %d put: %v", i, err)
+			}
+			if i%2 == 1 {
+				if err := tx.KVPut("leases", fmt.Sprintf("path%d", i), []byte{byte(i)}); err != nil {
+					t.Fatalf("tx %d kvput: %v", i, err)
+				}
+			}
+			ids = append(ids, id)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("tx %d commit: %v", i, err)
+		}
+		digests = append(digests, stateDigest(db))
+	}
+	return db, d, digests
+}
+
+// frameBounds parses a shard's log and returns each frame's start
+// offset plus the total length.
+func frameBounds(t *testing.T, w []byte) (starts []int, total int) {
+	t.Helper()
+	off := 0
+	for off < len(w) {
+		if off+8 > len(w) {
+			t.Fatalf("trailing garbage at %d", off)
+		}
+		n := int(binary.LittleEndian.Uint32(w[off:]))
+		starts = append(starts, off)
+		off += 8 + n
+	}
+	return starts, off
+}
+
+func TestWALTornTailPrefixRecovery(t *testing.T) {
+	// Property: with N committed transactions, truncating the log at
+	// ANY byte offset inside the final record recovers exactly the N−1
+	// prefix — never a partial transaction, never an error — and a
+	// clean (untruncated) tail recovers all N.
+	const n = 6
+	_, d0, _ := buildWALWorkload(t, n)
+	d0.mu.Lock()
+	starts, total := frameBounds(t, d0.wals[0])
+	d0.mu.Unlock()
+	if len(starts) != n {
+		t.Fatalf("workload produced %d records, want %d", len(starts), n)
+	}
+	lastStart := starts[n-1]
+
+	for cut := lastStart; cut <= total; cut++ {
+		_, d, digests := buildWALWorkload(t, n)
+		d.cropWAL(0, cut)
+		clk := clock.NewScaled(0)
+		db, rs, err := Recover(clk, durableCfg(d))
+		if err != nil {
+			t.Fatalf("cut=%d: recover: %v", cut, err)
+		}
+		wantLSN := uint64(n - 1)
+		wantTruncated := 1
+		if cut == lastStart {
+			wantTruncated = 0 // clean boundary: record absent, tail intact
+		}
+		if cut == total {
+			wantLSN = n // clean tail: full prefix, no truncation
+			wantTruncated = 0
+		}
+		if rs.LastLSN != wantLSN {
+			t.Fatalf("cut=%d: recovered to LSN %d, want %d (stats %+v)", cut, rs.LastLSN, wantLSN, rs)
+		}
+		if rs.TruncatedShards != wantTruncated {
+			t.Fatalf("cut=%d: truncated %d shards, want %d", cut, rs.TruncatedShards, wantTruncated)
+		}
+		if got := stateDigest(db); got != digests[wantLSN] {
+			t.Errorf("cut=%d: state diverged from committed prefix %d:\n got: %s\nwant: %s",
+				cut, wantLSN, got, digests[wantLSN])
+		}
+		if msgs := db.CheckIntegrity(); len(msgs) != 0 {
+			t.Fatalf("cut=%d: integrity: %v", cut, msgs)
+		}
+		// Recovery rewrote the media to the committed prefix: a second
+		// recovery must be a fixed point.
+		db2, rs2, err := Recover(clk, durableCfg(d))
+		if err != nil || rs2.LastLSN != wantLSN || rs2.TruncatedShards != 0 {
+			t.Fatalf("cut=%d: re-recovery not idempotent: %+v err=%v", cut, rs2, err)
+		}
+		if stateDigest(db2) != digests[wantLSN] {
+			t.Fatalf("cut=%d: re-recovery diverged", cut)
+		}
+	}
+}
+
+func TestWALRecordCodecRoundtrip(t *testing.T) {
+	rec := &walRecord{
+		lsn:  42,
+		idHW: 99,
+		puts: []*namespace.INode{
+			{ID: 7, ParentID: 1, Name: "a", IsDir: true, Perm: 0o755, Owner: "o", Group: "g"},
+			{ID: 9, ParentID: 7, Name: "b", Size: 123,
+				Mtime: time.Unix(0, 77), Ctime: time.Unix(0, 88),
+				Blocks: []namespace.Block{
+					{ID: 5, Size: 64, Locations: []string{"dn1", "dn2"}},
+					{ID: 6, Size: 32},
+				},
+				SubtreeLockOwner: "nn-3"},
+		},
+		dels:   []namespace.INodeID{11, 12},
+		kvPuts: []kvOp{{table: "t/x", key: "k1", val: []byte{1, 2, 3}}, {table: "t", key: "", val: nil}},
+		kvDels: []kvOp{{table: "t", key: "gone"}},
+	}
+	frame := encodeFrame(encodeRecord(rec))
+	got, size, ok := decodeFrame(frame)
+	if !ok || size != len(frame) {
+		t.Fatalf("decode failed: ok=%v size=%d/%d", ok, size, len(frame))
+	}
+	if got.lsn != 42 || got.idHW != 99 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.puts) != 2 || len(got.dels) != 2 || len(got.kvPuts) != 2 || len(got.kvDels) != 1 {
+		t.Fatalf("op counts mismatch: %+v", got)
+	}
+	b := got.puts[1]
+	if b.ID != 9 || b.Mtime.UnixNano() != 77 || len(b.Blocks) != 2 ||
+		len(b.Blocks[0].Locations) != 2 || b.Blocks[0].Locations[1] != "dn2" ||
+		b.SubtreeLockOwner != "nn-3" {
+		t.Fatalf("inode roundtrip mismatch: %+v", b)
+	}
+	if string(got.kvPuts[1].table) != "t/x" && string(got.kvPuts[0].table) != "t" {
+		t.Fatalf("kv roundtrip mismatch: %+v", got.kvPuts)
+	}
+	// Corrupting any single byte must be detected.
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0xff
+		if rec, _, ok := decodeFrame(bad); ok {
+			// A corrupt length prefix may still describe a shorter valid
+			// frame only if the checksum happens to match — effectively
+			// impossible; treat any acceptance as a failure.
+			t.Fatalf("byte %d corruption accepted: %+v", i, rec)
+		}
+	}
+}
+
+func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
+	clk := clock.NewScaled(0)
+	d := NewDurable(clk, 4, zeroLSM())
+	db := New(clk, durableCfg(d))
+	for i := 0; i < 10; i++ {
+		tx := db.Begin("w")
+		id := db.NextID()
+		if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID,
+			Name: fmt.Sprintf("f%d", i), Perm: namespace.PermDefaultFile}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	if lsn := db.Checkpoint(); lsn != 10 {
+		t.Fatalf("checkpoint covered LSN %d, want 10", lsn)
+	}
+	if recs, _ := d.WALSize(); recs != 0 {
+		t.Fatalf("WAL holds %d records after full checkpoint, want 0", recs)
+	}
+	pre := stateDigest(db)
+	// Five more commits after the checkpoint; only these should replay.
+	for i := 10; i < 15; i++ {
+		tx := db.Begin("w")
+		id := db.NextID()
+		if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID,
+			Name: fmt.Sprintf("f%d", i), Perm: namespace.PermDefaultFile}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	post := stateDigest(db)
+	db2, rs, err := Recover(clk, durableCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.BaseLSN != 10 || rs.LastLSN != 15 || rs.ReplayedRecords != 5 {
+		t.Fatalf("recovery stats %+v, want base 10 last 15 replayed 5", rs)
+	}
+	if got := stateDigest(db2); got != post {
+		t.Fatalf("recovered state != pre-crash state\n got: %s\nwant: %s", got, post)
+	}
+	if pre == post {
+		t.Fatal("test bug: pre and post digests identical")
+	}
+	// Allocator must stay above every recovered ID.
+	if id := db2.NextID(); uint64(id) <= 15 {
+		t.Fatalf("NextID after recovery = %d, collides with recovered rows", id)
+	}
+}
+
+func TestRecoverStopsAtLSNGap(t *testing.T) {
+	// Drop one mid-log record (shard-local fault): every later record —
+	// on any shard — must be discarded, because the committed prefix
+	// ends where the log first has a hole.
+	clk := clock.NewScaled(0)
+	d := NewDurable(clk, 3, zeroLSM())
+	cfg := durableCfg(d)
+	const dropLSN = 7
+	cfg.OnWALAppend = func(shard int, lsn uint64, size int) int {
+		if lsn == dropLSN {
+			return 0
+		}
+		return size
+	}
+	db := New(clk, cfg)
+	var digests []string
+	digests = append(digests, stateDigest(db))
+	for i := 0; i < 12; i++ {
+		tx := db.Begin("w")
+		id := db.NextID()
+		if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID,
+			Name: fmt.Sprintf("f%d", i), Perm: namespace.PermDefaultFile}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+		digests = append(digests, stateDigest(db))
+	}
+	db2, rs, err := Recover(clk, durableCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.LastLSN != dropLSN-1 {
+		t.Fatalf("recovered to LSN %d, want %d", rs.LastLSN, dropLSN-1)
+	}
+	if rs.DiscardedRecords != 12-dropLSN {
+		t.Fatalf("discarded %d records, want %d", rs.DiscardedRecords, 12-dropLSN)
+	}
+	if got := stateDigest(db2); got != digests[dropLSN-1] {
+		t.Fatalf("state != committed prefix %d", dropLSN-1)
+	}
+	// The media was rewritten to the prefix: appending after recovery
+	// must produce a log that recovers cleanly.
+	tx := db2.Begin("w")
+	id := db2.NextID()
+	if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID,
+		Name: "after", Perm: namespace.PermDefaultFile}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	want := stateDigest(db2)
+	db3, rs3, err := Recover(clk, durableCfg(d))
+	if err != nil || rs3.LastLSN != dropLSN || rs3.DiscardedRecords != 0 {
+		t.Fatalf("post-gap append recovery: %+v err=%v", rs3, err)
+	}
+	if stateDigest(db3) != want {
+		t.Fatal("post-gap append state diverged")
+	}
+}
+
+func TestLostCheckpointFallsBackToWAL(t *testing.T) {
+	// A shard whose checkpoint round is lost keeps its old metadata, so
+	// the WAL keeps every record past the surviving floor and recovery
+	// still reaches the full committed state — just with more replay.
+	clk := clock.NewScaled(0)
+	d := NewDurable(clk, 4, zeroLSM())
+	cfg := durableCfg(d)
+	lost := 0
+	cfg.OnCheckpoint = func(shard int) bool {
+		if shard == 2 {
+			lost++
+			return false
+		}
+		return true
+	}
+	db := New(clk, cfg)
+	for i := 0; i < 9; i++ {
+		tx := db.Begin("w")
+		id := db.NextID()
+		if err := tx.PutINode(&namespace.INode{ID: id, ParentID: namespace.RootID,
+			Name: fmt.Sprintf("f%d", i), Perm: namespace.PermDefaultFile}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	db.Checkpoint()
+	if lost != 1 {
+		t.Fatalf("loss hook fired %d times, want 1", lost)
+	}
+	// Conservative truncation: shard 2 never checkpointed, so nothing
+	// may be truncated.
+	if recs, _ := d.WALSize(); recs != 9 {
+		t.Fatalf("WAL holds %d records after lost round, want 9", recs)
+	}
+	want := stateDigest(db)
+	db2, rs, err := Recover(clk, durableCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.BaseLSN != 0 || rs.ReplayedRecords != 9 || rs.LastLSN != 9 {
+		t.Fatalf("recovery stats %+v, want base 0 replayed 9 last 9", rs)
+	}
+	if stateDigest(db2) != want {
+		t.Fatal("recovered state diverged after lost checkpoint")
+	}
+}
+
+func TestPreloadSurvivesRestart(t *testing.T) {
+	clk := clock.NewScaled(0)
+	d := NewDurable(clk, 2, zeroLSM())
+	db := New(clk, durableCfg(d))
+	nodes := []*namespace.INode{
+		{ID: 2, ParentID: 1, Name: "dir", IsDir: true, Perm: namespace.PermDefaultDir},
+		{ID: 3, ParentID: 2, Name: "file", Perm: namespace.PermDefaultFile, Size: 7},
+	}
+	db.Preload(nodes)
+	want := stateDigest(db)
+	db2, rs, err := Recover(clk, durableCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stateDigest(db2) != want {
+		t.Fatal("preloaded namespace lost on restart")
+	}
+	if rs.CheckpointRows == 0 {
+		t.Fatalf("preload did not checkpoint: %+v", rs)
+	}
+	if id := db2.NextID(); uint64(id) <= 3 {
+		t.Fatalf("NextID after recovery = %d, collides with preloaded rows", id)
+	}
+}
+
+func TestNewFormatsDurableMedia(t *testing.T) {
+	clk := clock.NewScaled(0)
+	d := NewDurable(clk, 2, zeroLSM())
+	db := New(clk, durableCfg(d))
+	tx := db.Begin("w")
+	if err := tx.PutINode(&namespace.INode{ID: db.NextID(), ParentID: namespace.RootID,
+		Name: "old-epoch", Perm: namespace.PermDefaultFile}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	db.Checkpoint()
+	// A second New over the same media starts a fresh epoch.
+	db2 := New(clk, durableCfg(d))
+	if db2.INodeCount() != 1 {
+		t.Fatalf("fresh store has %d inodes, want 1 (root)", db2.INodeCount())
+	}
+	db3, rs, err := Recover(clk, durableCfg(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.LastLSN != 0 || db3.INodeCount() != 1 {
+		t.Fatalf("old epoch resurrected: %+v inodes=%d", rs, db3.INodeCount())
+	}
+}
+
+func TestWALStatsCounted(t *testing.T) {
+	clk := clock.NewScaled(0)
+	d := NewDurable(clk, 2, zeroLSM())
+	cfg := durableCfg(d)
+	cfg.Durability.CheckpointEvery = 4
+	db := New(clk, cfg)
+	for i := 0; i < 8; i++ {
+		tx := db.Begin("w")
+		if err := tx.PutINode(&namespace.INode{ID: db.NextID(), ParentID: namespace.RootID,
+			Name: fmt.Sprintf("f%d", i), Perm: namespace.PermDefaultFile}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	// Read-only transactions must not consume LSNs or append records.
+	tx := db.Begin("r")
+	if _, err := tx.GetINode(namespace.RootID, store.LockShared); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	st := db.Stats()
+	if st.WALAppends != 8 || st.WALBytes == 0 {
+		t.Fatalf("WAL stats %+v, want 8 appends", st)
+	}
+	if st.Checkpoints != 2 {
+		t.Fatalf("auto-checkpoints = %d, want 2 (every 4 of 8 commits)", st.Checkpoints)
+	}
+	if d.LastLSN() != 8 {
+		t.Fatalf("LastLSN = %d, want 8", d.LastLSN())
+	}
+}
+
+func TestWALFsyncBilled(t *testing.T) {
+	// A durable commit must advance the virtual clock by at least the
+	// configured fsync latency.
+	clk := clock.NewScaled(0.01)
+	d := NewDurable(clk, 1, zeroLSM())
+	cfg := durableCfg(d)
+	cfg.Durability.WALFsync = 5 * time.Millisecond
+	db := New(clk, cfg)
+	tx := db.Begin("w")
+	if err := tx.PutINode(&namespace.INode{ID: db.NextID(), ParentID: namespace.RootID,
+		Name: "f", Perm: namespace.PermDefaultFile}); err != nil {
+		t.Fatal(err)
+	}
+	start := clk.Now()
+	mustCommit(t, tx)
+	if dur := clk.Since(start); dur < 5*time.Millisecond {
+		t.Fatalf("durable commit charged %v, want >= 5ms fsync", dur)
+	}
+}
