@@ -22,8 +22,15 @@ echo "ok"
 echo "== go vet =="
 go vet ./...
 
-echo "== lambdafs-vet =="
-go run ./cmd/lambdafs-vet ./...
+echo "== lambdafs-vet (virtualtime/determinism/locks/spans/errcheck/metricnames + lockorder/hotpath; fails on stale allows) =="
+vetout=$(mktemp)
+if ! go run ./cmd/lambdafs-vet -json ./... >"$vetout" 2>&1; then
+    cat "$vetout"
+    rm -f "$vetout"
+    exit 1
+fi
+rm -f "$vetout"
+echo "ok"
 
 echo "== go build =="
 go build ./...

@@ -1,17 +1,23 @@
-// Command lambdafs-vet runs the repository's custom static analyzer: five
-// checks (virtualtime, determinism, locks, spans, errcheck) enforcing the
-// disciplines the λFS reproduction's evaluation depends on. Built purely on
-// the standard library's go/ast, go/parser, go/token, and go/types.
+// Command lambdafs-vet runs the repository's custom static analyzer: six
+// per-package checks (virtualtime, determinism, locks, spans, errcheck,
+// metricnames) plus two interprocedural checks over a module-wide call
+// graph (lockorder — lock-acquisition-order cycles; hotpath — the
+// //vet:hotpath zero-allocation / non-blocking / virtual-time-only
+// contract), enforcing the disciplines the λFS reproduction's evaluation
+// depends on. Built purely on the standard library's go/ast, go/parser,
+// go/token, and go/types.
 //
 // Usage:
 //
 //	lambdafs-vet ./...        analyze every package in the module
 //	lambdafs-vet DIR [DIR…]   analyze the packages in specific directories
+//	lambdafs-vet -json ./...  machine-readable findings + per-check counts
 //
-// Findings print as `file:line: [check] message`; the exit status is
-// nonzero when any finding remains. `//vet:allow <check> <reason>`
-// suppressions are honored, counted, and reported (a missing reason is
-// itself a finding).
+// Findings print as `file:line: [check] message` (with -json, as one JSON
+// document on stdout); the exit status is nonzero when any finding
+// remains. `//vet:allow <check> <reason>` suppressions are honored,
+// counted, and reported — a missing reason is itself a finding, and so is
+// a stale suppression that no longer suppresses anything.
 package main
 
 import (
@@ -25,8 +31,9 @@ import (
 
 func main() {
 	quiet := flag.Bool("q", false, "suppress the allowlist report; print findings only")
+	asJSON := flag.Bool("json", false, "emit findings, suppressions, and per-check counts as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lambdafs-vet [-q] ./... | DIR...\n")
+		fmt.Fprintf(os.Stderr, "usage: lambdafs-vet [-q] [-json] ./... | DIR...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,8 +68,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, f := range res.Findings {
-		fmt.Println(f)
+	if *asJSON {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lambdafs-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
 	}
 	if !*quiet {
 		for _, s := range res.Suppressed {

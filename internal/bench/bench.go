@@ -275,9 +275,9 @@ func newLambdaClusterWith(clk *clock.Sim, p lambdaParams, mutate func(*core.Syst
 	prov := metrics.NewProvisionedMeter(clock.Epoch)
 	// Cumulative cost under both billing models, sampled lazily at scrape
 	// time — the same pair the public Cluster registers.
-	p.metrics.GaugeFunc("lambdafs_cost_payperuse_usd",
+	p.metrics.GaugeFunc("lambdafs_cost_payperuse_usd", //vet:allow metricnames cost is a cross-cutting subsystem, mirrored from the public Cluster
 		func() float64 { return lambda.TotalUSD() })
-	p.metrics.GaugeFunc("lambdafs_cost_provisioned_usd",
+	p.metrics.GaugeFunc("lambdafs_cost_provisioned_usd", //vet:allow metricnames cost is a cross-cutting subsystem, mirrored from the public Cluster
 		func() float64 { return prov.TotalUSD() })
 	fCfg := faas.DefaultConfig()
 	fCfg.TotalVCPU = p.totalVCPU

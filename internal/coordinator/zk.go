@@ -224,6 +224,8 @@ func (z *ZK) InvalidateBatch(deps []int, invs []Invalidation) error {
 // InvalidateBatchTraced is InvalidateBatch with per-target trace
 // attribution: each delivery leg is a coherence.target child span of tc
 // tagged with the target instance's ID.
+//
+//vet:hotpath
 func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ctx) error {
 	if len(invs) == 0 {
 		return nil
@@ -231,8 +233,12 @@ func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ct
 	// Snapshot the membership at protocol start, deduplicating members that
 	// appear in several target deployments so each receives the batch once.
 	z.mu.Lock()
-	var targets []*zkSession
-	seen := make(map[string]bool)
+	nmax := 0
+	for _, dep := range deps {
+		nmax += len(z.deps[dep])
+	}
+	targets := make([]*zkSession, 0, nmax)
+	seen := make(map[string]bool, nmax)
 	for _, dep := range deps {
 		for id, s := range z.deps[dep] {
 			if seen[id] {
@@ -297,7 +303,7 @@ func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ct
 			z.clk.Sleep(2 * z.cfg.HopLatency)
 		}
 		tsp.End()
-		<-sem
+		<-sem //vet:allow hotpath slot release: this goroutine's own token is in the buffer, the receive cannot block
 		acks <- i
 	}
 	for i, s := range targets {
@@ -345,10 +351,10 @@ func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ct
 	if !timedOut {
 		return nil
 	}
-	var errs []error
+	errs := make([]error, 0, len(targets))
 	for i, s := range targets {
 		if !acked[i] {
-			errs = append(errs, fmt.Errorf("target %s: %w", s.id, ErrAckTimeout))
+			errs = append(errs, fmt.Errorf("target %s: %w", s.id, ErrAckTimeout)) //vet:allow hotpath ack-timeout error path only runs after the protocol already failed slow
 		}
 	}
 	return errors.Join(errs...)

@@ -279,6 +279,8 @@ func (e *Engine) begin(tc *trace.Ctx) store.Tx {
 // resolveStore is Store.ResolvePath with trace attribution when available,
 // using the store's batched per-shard multi-get resolution unless
 // SerialHotPaths reverts to the per-component walk.
+//
+//vet:hotpath
 func (e *Engine) resolveStore(tc *trace.Ctx, path string) ([]*namespace.INode, error) {
 	if !e.cfg.SerialHotPaths {
 		if bs, ok := e.st.(store.BatchedStore); ok {

@@ -95,6 +95,8 @@ func (db *DB) serviceMultiT(keys []string, tc *trace.Ctx) {
 // ResolvePathBatched implements store.BatchedStore: ResolvePath with the
 // whole chain fetched as one per-shard multi-get (read-committed, no
 // locks, one resolution hop).
+//
+//vet:hotpath
 func (db *DB) ResolvePathBatched(path string, tc *trace.Ctx) ([]*namespace.INode, error) {
 	p, err := namespace.CleanPath(path)
 	if err != nil {
@@ -177,6 +179,8 @@ func (db *DB) ListSubtreeBatched(root namespace.INodeID, tc *trace.Ctx) ([]*name
 // with terminal (GetChild's order, so write paths that collapse
 // resolve+lock-parent into this call keep deadlock parity with serial
 // resolvers).
+//
+//vet:hotpath
 func (t *tx) ResolvePathBatched(path string, ancestors, terminal store.LockMode) ([]*namespace.INode, error) {
 	if t.done {
 		return nil, store.ErrTxDone

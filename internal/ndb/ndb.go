@@ -27,6 +27,7 @@ package ndb
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -484,9 +485,12 @@ func (db *DB) INodeCount() int {
 // HeldLocks reports currently held row locks (test hook: must drain to 0).
 func (db *DB) HeldLocks() int { return db.locks.heldLocks() }
 
-// lock keys
-func inodeKey(id namespace.INodeID) string { return fmt.Sprintf("i/%d", id) }
+// lock keys — built with strconv, not fmt, because they sit on the batched
+// resolution hot path (one key per component per multi-get).
+func inodeKey(id namespace.INodeID) string {
+	return "i/" + strconv.FormatUint(uint64(id), 10)
+}
 func childKey(parent namespace.INodeID, name string) string {
-	return fmt.Sprintf("c/%d/%s", parent, name)
+	return "c/" + strconv.FormatUint(uint64(parent), 10) + "/" + name
 }
 func kvKey(table, key string) string { return "k/" + table + "/" + key }

@@ -1,0 +1,477 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkHotPath enforces the `//vet:hotpath` annotation: a doc-comment line
+// marking a function as a zero-allocation, non-blocking, virtual-time-only
+// path. The contract propagates through the call graph — every function
+// reachable from an annotated root (static calls, plus CHA-resolved
+// interface calls) is held to the same discipline:
+//
+//   - no fmt.Sprintf / Sprint / Sprintln / Errorf / Appendf;
+//   - no string concatenation inside a loop, and no string +=;
+//   - no append growth in a loop unless the slice was made with an
+//     explicit capacity (make(T, 0, n));
+//   - no &CompositeLit and no composite literal returned by value
+//     (escaping allocations); the zero-size struct{}{} is exempt;
+//   - no closure that captures outer variables created inside a loop
+//     (per-iteration closure allocation), unless handed directly to
+//     clock.Go / clock.Idle;
+//   - no blocking channel operation (send, receive, select without
+//     default) outside a function literal passed directly to clock.Idle
+//     or clock.Go, except sends to locally created buffered channels;
+//   - no wall-clock reachability: calling anything that transitively
+//     reaches a time.Now/Sleep/… call (even a //vet:allow virtualtime'd
+//     one) is reported at the call edge, with the chain to the source.
+//
+// internal/clock is fully exempt (it is the sanctioned waiting and timing
+// boundary — clock.Idle parking is how a hot path is *supposed* to wait).
+// internal/trace and internal/telemetry are exempt from the allocation
+// and blocking rules: both are nil-safe fast-path instruments whose
+// zero-cost-when-disabled contract is enforced by their own tests; they
+// still count as wall-clock sources if they read the host clock.
+//
+// Findings point at the offending construct (or call edge) and name the
+// annotated root that reaches it. Suppress individual findings with
+// `//vet:allow hotpath <reason>`.
+func checkHotPath(l *Loader, g *CallGraph, report func(pos token.Pos, check, msg string)) {
+	var roots []*FuncNode
+	for _, n := range g.Nodes {
+		if n.HotPath {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+
+	wallNext, wallReach := wallReachability(g)
+
+	reported := map[token.Pos]bool{}
+	flag := func(pos token.Pos, msg string) {
+		if pos.IsValid() && reported[pos] {
+			return
+		}
+		reported[pos] = true
+		report(pos, "hotpath", msg)
+	}
+
+	visited := map[*FuncNode]bool{}
+	for _, root := range roots {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		queue := []*FuncNode{root}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if !hotExemptPkg(n) {
+				scanHotBody(l, n, root, flag)
+			}
+			if n == root && n.WallPos.IsValid() {
+				p := l.Fset.Position(n.WallPos)
+				flag(n.WallPos, fmt.Sprintf(
+					"wall-clock time call at %s:%d inside a //vet:hotpath function — use the virtual clock",
+					shortFile(p.Filename), p.Line))
+			}
+			for _, c := range n.Calls {
+				if strings.HasSuffix(c.Callee.Pkg.Path, "internal/clock") {
+					continue // the sanctioned timing/waiting boundary
+				}
+				if wallReach[c.Callee] {
+					flag(c.Pos, fmt.Sprintf(
+						"call reaches wall-clock time (%s) — hot path must stay on the virtual clock (reached from //vet:hotpath %s)",
+						wallChain(l, c.Callee, wallNext), root.displayName()))
+				}
+				if !visited[c.Callee] {
+					visited[c.Callee] = true
+					queue = append(queue, c.Callee)
+				}
+			}
+		}
+	}
+}
+
+// hotExemptPkg reports packages exempt from the allocation/blocking scan.
+func hotExemptPkg(n *FuncNode) bool {
+	p := n.Pkg.Path
+	return strings.HasSuffix(p, "internal/clock") ||
+		strings.HasSuffix(p, "internal/trace") ||
+		strings.HasSuffix(p, "internal/telemetry")
+}
+
+// wallReachability computes, over the whole graph, which functions
+// transitively reach a direct wall-clock call, and for each the next hop
+// toward the source (for chain rendering in messages).
+func wallReachability(g *CallGraph) (next map[*FuncNode]*FuncNode, reach map[*FuncNode]bool) {
+	next = map[*FuncNode]*FuncNode{}
+	reach = map[*FuncNode]bool{}
+	rev := map[*FuncNode][]*FuncNode{}
+	var queue []*FuncNode
+	for _, n := range g.Nodes {
+		for _, c := range n.Calls {
+			rev[c.Callee] = append(rev[c.Callee], n)
+		}
+		if n.WallPos.IsValid() {
+			reach[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, caller := range rev[c] {
+			if !reach[caller] {
+				reach[caller] = true
+				next[caller] = c
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return next, reach
+}
+
+// wallChain renders the call chain from n down to its wall-clock source.
+func wallChain(l *Loader, n *FuncNode, next map[*FuncNode]*FuncNode) string {
+	var parts []string
+	cur := n
+	for hops := 0; cur != nil && hops < 6; hops++ {
+		parts = append(parts, cur.displayName())
+		nx, ok := next[cur]
+		if !ok {
+			p := l.Fset.Position(cur.WallPos)
+			parts = append(parts, fmt.Sprintf("time call at %s:%d", shortFile(p.Filename), p.Line))
+			return strings.Join(parts, " → ")
+		}
+		cur = nx
+	}
+	parts = append(parts, "…")
+	return strings.Join(parts, " → ")
+}
+
+// ---------------------------------------------------------------------------
+// Per-function construct scan.
+
+// hotFacts caches per-declaration allocation-relevant bindings.
+type hotFacts struct {
+	buffered map[types.Object]bool // channels made locally with nonzero buffer
+	presized map[types.Object]bool // slices made locally with explicit capacity
+}
+
+func collectHotFacts(pkg *Package, body *ast.BlockStmt) *hotFacts {
+	f := &hotFacts{buffered: map[types.Object]bool{}, presized: map[types.Object]bool{}}
+	note := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
+			return
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, isChan := call.Args[0].(*ast.ChanType); isChan {
+			if len(call.Args) == 2 && !isConstZero(pkg, call.Args[1]) {
+				f.buffered[obj] = true
+			}
+			return
+		}
+		if len(call.Args) == 3 {
+			f.presized[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i < len(v.Lhs) {
+					note(v.Lhs[i], rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, val := range v.Values {
+				if i < len(v.Names) {
+					note(v.Names[i], val)
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+func isConstZero(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}
+
+// scanHotBody walks n's declaration (function literals flattened in) and
+// flags every hot-path-hostile construct, attributing it to root.
+func scanHotBody(l *Loader, n *FuncNode, root *FuncNode, flag func(pos token.Pos, msg string)) {
+	pkg, file := n.Pkg, n.File
+	facts := collectHotFacts(pkg, n.Decl.Body)
+	suffix := fmt.Sprintf(" (reached from //vet:hotpath %s)", root.displayName())
+
+	var stack []ast.Node
+	inLoop := func() bool {
+		for _, nd := range stack[:len(stack)-1] {
+			switch nd.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			}
+		}
+		return false
+	}
+	// blockExempt: inside a function literal handed directly to clock.Idle
+	// (inline wait under the scheduler) or clock.Go (off the caller's
+	// critical path).
+	blockExempt := func() bool {
+		for i, nd := range stack {
+			lit, ok := nd.(*ast.FuncLit)
+			if !ok || i == 0 {
+				continue
+			}
+			call, ok := stack[i-1].(*ast.CallExpr)
+			if !ok || !isClockCall(pkg, file, call) {
+				continue
+			}
+			for _, a := range call.Args {
+				if a == lit {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[id]
+	}
+	blocking := func(pos token.Pos, what string) {
+		flag(pos, fmt.Sprintf(
+			"%s blocks the hot path — wrap the wait in clock.Idle or hand it to clock.Go%s", what, suffix))
+	}
+	// inSelectComm: a send/receive that is a select case's communication
+	// operation doesn't block on its own — whether the select blocks is the
+	// SelectStmt rule's call.
+	inSelectComm := func(pos token.Pos) bool {
+		for _, nd := range stack[:len(stack)-1] {
+			if cc, ok := nd.(*ast.CommClause); ok && cc.Comm != nil &&
+				cc.Comm.Pos() <= pos && pos <= cc.Comm.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		if nd == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, nd)
+		switch v := nd.(type) {
+		case *ast.CallExpr:
+			if name, ok := fmtAllocCall(pkg, file, v); ok {
+				flag(v.Pos(), fmt.Sprintf("fmt.%s allocates per call%s", name, suffix))
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && inLoop() && isStringExpr(pkg, v) && !isConstExpr(pkg, v) {
+				flag(v.Pos(), "string concatenation inside a loop allocates per iteration"+suffix)
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ADD_ASSIGN && len(v.Lhs) == 1 && isStringExpr(pkg, v.Lhs[0]) {
+				flag(v.Pos(), "string += allocates a fresh string per append"+suffix)
+			}
+			if inLoop() {
+				for i, rhs := range v.Rhs {
+					if i >= len(v.Lhs) {
+						break
+					}
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						continue
+					}
+					if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+						continue
+					}
+					dst := objOf(v.Lhs[i])
+					src := objOf(call.Args[0])
+					if dst == nil || dst != src || facts.presized[dst] {
+						continue
+					}
+					flag(call.Pos(), fmt.Sprintf(
+						"append growth in a loop: %s has no pre-sized capacity (make(…, 0, n))%s",
+						exprString(v.Lhs[i]), suffix))
+				}
+			}
+		case *ast.UnaryExpr:
+			switch v.Op {
+			case token.AND:
+				if cl, ok := v.X.(*ast.CompositeLit); ok && !isZeroSizeLit(pkg, cl) {
+					flag(v.Pos(), fmt.Sprintf("&%s{…} escapes to the heap%s", exprString(cl.Type), suffix))
+				}
+			case token.ARROW:
+				if !blockExempt() && !inSelectComm(v.Pos()) {
+					blocking(v.Pos(), "channel receive")
+				}
+			}
+		case *ast.SendStmt:
+			if !blockExempt() && !inSelectComm(v.Pos()) {
+				if obj := objOf(v.Chan); obj == nil || !facts.buffered[obj] {
+					blocking(v.Pos(), "channel send")
+				}
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range v.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault && !blockExempt() {
+				blocking(v.Pos(), "select without default")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if cl, ok := r.(*ast.CompositeLit); ok && !isZeroSizeLit(pkg, cl) {
+					flag(cl.Pos(), "composite literal in return allocates"+suffix)
+				}
+			}
+		case *ast.FuncLit:
+			if inLoop() && !isDirectClockArg(pkg, file, stack, v) && capturesOuter(pkg, v) {
+				flag(v.Pos(), "closure capturing outer variables inside a loop allocates per iteration"+suffix)
+			}
+		}
+		return true
+	})
+}
+
+// fmtAllocCall matches the fmt formatting entry points that allocate.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true,
+}
+
+func fmtAllocCall(pkg *Package, file *ast.File, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fmtAllocFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pkgPathOf(pkg, file, id) != "fmt" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isClockCall matches clock.Idle(…) / clock.Go(…) calls.
+func isClockCall(pkg *Package, file *ast.File, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Idle" && sel.Sel.Name != "Go") {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return strings.HasSuffix(pkgPathOf(pkg, file, id), "internal/clock")
+}
+
+// isDirectClockArg reports whether lit is itself an argument of a
+// clock.Idle/clock.Go call (its immediate parent on the stack).
+func isDirectClockArg(pkg *Package, file *ast.File, stack []ast.Node, lit *ast.FuncLit) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || !isClockCall(pkg, file, call) {
+		return false
+	}
+	for _, a := range call.Args {
+		if a == lit {
+			return true
+		}
+	}
+	return false
+}
+
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isZeroSizeLit exempts struct{}{} — the canonical zero-size token value
+// (channel signaling) that costs nothing to construct.
+func isZeroSizeLit(pkg *Package, cl *ast.CompositeLit) bool {
+	if len(cl.Elts) != 0 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// capturesOuter reports whether lit references a variable declared outside
+// it (excluding package-level variables, which are not closure captures).
+func capturesOuter(pkg *Package, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if pkg.Types != nil && v.Parent() == pkg.Types.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,406 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkLockOrder extracts a global lock-acquisition-order graph and
+// reports cycles as potential deadlocks. A node is a lock identity; an
+// edge A→B means some function acquires B while holding A — directly, or
+// by calling (transitively) a function that acquires B. Two functions
+// taking the same pair of locks in opposite orders form a cycle: the
+// classic latent deadlock that no finite test run reliably exhibits.
+//
+// Lock identity is type-qualified: `db.mu.Lock()` where db is *ndb.DB
+// keys as "ndb.DB.mu", so every instance of a type shares one node (the
+// deadlock argument is about the order discipline of the code, not about
+// specific instances). Package-level mutexes key as "pkg.var".
+//
+// Approximations, all on the quiet side:
+//
+//   - Holds are tracked in source order per function (the same
+//     approximation as the locks check); a `defer mu.Unlock()` keeps the
+//     lock held to the end of the function.
+//   - Only statically resolved calls propagate acquisition sets —
+//     interface dispatch does not (CHA over lock behavior would drown the
+//     report in impossible pairs).
+//   - Function literals are skipped: a goroutine body holds its own
+//     locks on its own stack, not its creator's.
+//   - Self-edges (A→A) are dropped: re-acquiring the same identity is
+//     either a re-entrant bug the locks check family covers or a
+//     different instance of the same type, which needs instance-order
+//     reasoning beyond a static pass.
+//
+// Each cycle reports once, at its lexically first edge, listing every
+// edge with the function that introduces it. Suppress with
+// `//vet:allow lockorder <reason>` on that edge's line.
+func checkLockOrder(l *Loader, g *CallGraph, report func(pos token.Pos, check, msg string)) {
+	facts := make(map[*FuncNode]*lockOrderFacts, len(g.Nodes))
+	for _, n := range g.Nodes {
+		facts[n] = collectLockOrderFacts(g, n)
+	}
+
+	// Fixpoint: a function's transitive acquisition set is its direct
+	// acquires plus every statically-called function's set.
+	acqAll := make(map[*FuncNode]map[string]bool, len(g.Nodes))
+	for n, f := range facts {
+		set := make(map[string]bool, len(f.acquires))
+		for k := range f.acquires {
+			set[k] = true
+		}
+		acqAll[n] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			set := acqAll[n]
+			for _, ev := range facts[n].events {
+				if ev.kind != loCall {
+					continue
+				}
+				for k := range acqAll[ev.callee] {
+					if !set[k] {
+						set[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Order edges: acquired-while-held, direct and through calls.
+	edges := map[string]map[string]lockOrderEdge{}
+	addEdge := func(from, to string, pos token.Pos, via string) {
+		if from == to {
+			return
+		}
+		m := edges[from]
+		if m == nil {
+			m = map[string]lockOrderEdge{}
+			edges[from] = m
+		}
+		if old, ok := m[to]; !ok || posLess(l.Fset.Position(pos), l.Fset.Position(old.pos)) {
+			m[to] = lockOrderEdge{from: from, to: to, pos: pos, via: via}
+		}
+	}
+	for _, n := range g.Nodes {
+		f := facts[n]
+		deferManaged := map[string]bool{}
+		for _, ev := range f.events {
+			if ev.kind == loDeferUnlock {
+				deferManaged[ev.key] = true
+			}
+		}
+		var held []string
+		release := func(key string) {
+			for i, h := range held {
+				if h == key {
+					held = append(held[:i], held[i+1:]...)
+					return
+				}
+			}
+		}
+		for _, ev := range f.events {
+			switch ev.kind {
+			case loAcquire:
+				for _, h := range held {
+					addEdge(h, ev.key, ev.pos, "")
+				}
+				release(ev.key) // re-acquire resets
+				held = append(held, ev.key)
+			case loRelease:
+				if !deferManaged[ev.key] {
+					release(ev.key)
+				}
+			case loCall:
+				if len(held) == 0 {
+					continue
+				}
+				for k := range acqAll[ev.callee] {
+					for _, h := range held {
+						addEdge(h, k, ev.pos, ev.callee.displayName())
+					}
+				}
+			}
+		}
+	}
+
+	// A strongly connected component of the order graph is a set of locks
+	// with no consistent global acquisition order — report each once, at
+	// its lexically first edge.
+	for _, cyc := range findLockCycles(l, edges) {
+		report(cyc[0].pos, "lockorder", fmt.Sprintf(
+			"lock-order cycle (potential deadlock): %s — impose one global acquisition order",
+			describeLockCycle(l, cyc)))
+	}
+}
+
+const (
+	loAcquire = iota
+	loRelease
+	loDeferUnlock
+	loCall
+)
+
+type lockOrderEvent struct {
+	kind   int
+	key    string
+	pos    token.Pos
+	callee *FuncNode
+}
+
+type lockOrderFacts struct {
+	acquires map[string]token.Pos // direct acquires (first position)
+	events   []lockOrderEvent     // source-order acquire/release/call stream
+}
+
+// collectLockOrderFacts walks n's declaration body (function literals
+// excluded) and records its lock events and statically-resolved calls in
+// source order.
+func collectLockOrderFacts(g *CallGraph, n *FuncNode) *lockOrderFacts {
+	f := &lockOrderFacts{acquires: map[string]token.Pos{}}
+	// Static call sites by position, from the graph's (flattened) edges;
+	// the literal-free walk below only looks up positions it visits.
+	callAt := map[token.Pos]*FuncNode{}
+	for _, c := range n.Calls {
+		if !c.ViaIface {
+			callAt[c.Pos] = c.Callee
+		}
+	}
+	var walk func(node ast.Node, inDefer bool)
+	walk = func(root ast.Node, inDefer bool) {
+		ast.Inspect(root, func(node ast.Node) bool {
+			switch v := node.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if key, acquire, ok := lockOrderOp(n.Pkg, v.Call); ok && !acquire {
+					f.events = append(f.events, lockOrderEvent{kind: loDeferUnlock, key: key, pos: v.Pos()})
+					return false
+				}
+				walk(v.Call, true)
+				return false
+			case *ast.CallExpr:
+				if key, acquire, ok := lockOrderOp(n.Pkg, v); ok {
+					kind := loRelease
+					if acquire {
+						kind = loAcquire
+						if _, seen := f.acquires[key]; !seen {
+							f.acquires[key] = v.Pos()
+						}
+					}
+					f.events = append(f.events, lockOrderEvent{kind: kind, key: key, pos: v.Pos()})
+					return true
+				}
+				if callee := callAt[v.Pos()]; callee != nil && !inDefer {
+					f.events = append(f.events, lockOrderEvent{kind: loCall, pos: v.Pos(), callee: callee})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(n.Decl.Body, false)
+	return f
+}
+
+// lockOrderOp classifies call as a mutex Lock/RLock (acquire) or
+// Unlock/RUnlock (release) and returns the type-qualified lock key. When
+// type info is available the method must come from package sync.
+func lockOrderOp(pkg *Package, call *ast.CallExpr) (key string, acquire, ok bool) {
+	if len(call.Args) != 0 {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	if obj, found := pkg.Info.Uses[sel.Sel]; found {
+		fn, isFn := obj.(*types.Func)
+		if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", false, false
+		}
+	}
+	key = lockOrderKey(pkg, sel.X)
+	if key == "" {
+		return "", false, false
+	}
+	return key, acquire, true
+}
+
+// lockOrderKey derives the type-qualified identity of the mutex
+// expression: "pkg.Type.field" for a struct field, "pkg.var" for a
+// package-level mutex. Locals return "" (no cross-function order exists
+// for a mutex that never escapes its frame — and if it does escape, its
+// methods key it where they are called).
+func lockOrderKey(pkg *Package, e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return lockOrderKey(pkg, v.X)
+	case *ast.SelectorExpr:
+		if tv, found := pkg.Info.Types[v.X]; found && tv.Type != nil {
+			t := tv.Type
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + v.Sel.Name
+			}
+		}
+		return exprString(e)
+	case *ast.Ident:
+		if obj, found := pkg.Info.Uses[v]; found && obj != nil {
+			if pkg.Types != nil && obj.Parent() == pkg.Types.Scope() {
+				return pkg.Types.Name() + "." + v.Name
+			}
+			return "" // local mutex
+		}
+		return exprString(e)
+	}
+	return exprString(e)
+}
+
+// ---------------------------------------------------------------------------
+// Cycle detection and reporting.
+
+type lockOrderEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string
+}
+
+// findLockCycles computes strongly connected components over the edge map
+// and returns, per cyclic component, its member edges sorted by position.
+func findLockCycles(l *Loader, edges map[string]map[string]lockOrderEdge) [][]lockOrderEdge {
+	keys := make([]string, 0, len(edges))
+	inGraph := map[string]bool{}
+	for from, m := range edges {
+		if !inGraph[from] {
+			inGraph[from] = true
+			keys = append(keys, from)
+		}
+		for to := range m {
+			if !inGraph[to] {
+				inGraph[to] = true
+				keys = append(keys, to)
+			}
+		}
+	}
+	sort.Strings(keys)
+
+	// Tarjan's SCC, iterative over the sorted key space.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for to := range edges[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+
+	var out [][]lockOrderEdge
+	for _, comp := range sccs {
+		member := map[string]bool{}
+		for _, k := range comp {
+			member[k] = true
+		}
+		var cyc []lockOrderEdge
+		for _, from := range comp {
+			for to, e := range edges[from] {
+				if member[to] {
+					cyc = append(cyc, lockOrderEdge{from: from, to: to, pos: e.pos, via: e.via})
+				}
+			}
+		}
+		sort.Slice(cyc, func(i, j int) bool {
+			return posLess(l.Fset.Position(cyc[i].pos), l.Fset.Position(cyc[j].pos))
+		})
+		out = append(out, cyc)
+	}
+	// Deterministic report order across components.
+	sort.Slice(out, func(i, j int) bool {
+		return posLess(l.Fset.Position(out[i][0].pos), l.Fset.Position(out[j][0].pos))
+	})
+	return out
+}
+
+// describeLockCycle renders one component's edges for the finding message.
+func describeLockCycle(l *Loader, cyc []lockOrderEdge) string {
+	parts := make([]string, 0, len(cyc))
+	for _, e := range cyc {
+		p := l.Fset.Position(e.pos)
+		loc := fmt.Sprintf("%s:%d", shortFile(p.Filename), p.Line)
+		if e.via != "" {
+			parts = append(parts, fmt.Sprintf("%s→%s (%s, via %s)", e.from, e.to, loc, e.via))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s→%s (%s)", e.from, e.to, loc))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// shortFile trims a position's filename to its last two path elements.
+func shortFile(name string) string {
+	slash := strings.LastIndexByte(name, '/')
+	if slash < 0 {
+		return name
+	}
+	if prev := strings.LastIndexByte(name[:slash], '/'); prev >= 0 {
+		return name[prev+1:]
+	}
+	return name[slash+1:]
+}

@@ -1,0 +1,74 @@
+package vet
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable output (`lambdafs-vet -json`): the full result —
+// findings, suppressions, per-check counts — as one JSON document, so CI
+// and future tooling consume the analyzer without scraping its text
+// format.
+
+type jsonFinding struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Col   int    `json:"col"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+type jsonSuppression struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+	Msg    string `json:"msg"`
+}
+
+type jsonReport struct {
+	Packages     int               `json:"packages"`
+	Findings     []jsonFinding     `json:"findings"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+	Counts       map[string]int    `json:"counts"`
+}
+
+// Counts returns the number of findings per check, with an explicit zero
+// for every registered check (and the allowlist-hygiene pseudo-check
+// "allow") so consumers always see the full check list.
+func (r *Result) Counts() map[string]int {
+	counts := make(map[string]int, len(CheckNames)+1)
+	for _, name := range CheckNames {
+		counts[name] = 0
+	}
+	counts["allow"] = 0
+	for _, f := range r.Findings {
+		counts[f.Check]++
+	}
+	return counts
+}
+
+// WriteJSON emits the machine-readable report.
+func (r *Result) WriteJSON(w io.Writer) error {
+	rep := jsonReport{
+		Packages:     r.NumPackages,
+		Findings:     make([]jsonFinding, 0, len(r.Findings)),
+		Suppressions: make([]jsonSuppression, 0, len(r.Suppressed)),
+		Counts:       r.Counts(),
+	}
+	for _, f := range r.Findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Check: f.Check, Msg: f.Msg,
+		})
+	}
+	for _, s := range r.Suppressed {
+		rep.Suppressions = append(rep.Suppressions, jsonSuppression{
+			File: s.Pos.Filename, Line: s.Pos.Line,
+			Check: s.Check, Reason: s.Reason, Msg: s.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,20 @@
+// Package allowmulti is a lambdafs-vet regression fixture for suppression
+// matching: two adjacent lines each carrying their own trailing allow for
+// the same check (the nearest entry must win, leaving neither stale), and
+// one line carrying two allows for different checks.
+package allowmulti
+
+import (
+	"math/rand"
+	"time"
+)
+
+func nearest() (time.Time, time.Time) {
+	a := time.Now() //vet:allow virtualtime fixture first wall read
+	b := time.Now() //vet:allow virtualtime fixture second wall read
+	return a, b
+}
+
+func combo() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) //vet:allow virtualtime fixture combo wall read //vet:allow determinism fixture combo unseeded source
+}

@@ -1,0 +1,127 @@
+// Package hotpath is a lambdafs-vet golden fixture for the //vet:hotpath
+// contract: allocation, blocking, and wall-clock reachability are flagged
+// transitively through the call graph (including interface dispatch);
+// pre-sized appends, clock.Idle-wrapped waits, buffered local signals,
+// and unreachable code are not.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+// serve is an enforced hot path: constructs it reaches — directly or
+// through calls — are flagged.
+//
+//vet:hotpath
+func serve(n int) string {
+	s := format(n)
+	tick() // want hotpath
+	return s
+}
+
+// format is only reached from serve; its allocation is flagged
+// interprocedurally.
+func format(n int) string {
+	return fmt.Sprintf("row-%d", n) // want hotpath
+}
+
+// tick reaches the wall clock; the finding lands on serve's call edge.
+func tick() {
+	_ = time.Now() //vet:allow virtualtime fixture wall-clock source
+}
+
+//vet:hotpath
+func gather(ch chan int, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch // want hotpath
+	}
+	return total
+}
+
+//vet:hotpath
+func grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want hotpath
+	}
+	return out
+}
+
+//vet:hotpath
+func label(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s = s + p // want hotpath
+	}
+	return s
+}
+
+type row struct{ id int }
+
+//vet:hotpath
+func alloc(id int) *row {
+	return &row{id: id} // want hotpath
+}
+
+//vet:hotpath
+func spawn(n int) []func() int {
+	fns := make([]func() int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		fns = append(fns, func() int { return i }) // want hotpath
+	}
+	return fns
+}
+
+type renderer interface{ render(int) string }
+
+type csv struct{}
+
+// render is reachable from emit only through the renderer interface —
+// class-hierarchy analysis finds it.
+func (csv) render(n int) string {
+	return fmt.Sprintf("%d,", n) // want hotpath
+}
+
+//vet:hotpath
+func emit(r renderer, n int) string {
+	return r.render(n)
+}
+
+// okWait parks through the sanctioned clock.Idle boundary: no finding.
+//
+//vet:hotpath
+func okWait(clk clock.Clock, ch chan int) int {
+	v := 0
+	clock.Idle(clk, func() { v = <-ch })
+	return v
+}
+
+// okPresized appends within an explicit capacity: no finding.
+//
+//vet:hotpath
+func okPresized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// okSignal sends to a locally created buffered channel: cannot block.
+//
+//vet:hotpath
+func okSignal() {
+	done := make(chan struct{}, 1)
+	done <- struct{}{}
+}
+
+// coldFormat is not reachable from any annotated root: its allocation is
+// out of scope.
+func coldFormat(n int) string {
+	return fmt.Sprintf("cold-%d", n)
+}

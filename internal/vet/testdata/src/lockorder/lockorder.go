@@ -1,0 +1,61 @@
+// Package lockorder is a lambdafs-vet golden fixture: two functions
+// taking the same pair of mutexes in opposite orders — one directly, one
+// through a call — form an acquisition-order cycle and must be flagged;
+// a consistently ordered pair must not.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// abDirect holds a and acquires b: the a→b edge. This line is the cycle's
+// lexically first edge, so the finding lands here.
+func abDirect(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want lockorder
+	p.n++
+	p.b.Unlock()
+}
+
+// baViaCall holds b and calls a function that acquires a: the b→a edge,
+// discovered interprocedurally through the call graph.
+func baViaCall(p *pair) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	lockA(p)
+}
+
+func lockA(p *pair) {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}
+
+type ordered struct {
+	x sync.Mutex
+	y sync.Mutex
+	n int
+}
+
+// xyFirst and xySecond both take x before y: one edge direction only, no
+// cycle, no finding.
+func xyFirst(o *ordered) {
+	o.x.Lock()
+	defer o.x.Unlock()
+	o.y.Lock()
+	o.n++
+	o.y.Unlock()
+}
+
+func xySecond(o *ordered) {
+	o.x.Lock()
+	o.y.Lock()
+	o.n++
+	o.y.Unlock()
+	o.x.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package metricnames is a lambdafs-vet golden fixture: telemetry
+// instruments must register constant lambdafs_<subsystem>_<metric> names
+// with the subsystem matching this package, kind-appropriate suffixes,
+// and bounded literal-keyed labels.
+package metricnames
+
+import "lambdafs/internal/telemetry"
+
+// clean registrations: correct subsystem, counter ends _total, gauge does
+// not, histogram carries a unit, label key is literal.
+func clean(reg *telemetry.Registry) {
+	reg.Counter("lambdafs_metricnames_ops_total")
+	reg.Gauge("lambdafs_metricnames_queue_depth", telemetry.L("shard", "0"))
+	reg.Histogram("lambdafs_metricnames_latency_seconds")
+	reg.GaugeFunc("lambdafs_metricnames_live", func() float64 { return 0 })
+}
+
+func dirty(reg *telemetry.Registry, dynamic string) {
+	reg.Counter("lambdafs_other_ops_total")                                // want metricnames
+	reg.Counter("lambdafs_metricnames_ops")                                // want metricnames
+	reg.Counter(dynamic)                                                   // want metricnames
+	reg.Gauge("lambdafs_metricnames_queue_total")                          // want metricnames
+	reg.Histogram("lambdafs_metricnames_latency")                          // want metricnames
+	reg.Counter("lambdafs-metricnames-bad-total")                          // want metricnames
+	reg.Counter("lambdafs_metricnames_x_total", telemetry.L(dynamic, "v")) // want metricnames
+}

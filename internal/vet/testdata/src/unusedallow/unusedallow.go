@@ -1,0 +1,14 @@
+// Package unusedallow is a lambdafs-vet golden fixture: a //vet:allow
+// that suppresses a real finding is counted as used; one that suppresses
+// nothing is itself reported as a stale allowlist entry.
+package unusedallow
+
+import "time"
+
+func used() time.Time {
+	return time.Now() //vet:allow virtualtime fixture demonstrating a live suppression
+}
+
+func stale() int {
+	return 1 //vet:allow locks fixture stale entry: nothing is locked here // want allow
+}

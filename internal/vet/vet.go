@@ -21,12 +21,30 @@
 //   - errcheck: calls inside internal/ must not silently drop error
 //     returns (an explicit `_ =` is allowed; defers and fmt printing are
 //     exempt).
+//   - metricnames: telemetry instruments register with constant names
+//     matching lambdafs_<subsystem>_<metric>, subsystem equal to the
+//     registering package, kind-appropriate suffixes, and bounded
+//     literal-keyed label sets.
+//
+// On top of the per-package checks, the analyzer builds a module-wide
+// call graph (callgraph.go) and runs two interprocedural checks:
+//
+//   - lockorder: the global lock-acquisition-order graph (which mutexes
+//     are acquired while which are held, propagated through calls) must
+//     be cycle-free — a cycle is a latent deadlock.
+//   - hotpath: functions annotated `//vet:hotpath` — and everything they
+//     transitively call — must not allocate (fmt.Sprintf, string
+//     concatenation, append growth, escaping composite literals,
+//     per-iteration closures), must not block outside clock.Idle /
+//     clock.Go, and must not reach wall-clock time.
 //
 // Findings can be suppressed with a `//vet:allow <check> <reason>`
-// comment on the offending line (or the line above). Suppressions must
-// carry a reason — a bare //vet:allow is itself a finding — and every
-// suppression used is counted and reported so the allowlist stays
-// auditable.
+// comment on the offending line (or the line above); several allows may
+// share a line (`//vet:allow a r1 //vet:allow b r2`), and the entry
+// nearest the finding wins. Suppressions must carry a reason — a bare
+// //vet:allow is itself a finding — every suppression used is counted
+// and reported, and a suppression that no longer suppresses anything is
+// reported as stale, so the allowlist can only shrink to match reality.
 package vet
 
 import (
@@ -69,46 +87,79 @@ type Result struct {
 	NumPackages int
 }
 
-// CheckNames lists the analyzer's checks in presentation order.
-var CheckNames = []string{"virtualtime", "determinism", "locks", "spans", "errcheck"}
+// CheckNames lists the analyzer's checks in presentation order: the
+// per-package checks first, then the call-graph (interprocedural) checks.
+var CheckNames = []string{
+	"virtualtime", "determinism", "locks", "spans", "errcheck",
+	"metricnames", "lockorder", "hotpath",
+}
 
 // checkFunc inspects one package and reports findings.
 type checkFunc func(l *Loader, pkg *Package, report func(pos token.Pos, check, msg string))
 
-var allChecks = map[string]checkFunc{
+// graphCheckFunc inspects the whole module through its call graph.
+type graphCheckFunc func(l *Loader, g *CallGraph, report func(pos token.Pos, check, msg string))
+
+var localChecks = map[string]checkFunc{
 	"virtualtime": checkVirtualTime,
 	"determinism": checkDeterminism,
 	"locks":       checkLocks,
 	"spans":       checkSpans,
 	"errcheck":    checkErrcheck,
+	"metricnames": checkMetricNames,
 }
 
-// Analyze runs every check over the given packages.
+var graphChecks = map[string]graphCheckFunc{
+	"lockorder": checkLockOrder,
+	"hotpath":   checkHotPath,
+}
+
+// Analyze runs every check over the given packages: the per-package
+// checks on each, then the interprocedural checks on the call graph built
+// over all of them. The //vet:allow table is global, so a suppression is
+// matched wherever the reporting check runs from.
 func Analyze(l *Loader, pkgs []*Package) *Result {
 	res := &Result{NumPackages: len(pkgs)}
+	allows := collectAllows(l, pkgs)
+	report := func(pos token.Pos, check, msg string) {
+		p := l.Fset.Position(pos)
+		if a := allows.match(p, check); a != nil {
+			a.used = true
+			res.Suppressed = append(res.Suppressed, Suppression{
+				Pos: p, Check: check, Reason: a.reason, Msg: msg,
+			})
+			return
+		}
+		res.Findings = append(res.Findings, Finding{Pos: p, Check: check, Msg: msg})
+	}
 	for _, pkg := range pkgs {
-		allows := collectAllows(l, pkg)
-		report := func(pos token.Pos, check, msg string) {
-			p := l.Fset.Position(pos)
-			if a := allows.match(p, check); a != nil {
-				a.used = true
-				res.Suppressed = append(res.Suppressed, Suppression{
-					Pos: p, Check: check, Reason: a.reason, Msg: msg,
-				})
-				return
-			}
-			res.Findings = append(res.Findings, Finding{Pos: p, Check: check, Msg: msg})
-		}
 		for _, name := range CheckNames {
-			allChecks[name](l, pkg, report)
-		}
-		for _, a := range allows.entries {
-			if a.reason == "" {
-				res.Findings = append(res.Findings, Finding{
-					Pos: a.pos, Check: "allow",
-					Msg: "//vet:allow suppression without a reason — state why the rule does not apply",
-				})
+			if check, ok := localChecks[name]; ok {
+				check(l, pkg, report)
 			}
+		}
+	}
+	g := BuildCallGraph(l, pkgs)
+	for _, name := range CheckNames {
+		if check, ok := graphChecks[name]; ok {
+			check(l, g, report)
+		}
+	}
+	// Allowlist hygiene: a suppression without a reason is a finding, and
+	// so is one that no longer suppresses anything (the stale entry would
+	// otherwise silently mask a future regression at that line).
+	for _, a := range allows.entries {
+		switch {
+		case a.reason == "":
+			res.Findings = append(res.Findings, Finding{
+				Pos: a.pos, Check: "allow",
+				Msg: "//vet:allow suppression without a reason — state why the rule does not apply",
+			})
+		case !a.used:
+			res.Findings = append(res.Findings, Finding{
+				Pos: a.pos, Check: "allow",
+				Msg: fmt.Sprintf("unused //vet:allow %s — nothing was suppressed here; delete the stale entry", a.check),
+			})
 		}
 	}
 	sort.Slice(res.Findings, func(i, j int) bool { return posLess(res.Findings[i].Pos, res.Findings[j].Pos) })
@@ -158,36 +209,48 @@ type allowTable struct {
 
 // match returns the entry suppressing check at p: an allow comment on the
 // same line (trailing comment) or the line above (standalone comment).
+// The nearest entry wins — a same-line allow beats a line-above one, so
+// adjacent lines can each carry their own suppression for the same check.
 func (t *allowTable) match(p token.Position, check string) *allowEntry {
+	var above *allowEntry
 	for _, a := range t.entries {
 		if a.file != p.Filename || a.check != check {
 			continue
 		}
-		if a.line == p.Line || a.line == p.Line-1 {
+		if a.line == p.Line {
 			return a
 		}
+		if a.line == p.Line-1 && above == nil {
+			above = a
+		}
 	}
-	return nil
+	return above
 }
 
-// collectAllows parses every //vet:allow comment in the package.
-func collectAllows(l *Loader, pkg *Package) *allowTable {
+// collectAllows parses every //vet:allow comment across the analyzed
+// packages into one table. A single comment may carry several entries
+// (`//vet:allow a reason //vet:allow b reason`) so one line can suppress
+// findings from different checks.
+func collectAllows(l *Loader, pkgs []*Package) *allowTable {
 	t := &allowTable{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//vet:allow")
-				if !ok {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//vet:allow") {
+						continue
+					}
+					pos := l.Fset.Position(c.Pos())
+					for _, part := range strings.Split(c.Text, "//vet:allow")[1:] {
+						fields := strings.Fields(part)
+						e := &allowEntry{pos: pos, file: pos.Filename, line: pos.Line}
+						if len(fields) > 0 {
+							e.check = fields[0]
+							e.reason = strings.Join(fields[1:], " ")
+						}
+						t.entries = append(t.entries, e)
+					}
 				}
-				fields := strings.Fields(text)
-				pos := l.Fset.Position(c.Pos())
-				e := &allowEntry{pos: pos, file: pos.Filename, line: pos.Line}
-				if len(fields) > 0 {
-					e.check = fields[0]
-					e.reason = strings.Join(fields[1:], " ")
-				}
-				t.entries = append(t.entries, e)
 			}
 		}
 	}
