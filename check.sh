@@ -2,9 +2,9 @@
 # Repo health check: formatting, vet, the in-repo lambdafs-vet analyzer,
 # build, full test suite, the race detector over the concurrency-heavy
 # packages (tracer, metrics, telemetry plane, FaaS platform, RPC fabric,
-# chaos harness, coordinator, NDB, LSM, core), bounded fixed-seed chaos
-# and crash-restart smoke runs, and the perf/durability baseline gates.
-# Run before sending changes.
+# chaos harness, coordinator, NDB, LSM, core), bounded fixed-seed chaos,
+# crash-restart, and alert-coverage smoke runs, and the perf/durability
+# baseline gates. Run before sending changes.
 set -e
 
 cd "$(dirname "$0")"
@@ -22,7 +22,7 @@ echo "ok"
 echo "== go vet =="
 go vet ./...
 
-echo "== lambdafs-vet (virtualtime/determinism/locks/spans/errcheck/metricnames + lockorder/hotpath; fails on stale allows) =="
+echo "== lambdafs-vet (virtualtime/determinism/locks/spans/errcheck/metricnames/slorules + lockorder/hotpath; fails on stale allows) =="
 vetout=$(mktemp)
 if ! go run ./cmd/lambdafs-vet -json ./... >"$vetout" 2>&1; then
     cat "$vetout"
@@ -47,6 +47,9 @@ go test ./internal/chaos/ -run TestChaosRandomized -chaosseed 3 -count=1
 echo "== crash-restart smoke (durability: WAL torn-tail sweep + episode battery) =="
 go test ./internal/ndb/ -run TestWALTornTailPrefixRecovery -count=1
 go test ./internal/chaos/ -run 'TestCrashRestartEpisodes|TestCrashRestartCatchesSabotage' -count=1
+
+echo "== alert-coverage smoke (every episode family's must-fire/must-not-fire contract + muted-alert sabotage) =="
+go test ./internal/chaos/ -run 'TestAlertCoverage|TestAlertCoverageCatchesMutedAlert|TestAlertEpisodeDigestStable' -count=1
 
 echo "== hotpath perf baseline (quick mode; gates batched throughput, allocs/op, lock-wait/op) =="
 go run ./cmd/lambdafs-bench -checkbaseline BENCH_hotpath.json

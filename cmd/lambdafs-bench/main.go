@@ -36,13 +36,14 @@ func main() {
 	traceDir := flag.String("trace", "", "dump raw trace/event JSONL from traced experiments into this directory")
 	metricsDir := flag.String("metrics", "", "write per-experiment telemetry artifacts (Prometheus text dump, scraped snapshot JSON, flight-recorder JSONL on chaos violations) into this directory")
 	chaosSeed := flag.Int64("chaosseed", 0, "replay a single chaos episode with this seed (0 = full chaos experiment; use the seed a failing run printed)")
+	sloDir := flag.String("slo", "", "write the slo experiment's alert artifacts (coverage battery JSON, alert-transition JSONL, live telemetry plane) into this directory")
 	pprofDir := flag.String("pprof", "", "profile each experiment's host cost and write <experiment>.{cpu,heap,mutex,block}.pprof into this directory")
 	baseline := flag.String("baseline", "", "measure the hotpath experiment and write the perf baseline JSON to this file, then exit")
 	checkBaseline := flag.String("checkbaseline", "", "re-measure the hotpath experiment at this baseline file's mode and exit nonzero on a >10% batched-throughput regression or an allocs/op or lock-wait/op blow-up")
 	restartBaseline := flag.String("restartbaseline", "", "measure the restart experiment's recovery sweep and write the durability baseline JSON to this file, then exit")
 	checkRestartBaseline := flag.String("checkrestartbaseline", "", "re-measure the restart recovery sweep at this baseline file's mode and exit nonzero on a digest divergence, a replayed-record drift, or a >10% recovery-time regression")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] [-pprof DIR] list | all | <experiment>...\n\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] [-slo DIR] [-pprof DIR] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
 		for _, e := range bench.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.Name, e.Brief)
@@ -110,7 +111,7 @@ func main() {
 	}
 
 	opts := bench.Options{Quick: !*full, Seed: *seed, Out: os.Stdout, TraceDir: *traceDir,
-		MetricsDir: *metricsDir, ChaosSeed: *chaosSeed}
+		MetricsDir: *metricsDir, ChaosSeed: *chaosSeed, SLODir: *sloDir}
 	mode := "quick"
 	if *full {
 		mode = "full (paper-scale)"
@@ -132,6 +133,12 @@ func main() {
 	if *metricsDir != "" {
 		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "metrics dir:", err)
+			os.Exit(1)
+		}
+	}
+	if *sloDir != "" {
+		if err := os.MkdirAll(*sloDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "slo dir:", err)
 			os.Exit(1)
 		}
 	}

@@ -9,8 +9,9 @@
 //
 // Commands: mkdir <path> | create <path> | stat <path> | read <path> |
 // ls <path> | mv <src> <dst> | rm <path> | kill <deployment> | stats |
-// top [seconds] [clients] | metrics | trace [n] | prof |
-// chaos [episodes] [seed] | restart [episodes] [seed] | help
+// top [seconds] [clients] | slo | watch [seconds] [clients] | metrics |
+// trace [n] | prof | chaos [episodes] [seed] | restart [episodes] [seed] |
+// help
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"lambdafs/internal/bench"
 	"lambdafs/internal/chaos"
 	"lambdafs/internal/clock"
+	"lambdafs/internal/slo"
 	"lambdafs/internal/telemetry"
 	"lambdafs/internal/trace"
 )
@@ -59,6 +61,20 @@ func main() {
 	cluster.Tracer().SetEventSink(recorder.RecordEvent)
 	scraper := telemetry.NewScraper(cluster.Clock(), cluster.Telemetry(), time.Second)
 	scraper.OnSnapshot(recorder.RecordSnapshot)
+	// The SLO engine rides along for the whole session: the default
+	// production rule pack evaluates on every scrape tick, firing/resolved
+	// transitions land in the flight recorder next to the trace events, and
+	// the slo / watch commands render its live state.
+	sloEng := slo.New(slo.Config{Registry: cluster.Telemetry()})
+	sloEng.AddRules(slo.DefaultRules())
+	sloEng.SetEventSink(recorder.RecordEvent)
+	scraper.OnSnapshot(sloEng.Observe)
+	// Registered after Observe: each sample sees the states the engine
+	// just evaluated at that tick (hooks run in registration order).
+	sloLog := &sloHistory{}
+	scraper.OnSnapshot(func(s telemetry.Snapshot) {
+		sloLog.record(s.VirtualUS(), sloEng.Status())
+	})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
@@ -237,6 +253,27 @@ func main() {
 				}
 			}
 			runTop(cluster, scraper, seconds, clients)
+		case "slo":
+			// slo: scrape once and render the rule pack's live state plus
+			// the session's recent alert transitions.
+			cluster.Run(func() { scraper.ScrapeNow() })
+			printSLO(sloEng)
+		case "watch":
+			// watch [seconds] [clients]: drive a short mixed workload and
+			// render the SLO rule states at every virtual-second scrape —
+			// the alerting-plane sibling of top.
+			seconds, clients := 5, 8
+			if len(args) > 0 {
+				if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+					seconds = v
+				}
+			}
+			if len(args) > 1 {
+				if v, err := strconv.Atoi(args[1]); err == nil && v > 0 {
+					clients = v
+				}
+			}
+			runWatch(cluster, scraper, sloEng, sloLog, seconds, clients)
 		case "metrics":
 			cluster.Run(func() { scraper.ScrapeNow() })
 			if err := telemetry.WritePrometheus(os.Stdout, cluster.Telemetry()); err != nil {
@@ -250,7 +287,7 @@ func main() {
 				s.CacheHits, s.CacheMisses, s.Store.Reads, s.Store.Writes, s.Store.Commits)
 			fmt.Printf("cost: pay-per-use $%.6f, provisioned $%.6f\n", s.PayPerUseUSD, s.ProvisionedUSD)
 		case "help":
-			fmt.Println("commands: mkdir create stat read ls mv rm kill stats top metrics trace prof chaos restart help")
+			fmt.Println("commands: mkdir create stat read ls mv rm kill stats top slo watch metrics trace prof chaos restart help")
 		default:
 			fmt.Printf("unknown command %q (try help)\n", cmd)
 		}
@@ -273,10 +310,42 @@ func main() {
 // key series. Gauges show the instant value at each scrape; counters show
 // the per-second delta.
 func runTop(cluster *lambdafs.Cluster, scraper *telemetry.Scraper, seconds, clients int) {
-	clk := cluster.Clock()
 	before := len(scraper.Snapshots())
+	driveMixed(cluster, scraper, seconds, clients)
+	snaps := scraper.Snapshots()[before:]
+	if len(snaps) < 2 {
+		fmt.Println("top: no samples collected")
+		return
+	}
+	rows := snaps[1:] // row 0 is the baseline
+	if len(rows) > seconds {
+		rows = rows[:seconds]
+	}
+	fmt.Printf("%8s %5s %5s %6s %8s %8s %9s %12s\n",
+		"t", "NNs", "warm", "util%", "inv/s", "hits/s", "commit/s", "cost$")
+	prev := snaps[0]
+	for _, s := range rows {
+		delta := func(key string) float64 { return s.Values[key] - prev.Values[key] }
+		fmt.Printf("%8s %5.0f %5.0f %5.1f%% %8.0f %8.0f %9.0f %12.6f\n",
+			fmt.Sprintf("%ds", s.VirtualUS()/1e6),
+			s.Values["lambdafs_faas_active_instances"],
+			s.Values["lambdafs_faas_warm_instances"],
+			100*s.Values["lambdafs_faas_pool_utilization"],
+			delta("lambdafs_faas_invocations_total"),
+			delta("lambdafs_core_cache_hits_total"),
+			delta("lambdafs_ndb_tx_commits_total"),
+			s.Values["lambdafs_cost_payperuse_usd"])
+		prev = s
+	}
+}
+
+// driveMixed runs the top/watch mixed workload against the live cluster
+// for the given virtual duration while the scraper samples the registry
+// once per virtual second. A baseline scrape precedes the workload so
+// the first sample after it is a true per-second delta.
+func driveMixed(cluster *lambdafs.Cluster, scraper *telemetry.Scraper, seconds, clients int) {
+	clk := cluster.Clock()
 	cluster.Run(func() {
-		// Baseline scrape so the first rendered row is a true delta.
 		scraper.ScrapeNow()
 		end := clk.Now().Add(time.Duration(seconds) * time.Second)
 		var wg sync.WaitGroup
@@ -305,31 +374,112 @@ func runTop(cluster *lambdafs.Cluster, scraper *telemetry.Scraper, seconds, clie
 		clock.Idle(clk, wg.Wait)
 		scraper.Stop()
 	})
-	snaps := scraper.Snapshots()[before:]
-	if len(snaps) < 2 {
-		fmt.Println("top: no samples collected")
+}
+
+// sloHistory records the rule states at each scrape tick so watch can
+// render a per-second timeline after the fact.
+type sloHistory struct {
+	mu      sync.Mutex
+	samples []sloSample
+}
+
+type sloSample struct {
+	tus      int64
+	statuses []slo.RuleStatus
+}
+
+func (h *sloHistory) record(tus int64, statuses []slo.RuleStatus) {
+	h.mu.Lock()
+	h.samples = append(h.samples, sloSample{tus: tus, statuses: statuses})
+	h.mu.Unlock()
+}
+
+func (h *sloHistory) len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *sloHistory) since(i int) []sloSample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]sloSample(nil), h.samples[i:]...)
+}
+
+// printSLO renders the rule pack's current state and the most recent
+// alert transitions.
+func printSLO(eng *slo.Engine) {
+	fmt.Printf("%-22s %-10s %-9s %12s %12s  %s\n", "rule", "kind", "state", "value", "bound", "since")
+	for _, st := range eng.Status() {
+		state := st.State
+		if st.Muted {
+			state += " (muted)"
+		}
+		since := "-"
+		if st.SinceTUS > 0 {
+			since = fmt.Sprintf("t+%v", slo.EpochTime(st.SinceTUS).Sub(clock.Epoch).Round(time.Millisecond))
+		}
+		fmt.Printf("%-22s %-10s %-9s %12.6g %12.6g  %s\n",
+			st.Name, st.Kind, state, st.Value, st.Bound, since)
+	}
+	trs := eng.Transitions()
+	if len(trs) == 0 {
+		fmt.Println("no alert transitions this session")
 		return
 	}
-	rows := snaps[1:] // row 0 is the baseline
-	if len(rows) > seconds {
-		rows = rows[:seconds]
+	const maxTrans = 8
+	if len(trs) > maxTrans {
+		trs = trs[len(trs)-maxTrans:]
 	}
-	fmt.Printf("%8s %5s %5s %6s %8s %8s %9s %12s\n",
-		"t", "NNs", "warm", "util%", "inv/s", "hits/s", "commit/s", "cost$")
-	prev := snaps[0]
-	for _, s := range rows {
-		delta := func(key string) float64 { return s.Values[key] - prev.Values[key] }
-		fmt.Printf("%8s %5.0f %5.0f %5.1f%% %8.0f %8.0f %9.0f %12.6f\n",
-			fmt.Sprintf("%ds", s.VirtualUS()/1e6),
-			s.Values["lambdafs_faas_active_instances"],
-			s.Values["lambdafs_faas_warm_instances"],
-			100*s.Values["lambdafs_faas_pool_utilization"],
-			delta("lambdafs_faas_invocations_total"),
-			delta("lambdafs_core_cache_hits_total"),
-			delta("lambdafs_ndb_tx_commits_total"),
-			s.Values["lambdafs_cost_payperuse_usd"])
-		prev = s
+	fmt.Printf("recent transitions (%d):\n", len(trs))
+	for _, tr := range trs {
+		fmt.Printf("  t+%-12v %-22s %s -> %s (value=%.6g bound=%.6g)\n",
+			slo.EpochTime(tr.TUS).Sub(clock.Epoch).Round(time.Microsecond),
+			tr.Rule, tr.From, tr.To, tr.Value, tr.Bound)
 	}
+}
+
+// runWatch drives the same mixed workload as top while rendering the SLO
+// plane instead: one row per virtual-second scrape, one column per rule
+// (. inactive, P pending, F firing), then the final rule states.
+func runWatch(cluster *lambdafs.Cluster, scraper *telemetry.Scraper, eng *slo.Engine, log *sloHistory, seconds, clients int) {
+	before := log.len()
+	driveMixed(cluster, scraper, seconds, clients)
+	samples := log.since(before)
+	if len(samples) == 0 {
+		fmt.Println("watch: no samples collected")
+		return
+	}
+	if len(samples) > 1 {
+		samples = samples[1:] // drop the pre-workload baseline scrape
+	}
+	if len(samples) > seconds {
+		samples = samples[:seconds]
+	}
+	fmt.Printf("%8s", "t")
+	for _, st := range samples[0].statuses {
+		name := st.Name
+		if len(name) > 14 {
+			name = name[:14]
+		}
+		fmt.Printf(" %14s", name)
+	}
+	fmt.Println()
+	for _, s := range samples {
+		fmt.Printf("%8s", fmt.Sprintf("%ds", s.tus/1e6))
+		for _, st := range s.statuses {
+			mark := "."
+			switch st.State {
+			case slo.StatePending:
+				mark = "P"
+			case slo.StateFiring:
+				mark = "F"
+			}
+			fmt.Printf(" %7s %6.3g", mark, st.Value)
+		}
+		fmt.Println()
+	}
+	printSLO(eng)
 }
 
 // printTraces renders the n most recent traces as indented span trees,

@@ -57,6 +57,10 @@ type Options struct {
 	// deterministic episode instead of its standard seed sweep (the seed a
 	// failing run printed).
 	ChaosSeed int64
+	// SLODir, when non-empty, receives the slo experiment's artifacts:
+	// the alert-coverage battery results as JSON, the live run's alert
+	// transition log as JSONL, and the live telemetry plane.
+	SLODir string
 }
 
 func (o Options) out() io.Writer {
@@ -169,6 +173,7 @@ func All() []Experiment {
 		{"trace", "Observability: latency decomposition and structured event log", RunTrace},
 		{"chaos", "Chaos: deterministic fault-injection episodes + full-stack fault storm", RunChaos},
 		{"restart", "Durability: recovery time vs WAL length + crash_restart episode battery", RunRestart},
+		{"slo", "SLOs: chaos alert-coverage battery + default rule pack on a live deployment", RunSLO},
 	}
 }
 

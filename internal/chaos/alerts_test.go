@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"lambdafs/internal/telemetry"
+)
+
+// TestAlertCoverage runs every episode family's scripted scenario under
+// the full ChaosRulePack and asserts its coverage contract: each
+// must-fire alert fired and no must-not-fire alert did, across seeds.
+func TestAlertCoverage(t *testing.T) {
+	for _, c := range AlertContracts() {
+		c := c
+		t.Run(string(c.Family), func(t *testing.T) {
+			for _, seed := range []int64{1, 7} {
+				res := RunAlertEpisode(DefaultAlertEpisode(c.Family, seed))
+				if res.Failed() {
+					t.Errorf("seed %d: contract violated:\n  %s",
+						seed, strings.Join(res.Violations, "\n  "))
+				}
+				if len(res.Transitions) == 0 {
+					t.Errorf("seed %d: no alert transitions recorded", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestAlertEpisodeDigestStable pins seeded replay: the same config must
+// produce byte-identical transition digests, and differing seeds are
+// allowed to differ (they schedule different ops around the faults).
+func TestAlertEpisodeDigestStable(t *testing.T) {
+	for _, c := range AlertContracts() {
+		a := RunAlertEpisode(DefaultAlertEpisode(c.Family, 42))
+		b := RunAlertEpisode(DefaultAlertEpisode(c.Family, 42))
+		if a.Digest != b.Digest {
+			t.Errorf("family %s: seed 42 replay diverged: %s vs %s", c.Family, a.Digest, b.Digest)
+		}
+		if a.Digest == "" {
+			t.Errorf("family %s: empty digest", c.Family)
+		}
+	}
+}
+
+// TestAlertCoverageCatchesMutedAlert is the sabotage proof: muting a
+// family's must-fire rule (the alert evaluates but can never
+// transition) must surface as a contract violation. If this test fails,
+// the battery would silently pass with dead alerts.
+func TestAlertCoverageCatchesMutedAlert(t *testing.T) {
+	for _, c := range AlertContracts() {
+		cfg := DefaultAlertEpisode(c.Family, 5)
+		cfg.MuteRule = c.MustFire[0]
+		res := RunAlertEpisode(cfg)
+		if !res.Failed() {
+			t.Errorf("family %s: muted must-fire rule %q was not caught", c.Family, cfg.MuteRule)
+			continue
+		}
+		found := false
+		for _, v := range res.Violations {
+			if strings.Contains(v, cfg.MuteRule) && strings.Contains(v, "never fired") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %s: violations do not name the muted rule: %v", c.Family, res.Violations)
+		}
+	}
+}
+
+// TestAlertEpisodeRecorderWiring checks the failure-dump path: snapshots
+// and firing/resolved trace events land in a flight recorder.
+func TestAlertEpisodeRecorderWiring(t *testing.T) {
+	rec := telemetry.NewFlightRecorder(256, 256)
+	cfg := DefaultAlertEpisode(FamilyShardFault, 3)
+	cfg.Recorder = rec
+	res := RunAlertEpisode(cfg)
+	if res.Failed() {
+		t.Fatalf("episode failed: %v", res.Violations)
+	}
+	events, snaps := rec.Len()
+	if snaps == 0 {
+		t.Fatal("no snapshots reached the flight recorder")
+	}
+	if events == 0 {
+		t.Fatal("no slo trace events reached the flight recorder")
+	}
+}

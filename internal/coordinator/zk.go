@@ -35,6 +35,7 @@ type coordTelemetry struct {
 	watches       *telemetry.Counter
 	failovers     *telemetry.Counter
 	hedgedINVs    *telemetry.Counter
+	invLatency    *telemetry.Histogram
 }
 
 func newCoordTelemetry(reg *telemetry.Registry) coordTelemetry {
@@ -45,6 +46,7 @@ func newCoordTelemetry(reg *telemetry.Registry) coordTelemetry {
 		watches:       reg.Counter("lambdafs_coordinator_watch_deliveries_total"),
 		failovers:     reg.Counter("lambdafs_coordinator_failovers_total"),
 		hedgedINVs:    reg.Counter("lambdafs_coordinator_hedged_invs_total"),
+		invLatency:    reg.Histogram("lambdafs_coordinator_inv_latency_seconds"),
 	}
 }
 
@@ -175,6 +177,7 @@ func (z *ZK) Invalidate(deps []int, inv Invalidation) error {
 		return nil
 	}
 	z.tel.watches.Add(float64(len(targets)))
+	invStart := z.clk.Now()
 
 	type result struct{ ok bool }
 	acks := make(chan result, len(targets))
@@ -209,6 +212,7 @@ func (z *ZK) Invalidate(deps []int, inv Invalidation) error {
 			}
 		})
 	}
+	z.tel.invLatency.Observe(z.clk.Since(invStart))
 	if timedOut {
 		return ErrAckTimeout
 	}
@@ -268,6 +272,7 @@ func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ct
 	// before fanning out.
 	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
 	z.tel.watches.Add(float64(len(targets)))
+	invStart := z.clk.Now()
 
 	fan := z.cfg.InvFanout
 	if fan <= 0 || fan > len(targets) {
@@ -348,6 +353,7 @@ func (z *ZK) InvalidateBatchTraced(deps []int, invs []Invalidation, tc *trace.Ct
 			}
 		})
 	}
+	z.tel.invLatency.Observe(z.clk.Since(invStart))
 	if !timedOut {
 		return nil
 	}

@@ -149,6 +149,7 @@ type coreTelemetry struct {
 	invRounds    *telemetry.Counter
 	parallelInvs *telemetry.Counter
 	subtreeParts *telemetry.Counter
+	opLatency    *telemetry.Histogram
 }
 
 func newCoreTelemetry(reg *telemetry.Registry) coreTelemetry {
@@ -158,6 +159,7 @@ func newCoreTelemetry(reg *telemetry.Registry) coreTelemetry {
 		invRounds:    reg.Counter("lambdafs_core_invalidation_rounds_total"),
 		parallelInvs: reg.Counter("lambdafs_core_parallel_invalidations_total"),
 		subtreeParts: reg.Counter("lambdafs_core_subtree_partitions_total"),
+		opLatency:    reg.Histogram("lambdafs_core_op_latency_seconds"),
 	}
 }
 
@@ -217,6 +219,7 @@ func (e *Engine) Execute(req namespace.Request) *namespace.Response {
 			return r
 		}
 	}
+	start := e.clk.Now()
 	sp := req.TC.Start(trace.KindEngineExec)
 	sp.SetInstance(e.id)
 	sp.SetDeployment(e.dep)
@@ -225,6 +228,7 @@ func (e *Engine) Execute(req namespace.Request) *namespace.Response {
 	e.cpu.AcquireCPU(e.cfg.OpCPUCost)
 	cpuSp.End()
 	resp := e.execute(tc, req)
+	e.tel.opLatency.Observe(e.clk.Since(start))
 	// The response object plus any entries/blocks it materializes are the
 	// engine's own contribution to the op's allocation bill.
 	sp.AddAllocs(1 + uint64(len(resp.Entries)) + uint64(len(resp.Blocks)))

@@ -775,6 +775,7 @@ func Recover(clk clock.Clock, cfg Config) (*DB, *RecoveryStats, error) {
 		cfg.Metrics.Counter("lambdafs_ndb_recoveries_total").Add(1)
 		cfg.Metrics.Counter("lambdafs_ndb_replayed_records_total").Add(float64(rs.ReplayedRecords))
 		cfg.Metrics.Counter("lambdafs_ndb_wal_truncations_total").Add(float64(rs.TruncatedShards))
+		cfg.Metrics.Histogram("lambdafs_ndb_recovery_seconds").Observe(rs.RecoveryTime)
 	}
 	return db, rs, nil
 }

@@ -1,0 +1,144 @@
+// Package slo is the streaming analytics and alerting layer of the
+// telemetry plane: it subscribes to the virtual-time Scraper, maintains
+// derived series per instrument (windowed rates, EWMA smoothing, and
+// mergeable quantile sketches reconstructed from histogram snapshots),
+// and evaluates SLO rules — threshold, multi-window burn-rate, and
+// staleness/absence — every scrape tick. Rule transitions are exported
+// as trace events, lambdafs_slo_* instruments, and a JSONL alert log.
+// The chaos harness consumes it for alert-coverage testing: each episode
+// family declares alerts it must and must not fire (internal/chaos).
+package slo
+
+import "math"
+
+// Sketch is a mergeable, weighted quantile sketch over positive values
+// (seconds), using the same log-spaced bucket layout as
+// metrics.Histogram: buckets grow geometrically by sketchGrowth from
+// sketchMin, so any reported quantile is within one bucket of the true
+// one — a relative error of at most sketchGrowth-1 = 5% for values in
+// [1µs, ~286s] (values outside clamp to the edge buckets, where the
+// bound degrades to the observed min/max). Weights are float64 so a
+// histogram snapshot delta can be redistributed fractionally across its
+// published quantiles. Sketches merge by bucket-wise weight addition,
+// which is what lets the engine keep one small sketch per scrape tick
+// and combine an arbitrary sliding window on demand without rescanning
+// raw observations.
+//
+// A Sketch is owned by a single goroutine (the scrape/evaluation loop);
+// it is deliberately unlocked.
+type Sketch struct {
+	weights [sketchBuckets]float64
+	total   float64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+const (
+	sketchMin     = 1e-6 // seconds; everything below lands in bucket 0
+	sketchGrowth  = 1.05 // ≤5% relative quantile error by construction
+	sketchBuckets = 400  // sketchMin * sketchGrowth^399 ≈ 286 s ceiling
+)
+
+// NewSketch returns an empty sketch.
+func NewSketch() *Sketch { return &Sketch{} }
+
+func sketchBucketFor(v float64) int {
+	if v <= sketchMin {
+		return 0
+	}
+	i := int(math.Log(v/sketchMin)/math.Log(sketchGrowth)) + 1
+	if i >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return i
+}
+
+// sketchUpper is the representative (upper bound) value of bucket i.
+func sketchUpper(i int) float64 {
+	return sketchMin * math.Pow(sketchGrowth, float64(i))
+}
+
+// Add records one observation of v seconds with weight 1.
+func (s *Sketch) Add(v float64) { s.AddWeighted(v, 1) }
+
+// AddWeighted records v seconds with the given (fractional) weight.
+// Non-positive weights are ignored.
+func (s *Sketch) AddWeighted(v, w float64) {
+	if w <= 0 || math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if s.total == 0 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.weights[sketchBucketFor(v)] += w
+	s.total += w
+	s.sum += v * w
+}
+
+// Merge folds other into s bucket-wise. Merging is exact: the merged
+// sketch is identical to one built from the union of observations.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if s.total == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	for i, w := range other.weights {
+		s.weights[i] += w
+	}
+	s.total += other.total
+	s.sum += other.sum
+}
+
+// Count returns the total recorded weight.
+func (s *Sketch) Count() float64 { return s.total }
+
+// Sum returns the weighted sum of observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]): the upper
+// bound of the bucket where the cumulative weight crosses q*total,
+// clamped to the observed [min, max]. Empty sketches return 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := q * s.total
+	cum := 0.0
+	for i, w := range s.weights {
+		cum += w
+		if cum >= rank {
+			v := sketchUpper(i)
+			if v > s.max {
+				v = s.max
+			}
+			if v < s.min {
+				v = s.min
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Reset clears the sketch for reuse (ring-buffer slot recycling).
+func (s *Sketch) Reset() {
+	*s = Sketch{}
+}

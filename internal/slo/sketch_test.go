@@ -1,0 +1,147 @@
+package slo
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// exactQuantile computes the empirical q-quantile of vs (nearest-rank).
+func exactQuantile(vs []float64, q float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// within asserts got is within the documented sketch error of want:
+// relative error ≤ sketchGrowth-1 (5%), with an absolute floor of
+// sketchMin for values at or below the first bucket.
+func within(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	tol := want * (sketchGrowth - 1)
+	if tol < sketchMin {
+		tol = sketchMin
+	}
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g want %g (tolerance %g)", name, got, want, tol)
+	}
+}
+
+func TestSketchPointMass(t *testing.T) {
+	// Point mass: every observation identical. Any quantile must land
+	// within one bucket (5%) of the mass.
+	for _, v := range []float64{1e-6, 37e-6, 1e-3, 0.25, 10} {
+		sk := NewSketch()
+		for i := 0; i < 1000; i++ {
+			sk.Add(v)
+		}
+		for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 0.999} {
+			within(t, "point mass", sk.Quantile(q), v)
+		}
+		if sk.Count() != 1000 {
+			t.Fatalf("count = %g, want 1000", sk.Count())
+		}
+	}
+}
+
+func TestSketchBimodal(t *testing.T) {
+	// Bimodal: 50% at 1ms, 50% at 100ms. Quantiles on either side of the
+	// split must snap to the right mode; the 5% bucket error cannot blur
+	// a 100× separation.
+	sk := NewSketch()
+	var vs []float64
+	for i := 0; i < 500; i++ {
+		sk.Add(1e-3)
+		sk.Add(100e-3)
+		vs = append(vs, 1e-3, 100e-3)
+	}
+	for _, q := range []float64{0.05, 0.25, 0.45} {
+		within(t, "bimodal low mode", sk.Quantile(q), exactQuantile(vs, q))
+	}
+	for _, q := range []float64{0.55, 0.75, 0.99} {
+		within(t, "bimodal high mode", sk.Quantile(q), exactQuantile(vs, q))
+	}
+}
+
+func TestSketchMonotoneRamp(t *testing.T) {
+	// Monotone ramp: 10k observations linearly spaced over [1ms, 1s].
+	// Every quantile estimate must stay within the documented 5%
+	// relative error of the exact empirical quantile.
+	sk := NewSketch()
+	var vs []float64
+	n := 10000
+	for i := 0; i < n; i++ {
+		v := 1e-3 + (1.0-1e-3)*float64(i)/float64(n-1)
+		sk.Add(v)
+		vs = append(vs, v)
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		within(t, "ramp", sk.Quantile(q), exactQuantile(vs, q))
+	}
+}
+
+func TestSketchMergeIsExact(t *testing.T) {
+	// Merging k shards must produce bucket-identical results to a single
+	// sketch over the union — the property that lets the engine keep one
+	// sketch per scrape tick and window-merge on demand.
+	whole := NewSketch()
+	shards := []*Sketch{NewSketch(), NewSketch(), NewSketch()}
+	for i := 0; i < 3000; i++ {
+		v := 1e-5 * math.Pow(1.003, float64(i%2000))
+		whole.Add(v)
+		shards[i%3].Add(v)
+	}
+	merged := NewSketch()
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %g != whole %g", merged.Count(), whole.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("q%g: merged %g != whole %g", q, got, want)
+		}
+	}
+}
+
+func TestSketchWeightedAndEdges(t *testing.T) {
+	sk := NewSketch()
+	if sk.Quantile(0.5) != 0 {
+		t.Fatalf("empty sketch quantile != 0")
+	}
+	// 90% of the weight at 1ms, 10% at 1s via fractional weights.
+	sk.AddWeighted(1e-3, 0.9)
+	sk.AddWeighted(1.0, 0.1)
+	within(t, "weighted q50", sk.Quantile(0.5), 1e-3)
+	within(t, "weighted q99", sk.Quantile(0.99), 1.0)
+	// Ignored inputs.
+	sk.AddWeighted(5, 0)
+	sk.AddWeighted(5, -1)
+	sk.AddWeighted(math.NaN(), 1)
+	if sk.Count() != 1.0 {
+		t.Fatalf("count = %g, want 1", sk.Count())
+	}
+	// q=0 / q=1 clamp to observed extremes.
+	if sk.Quantile(0) != 1e-3 || sk.Quantile(1) != 1.0 {
+		t.Fatalf("extremes: q0=%g q1=%g", sk.Quantile(0), sk.Quantile(1))
+	}
+	// Values beyond the top bucket clamp to the observed max.
+	sk2 := NewSketch()
+	sk2.Add(1e9)
+	if got := sk2.Quantile(0.5); got != 1e9 {
+		t.Fatalf("overflow clamp: got %g want 1e9", got)
+	}
+	// Reset empties the sketch for ring reuse.
+	sk2.Reset()
+	if sk2.Count() != 0 || sk2.Quantile(0.5) != 0 {
+		t.Fatalf("reset did not clear sketch")
+	}
+}

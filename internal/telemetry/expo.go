@@ -6,12 +6,83 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
 // fmtFloat renders values the way Prometheus text exposition expects:
 // shortest representation that round-trips.
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabelValue escapes a label value per the Prometheus text format
+// spec (version 0.0.4): backslash, double quote, and line feed are the
+// ONLY escaped characters (`\\`, `\"`, `\n`); everything else — tabs,
+// non-ASCII — passes through raw. This deliberately differs from Go's
+// %q (used by labelString for registry identity keys), which escapes far
+// more and would not round-trip through a Prometheus parser.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue inverts escapeLabelValue (used by the round-trip
+// test and any in-repo consumer of the exposition output).
+func unescapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case '"':
+				b.WriteByte('"')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// promLabelString renders a label set for text exposition:
+// {k1="v1",k2="v2"} with spec-correct value escaping, or "" when empty.
+func promLabelString(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4). Counters expose a single _total-named sample,
@@ -37,16 +108,16 @@ func WritePrometheus(w io.Writer, reg *Registry) error {
 		}
 		switch m.Kind {
 		case KindCounter, KindGauge:
-			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), fmtFloat(m.Value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabelString(m.Labels), fmtFloat(m.Value)); err != nil {
 				return err
 			}
 		case KindHistogram:
-			ls := labelString(m.Labels)
+			ls := promLabelString(m.Labels)
 			for _, q := range []struct {
 				q string
 				v float64
 			}{{"0.5", m.Q50}, {"0.95", m.Q95}, {"0.99", m.Q99}} {
-				ql := labelString(append(append([]Label(nil), m.Labels...), L("quantile", q.q)))
+				ql := promLabelString(append(append([]Label(nil), m.Labels...), L("quantile", q.q)))
 				if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, ql, fmtFloat(q.v)); err != nil {
 					return err
 				}

@@ -110,3 +110,102 @@ func TestHTTPHandler(t *testing.T) {
 		t.Fatalf("GET /metrics.json: %v %v", err, got)
 	}
 }
+
+// parseSampleLine is a minimal text-format parser for round-trip
+// testing: name{k="v",...} value → (name, labels).
+func parseSampleLine(t *testing.T, line string) (string, map[string]string) {
+	t.Helper()
+	labels := map[string]string{}
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		return strings.Fields(line)[0], labels
+	}
+	name := line[:brace]
+	rest := line[brace+1:]
+	for len(rest) > 0 && rest[0] != '}' {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			t.Fatalf("malformed label block in %q", line)
+		}
+		key := rest[:eq]
+		rest = rest[eq+2:]
+		// Scan to the closing quote, honouring backslash escapes.
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				val.WriteByte(rest[i])
+				i++
+				val.WriteByte(rest[i])
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		labels[key] = unescapeLabelValue(val.String())
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return name, labels
+}
+
+// TestPrometheusLabelEscapingRoundTrip pins the text-format escaping
+// rules: backslash, double quote, and newline are escaped in label
+// values (and nothing else — tabs pass through raw), and a conforming
+// parser recovers the original values exactly.
+func TestPrometheusLabelEscapingRoundTrip(t *testing.T) {
+	hostile := map[string]string{
+		"backslash": `C:\tmp\wal`,
+		"quote":     `say "ack"`,
+		"newline":   "line1\nline2",
+		"tab":       "a\tb",
+		"mixed":     "q\"\\\nend",
+	}
+	r := NewRegistry()
+	for k, v := range hostile {
+		r.Counter("lambdafs_test_escapes_total", L("case", k), L("path", v)).Inc()
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// No raw newline may survive inside a sample line: every sample must
+	// stay one line.
+	seen := 0
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		name, labels := parseSampleLine(t, line)
+		if name != "lambdafs_test_escapes_total" {
+			t.Fatalf("unexpected sample %q", line)
+		}
+		want, ok := hostile[labels["case"]]
+		if !ok {
+			t.Fatalf("unknown case label in %q", line)
+		}
+		if labels["path"] != want {
+			t.Fatalf("case %s: round-trip got %q want %q", labels["case"], labels["path"], want)
+		}
+		seen++
+	}
+	if seen != len(hostile) {
+		t.Fatalf("parsed %d samples, want %d:\n%s", seen, len(hostile), out)
+	}
+	// Spot-check the raw encoding per the spec.
+	if !strings.Contains(out, `path="C:\\tmp\\wal"`) {
+		t.Fatalf("backslash not escaped as \\\\:\n%s", out)
+	}
+	if !strings.Contains(out, `path="line1\nline2"`) {
+		t.Fatalf("newline not escaped as \\n:\n%s", out)
+	}
+	if !strings.Contains(out, `say \"ack\"`) {
+		t.Fatalf("quote not escaped as \\\":\n%s", out)
+	}
+	if !strings.Contains(out, "a\tb") {
+		t.Fatalf("tab must pass through raw:\n%s", out)
+	}
+}

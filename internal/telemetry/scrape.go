@@ -46,11 +46,12 @@ type Scraper struct {
 	reg      *Registry
 	interval time.Duration
 
-	mu     sync.Mutex
-	snaps  []Snapshot
-	onSnap func(Snapshot)
-	stop   chan struct{}
-	done   chan struct{}
+	mu         sync.Mutex
+	snaps      []Snapshot
+	onSnap     []func(Snapshot)
+	hookPanics uint64
+	stop       chan struct{}
+	done       chan struct{}
 }
 
 // NewScraper builds a scraper over reg ticking every interval (default
@@ -63,15 +64,50 @@ func NewScraper(clk clock.Clock, reg *Registry, interval time.Duration) *Scraper
 }
 
 // OnSnapshot registers fn to be called (on the scraper goroutine) after
-// every scrape, including manual ScrapeNow calls. Used to feed the
-// flight recorder and live dashboards. Must be set before Start.
+// every scrape, including manual ScrapeNow calls. Multiple subscribers
+// may register; they are invoked in registration order. A panic in one
+// subscriber is recovered and counted (HookPanics) without affecting
+// the other subscribers or the scrape loop. Used to feed the flight
+// recorder, the SLO engine, and live dashboards.
 func (s *Scraper) OnSnapshot(fn func(Snapshot)) {
-	if s == nil {
+	if s == nil || fn == nil {
 		return
 	}
 	s.mu.Lock()
-	s.onSnap = fn
+	s.onSnap = append(s.onSnap, fn)
 	s.mu.Unlock()
+}
+
+// HookPanics reports how many OnSnapshot subscriber invocations panicked
+// (each recovered and isolated to that subscriber).
+func (s *Scraper) HookPanics() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hookPanics
+}
+
+// SetInterval reconfigures the scrape interval. Takes effect from the
+// next loop iteration; safe to call while the loop is running.
+func (s *Scraper) SetInterval(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.interval = d
+	s.mu.Unlock()
+}
+
+// Interval returns the current scrape interval.
+func (s *Scraper) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.interval
 }
 
 // ScrapeNow takes an immediate snapshot, appends it to the series, and
@@ -84,12 +120,26 @@ func (s *Scraper) ScrapeNow() Snapshot {
 	flatten(s.reg.Gather(), snap.Values)
 	s.mu.Lock()
 	s.snaps = append(s.snaps, snap)
-	fn := s.onSnap
+	fns := append([]func(Snapshot){}, s.onSnap...)
 	s.mu.Unlock()
-	if fn != nil {
-		fn(snap)
+	for _, fn := range fns {
+		s.invoke(fn, snap)
 	}
 	return snap
+}
+
+// invoke runs one subscriber, recovering (and counting) a panic so a
+// broken dashboard hook cannot take down the scrape loop or starve the
+// other subscribers.
+func (s *Scraper) invoke(fn func(Snapshot), snap Snapshot) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.hookPanics++
+			s.mu.Unlock()
+		}
+	}()
+	fn(snap)
 }
 
 // Start launches the scrape loop. Stop terminates it.
@@ -113,7 +163,10 @@ func (s *Scraper) loop(stop, done chan struct{}) {
 	defer close(done)
 	for {
 		stopped := false
-		after := s.clk.After(s.interval)
+		s.mu.Lock()
+		interval := s.interval
+		s.mu.Unlock()
+		after := s.clk.After(interval)
 		clock.Idle(s.clk, func() {
 			select {
 			case <-stop:

@@ -89,6 +89,8 @@ const (
 	EventCoherenceINV    EventType = "coherence_inv"     // INV/ACK exchange completed
 	EventSubtreeOffload  EventType = "subtree_offload"   // batch offloaded to a helper NameNode
 	EventChaosFault      EventType = "chaos_fault"       // fault injector armed or fired a fault
+	EventSLOFiring       EventType = "slo_firing"        // SLO rule transitioned to firing
+	EventSLOResolved     EventType = "slo_resolved"      // SLO rule transitioned back to ok
 )
 
 // Resources is the per-span resource ledger: what a span *consumed*, as

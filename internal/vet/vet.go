@@ -25,6 +25,10 @@
 //     matching lambdafs_<subsystem>_<metric>, subsystem equal to the
 //     registering package, kind-appropriate suffixes, and bounded
 //     literal-keyed label sets.
+//   - slorules (module-wide): SLO rule definitions (internal/slo
+//     constructor calls) may only reference metric names that some
+//     analyzed package actually registers — a typo'd rule would
+//     silently never fire.
 //
 // On top of the per-package checks, the analyzer builds a module-wide
 // call graph (callgraph.go) and runs two interprocedural checks:
@@ -91,11 +95,15 @@ type Result struct {
 // per-package checks first, then the call-graph (interprocedural) checks.
 var CheckNames = []string{
 	"virtualtime", "determinism", "locks", "spans", "errcheck",
-	"metricnames", "lockorder", "hotpath",
+	"metricnames", "slorules", "lockorder", "hotpath",
 }
 
 // checkFunc inspects one package and reports findings.
 type checkFunc func(l *Loader, pkg *Package, report func(pos token.Pos, check, msg string))
+
+// moduleCheckFunc inspects all analyzed packages together (cross-package
+// consistency, e.g. SLO rules against the registered metric namespace).
+type moduleCheckFunc func(l *Loader, pkgs []*Package, report func(pos token.Pos, check, msg string))
 
 // graphCheckFunc inspects the whole module through its call graph.
 type graphCheckFunc func(l *Loader, g *CallGraph, report func(pos token.Pos, check, msg string))
@@ -107,6 +115,10 @@ var localChecks = map[string]checkFunc{
 	"spans":       checkSpans,
 	"errcheck":    checkErrcheck,
 	"metricnames": checkMetricNames,
+}
+
+var moduleChecks = map[string]moduleCheckFunc{
+	"slorules": checkSLORules,
 }
 
 var graphChecks = map[string]graphCheckFunc{
@@ -137,6 +149,11 @@ func Analyze(l *Loader, pkgs []*Package) *Result {
 			if check, ok := localChecks[name]; ok {
 				check(l, pkg, report)
 			}
+		}
+	}
+	for _, name := range CheckNames {
+		if check, ok := moduleChecks[name]; ok {
+			check(l, pkgs, report)
 		}
 	}
 	g := BuildCallGraph(l, pkgs)
