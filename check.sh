@@ -2,9 +2,10 @@
 # Repo health check: formatting, vet, the in-repo lambdafs-vet analyzer,
 # build, full test suite, the race detector over the concurrency-heavy
 # packages (tracer, metrics, telemetry plane, FaaS platform, RPC fabric,
-# chaos harness, coordinator, NDB, LSM, core), bounded fixed-seed chaos,
-# crash-restart, and alert-coverage smoke runs, and the perf/durability
-# baseline gates. Run before sending changes.
+# chaos harness, coordinator, NDB, LSM, core, tenant), bounded fixed-seed
+# chaos, crash-restart, alert-coverage, and discrete-event-scale smoke
+# runs, and the perf/durability/scale baseline gates. Run before sending
+# changes.
 set -e
 
 cd "$(dirname "$0")"
@@ -38,8 +39,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (trace, metrics, telemetry, faas, rpc, chaos, coordinator, ndb, lsm, core) =="
-go test -race ./internal/trace/ ./internal/metrics/ ./internal/telemetry/ ./internal/faas/ ./internal/rpc/ ./internal/chaos/ ./internal/coordinator/ ./internal/ndb/ ./internal/lsm/ ./internal/core/
+echo "== go test -race (trace, metrics, telemetry, faas, rpc, chaos, coordinator, ndb, lsm, core, tenant) =="
+go test -race ./internal/trace/ ./internal/metrics/ ./internal/telemetry/ ./internal/faas/ ./internal/rpc/ ./internal/chaos/ ./internal/coordinator/ ./internal/ndb/ ./internal/lsm/ ./internal/core/ ./internal/tenant/
 
 echo "== chaos smoke (bounded, fixed seed) =="
 go test ./internal/chaos/ -run TestChaosRandomized -chaosseed 3 -count=1
@@ -49,13 +50,19 @@ go test ./internal/ndb/ -run TestWALTornTailPrefixRecovery -count=1
 go test ./internal/chaos/ -run 'TestCrashRestartEpisodes|TestCrashRestartCatchesSabotage' -count=1
 
 echo "== alert-coverage smoke (every episode family's must-fire/must-not-fire contract + muted-alert sabotage) =="
-go test ./internal/chaos/ -run 'TestAlertCoverage|TestAlertCoverageCatchesMutedAlert|TestAlertEpisodeDigestStable' -count=1
+go test ./internal/chaos/ -run 'TestAlertCoverage|TestAlertCoverageCatchesMutedAlert|TestAlertEpisodeDigestStable|TestTenantStormContract|TestTenantStormMutedAlertCaught' -count=1
+
+echo "== scale smoke (event-heap determinism, FIFO stability, 100k-client wall/alloc budget) =="
+go test ./internal/sim/ -run 'TestSchedulerDeterminism|TestHeapFIFOStability|TestHundredKClientBudget' -count=1
 
 echo "== hotpath perf baseline (quick mode; gates batched throughput, allocs/op, lock-wait/op) =="
 go run ./cmd/lambdafs-bench -checkbaseline BENCH_hotpath.json
 
 echo "== restart durability baseline (quick mode; gates digest-exact recovery, replayed records, recovery time) =="
 go run ./cmd/lambdafs-bench -checkrestartbaseline BENCH_restart.json
+
+echo "== scale baseline (quick mode; gates the bit-exact client-count sweep: digests, op/throttle counts, quantiles, shard counts) =="
+go run ./cmd/lambdafs-bench -checkscalebaseline BENCH_scale.json
 
 echo "== profiling smoke =="
 profdir=$(mktemp -d)

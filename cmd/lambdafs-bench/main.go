@@ -14,6 +14,8 @@
 //	lambdafs-bench -checkbaseline BENCH_hotpath.json   # fail on regression
 //	lambdafs-bench -restartbaseline BENCH_restart.json      # write durability baseline
 //	lambdafs-bench -checkrestartbaseline BENCH_restart.json # fail on recovery regression
+//	lambdafs-bench -scalebaseline BENCH_scale.json          # write scale-curve baseline
+//	lambdafs-bench -checkscalebaseline BENCH_scale.json     # fail on scale-model divergence
 package main
 
 import (
@@ -42,6 +44,8 @@ func main() {
 	checkBaseline := flag.String("checkbaseline", "", "re-measure the hotpath experiment at this baseline file's mode and exit nonzero on a >10% batched-throughput regression or an allocs/op or lock-wait/op blow-up")
 	restartBaseline := flag.String("restartbaseline", "", "measure the restart experiment's recovery sweep and write the durability baseline JSON to this file, then exit")
 	checkRestartBaseline := flag.String("checkrestartbaseline", "", "re-measure the restart recovery sweep at this baseline file's mode and exit nonzero on a digest divergence, a replayed-record drift, or a >10% recovery-time regression")
+	scaleBaseline := flag.String("scalebaseline", "", "run the scale experiment's client-count sweep and write the deterministic baseline JSON to this file, then exit")
+	checkScaleBaseline := flag.String("checkscalebaseline", "", "re-run the scale sweep at this baseline file's mode and exit nonzero on any divergence (the model is bit-deterministic: op counts, throttles, quantiles, and the event-stream digest must match exactly)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [-full] [-seed N] [-csv DIR] [-trace DIR] [-metrics DIR] [-chaosseed N] [-slo DIR] [-pprof DIR] list | all | <experiment>...\n\n", os.Args[0])
 		fmt.Fprintln(os.Stderr, "experiments:")
@@ -52,7 +56,8 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 
-	if *baseline != "" || *checkBaseline != "" || *restartBaseline != "" || *checkRestartBaseline != "" {
+	if *baseline != "" || *checkBaseline != "" || *restartBaseline != "" || *checkRestartBaseline != "" ||
+		*scaleBaseline != "" || *checkScaleBaseline != "" {
 		opts := bench.Options{Quick: !*full, Seed: *seed}
 		if *baseline != "" {
 			if err := bench.WriteHotpathBaseline(*baseline, opts); err != nil {
@@ -81,6 +86,20 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("restart baseline %s holds (digest-exact recovery, no >10%% recovery-time regression)\n", *checkRestartBaseline)
+		}
+		if *scaleBaseline != "" {
+			if err := bench.WriteScaleBaseline(*scaleBaseline, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "scalebaseline:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote scale baseline to %s\n", *scaleBaseline)
+		}
+		if *checkScaleBaseline != "" {
+			if err := bench.CheckScaleBaseline(*checkScaleBaseline, opts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("scale baseline %s holds (bit-exact event stream, counts, and quantiles)\n", *checkScaleBaseline)
 		}
 		return
 	}

@@ -174,6 +174,7 @@ func All() []Experiment {
 		{"chaos", "Chaos: deterministic fault-injection episodes + full-stack fault storm", RunChaos},
 		{"restart", "Durability: recovery time vs WAL length + crash_restart episode battery", RunRestart},
 		{"slo", "SLOs: chaos alert-coverage battery + default rule pack on a live deployment", RunSLO},
+		{"scale", "Scalability: 10³–10⁶-client throughput/p99 curve with multi-tenant admission (discrete-event)", RunScale},
 	}
 }
 

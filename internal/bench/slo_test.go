@@ -40,8 +40,8 @@ func TestSLOExperiment(t *testing.T) {
 
 	// The live table carries one row per default rule, each in a legal
 	// state.
-	if len(live.Rows) != 5 {
-		t.Fatalf("live table has %d rules, want the 5 of the default pack", len(live.Rows))
+	if len(live.Rows) != 6 {
+		t.Fatalf("live table has %d rules, want the 6 of the default pack", len(live.Rows))
 	}
 	for _, row := range live.Rows {
 		switch row[2] {
@@ -63,8 +63,8 @@ func TestSLOExperiment(t *testing.T) {
 	if err := json.Unmarshal(raw, &results); err != nil {
 		t.Fatalf("coverage artifact is not JSON: %v", err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("coverage artifact has %d episodes, want 4 (one per family at tiny scale)", len(results))
+	if len(results) != 5 {
+		t.Fatalf("coverage artifact has %d episodes, want 5 (one per family at tiny scale)", len(results))
 	}
 	for _, r := range results {
 		if len(r.Fired) == 0 || len(r.Digest) != 64 {
@@ -79,8 +79,8 @@ func TestSLOExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatalf("live prometheus dump: %v", err)
 	}
-	if !strings.Contains(string(prom), "lambdafs_slo_rules 5") {
-		t.Error("live registry does not report the 5 default rules")
+	if !strings.Contains(string(prom), "lambdafs_slo_rules 6") {
+		t.Error("live registry does not report the 6 default rules")
 	}
 	if !strings.Contains(string(prom), `lambdafs_slo_firing{rule="inv_latency_p99"}`) {
 		t.Error("live registry missing per-rule firing gauges")

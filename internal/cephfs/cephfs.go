@@ -10,6 +10,20 @@
 // throughput — and they are exactly what this model implements.
 //
 // See DESIGN.md's substitution table.
+//
+// # Concurrency and ownership
+//
+// A System is safe for concurrent use by many Clients: the namespace
+// tree is guarded by the System-wide mutex and the Stats counters are
+// atomics readable without it. Capability caches live on each Client
+// under the Client's own mutex — they must, because a *writer's* op
+// revokes capabilities by reaching into every other client's cache
+// (dropCap) from the writer's goroutine. Each modeled MDS owns a worker
+// pool of sim-clock goroutines (spawned with clock.Go at construction,
+// parked in clock.Idle while waiting for tasks) that serialize service
+// time on its vCPUs; capacity is charged only through that pool, never
+// while the System mutex is held. Lock order is therefore System.mu
+// before Client.mu, and MDS service time is outside both.
 package cephfs
 
 import (

@@ -38,6 +38,10 @@ const (
 	// FamilyLeaderDepose rotates coordination leadership: failovers must
 	// alert while sessions and latency stay quiet.
 	FamilyLeaderDepose AlertFamily = "leader_depose"
+	// FamilyTenantStorm floods one underprovisioned tenant far past its
+	// token-bucket rate: admission throttles must alert while the rest of
+	// the cluster (latency, membership, durability) stays healthy.
+	FamilyTenantStorm AlertFamily = "tenant_storm"
 )
 
 // Chaos alert rule names (stable identifiers — they appear in digests,
@@ -48,6 +52,7 @@ const (
 	AlertOpLatency       = "alert_op_latency"
 	AlertRecoveryCeiling = "alert_recovery_ceiling"
 	AlertWALStall        = "alert_wal_stall"
+	AlertTenantThrottle  = "alert_tenant_throttle"
 )
 
 // ChaosRulePack is the uniform rule set every alert episode runs: the
@@ -72,6 +77,9 @@ func ChaosRulePack() []slo.Rule {
 		// Commits advancing while the WAL is silent for 4 ticks.
 		slo.Absence(AlertWALStall,
 			"lambdafs_ndb_wal_appends_total", "lambdafs_ndb_tx_commits_total", 4),
+		// More than 10 tenant admission rejections within one tick.
+		slo.Threshold(AlertTenantThrottle,
+			"lambdafs_tenant_throttled_total", slo.SignalDelta, slo.OpGreater, 10, 1),
 	}
 }
 
@@ -90,22 +98,27 @@ func AlertContracts() []AlertContract {
 		{
 			Family:      FamilyInstanceKill,
 			MustFire:    []string{AlertLeaseChurn},
-			MustNotFire: []string{AlertLeaderFlap, AlertOpLatency, AlertRecoveryCeiling, AlertWALStall},
+			MustNotFire: []string{AlertLeaderFlap, AlertOpLatency, AlertRecoveryCeiling, AlertWALStall, AlertTenantThrottle},
 		},
 		{
 			Family:      FamilyShardFault,
 			MustFire:    []string{AlertOpLatency},
-			MustNotFire: []string{AlertLeaseChurn, AlertLeaderFlap, AlertRecoveryCeiling, AlertWALStall},
+			MustNotFire: []string{AlertLeaseChurn, AlertLeaderFlap, AlertRecoveryCeiling, AlertWALStall, AlertTenantThrottle},
 		},
 		{
 			Family:      FamilyCrashRestart,
 			MustFire:    []string{AlertRecoveryCeiling},
-			MustNotFire: []string{AlertLeaseChurn, AlertLeaderFlap, AlertOpLatency, AlertWALStall},
+			MustNotFire: []string{AlertLeaseChurn, AlertLeaderFlap, AlertOpLatency, AlertWALStall, AlertTenantThrottle},
 		},
 		{
 			Family:      FamilyLeaderDepose,
 			MustFire:    []string{AlertLeaderFlap},
-			MustNotFire: []string{AlertLeaseChurn, AlertOpLatency, AlertRecoveryCeiling, AlertWALStall},
+			MustNotFire: []string{AlertLeaseChurn, AlertOpLatency, AlertRecoveryCeiling, AlertWALStall, AlertTenantThrottle},
+		},
+		{
+			Family:      FamilyTenantStorm,
+			MustFire:    []string{AlertTenantThrottle},
+			MustNotFire: []string{AlertLeaseChurn, AlertLeaderFlap, AlertOpLatency, AlertRecoveryCeiling, AlertWALStall},
 		},
 	}
 }
@@ -192,9 +205,12 @@ func RunAlertEpisode(cfg AlertEpisodeConfig) *AlertEpisodeResult {
 	sc.OnSnapshot(eng.Observe)
 
 	clock.Run(clk, func() {
-		if cfg.Family == FamilyCrashRestart {
+		switch cfg.Family {
+		case FamilyCrashRestart:
 			runRestartAlertScenario(cfg, clk, reg, sc)
-		} else {
+		case FamilyTenantStorm:
+			runTenantStormScenario(cfg, clk, reg, sc)
+		default:
 			runClusterAlertScenario(cfg, clk, reg, sc)
 		}
 	})

@@ -27,6 +27,7 @@ const (
 	FaultWALTear       FaultKind = "wal_torn_write"   // ndb: crash mid-append leaves a torn WAL tail
 	FaultCkptLoss      FaultKind = "checkpoint_loss"  // ndb: one shard's checkpoint round silently lost
 	FaultCrashRestart  FaultKind = "crash_restart"    // ndb: whole store killed, recovered from media
+	FaultTenantStorm   FaultKind = "tenant_storm"     // tenant: one tenant floods past its admission rate
 )
 
 // ErrInjected is the error surfaced by injected ndb faults. It crosses the

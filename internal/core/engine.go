@@ -103,6 +103,21 @@ type EngineConfig struct {
 	// rounds. Engines sharing one config share the counters (registry
 	// get-or-create), giving fleet-wide totals.
 	Metrics *telemetry.Registry
+
+	// Admission, when non-nil, gates every tenant-tagged request before
+	// it consumes CPU or touches the store (tenant.Registry implements
+	// it). Requests with an empty Tenant bypass admission, so
+	// single-tenant deployments pay only a nil check.
+	Admission Admission
+}
+
+// Admission is the per-tenant admission-control hook consulted at the
+// top of Execute. Admit returns namespace.ErrThrottled (or another
+// sentinel) to reject; every successful Admit is paired with Done when
+// the operation completes.
+type Admission interface {
+	Admit(tenantName string) error
+	Done(tenantName string)
 }
 
 // DefaultEngineConfig matches the evaluation's λFS NameNode settings.
@@ -218,6 +233,15 @@ func (e *Engine) Execute(req namespace.Request) *namespace.Response {
 		if r := e.results.get(req.Key()); r != nil {
 			return r
 		}
+	}
+	if e.cfg.Admission != nil && req.Tenant != "" {
+		// Throttled responses are cheap by design: no span, no CPU charge,
+		// no store traffic, no result-cache entry (a resubmission should
+		// re-attempt admission, not replay the rejection).
+		if err := e.cfg.Admission.Admit(req.Tenant); err != nil {
+			return &namespace.Response{Err: namespace.ToWire(err), ServedBy: e.id}
+		}
+		defer e.cfg.Admission.Done(req.Tenant)
 	}
 	start := e.clk.Now()
 	sp := req.TC.Start(trace.KindEngineExec)

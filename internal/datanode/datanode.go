@@ -4,6 +4,19 @@
 // NameNodes, DataNodes publish them to the persistent metadata store on a
 // regular interval, and NameNodes read (and briefly cache) that table when
 // they need block locations or liveness.
+//
+// # Concurrency and ownership
+//
+// A DataNode is safe for concurrent use: its block map is mutex-guarded,
+// and Start spawns exactly one publisher goroutine (clock.Go on the
+// injected clock, interval waits parked in clock.Idle) that Stop joins.
+// There is deliberately no channel between DataNodes and NameNodes — the
+// store is the only shared medium, which is the serverless-compatibility
+// point. On the reading side, a View is safe for concurrent Live/
+// PickLocations calls from many NameNode goroutines: the cached report
+// set is mutex-guarded, a single caller is elected to refresh when the
+// TTL lapses (the `refreshing` flag) while the rest serve the stale
+// copy, and the store read itself happens outside the mutex.
 package datanode
 
 import (

@@ -17,12 +17,16 @@ var (
 	ErrTimeout      = errors.New("namespace: request timed out")
 	ErrConnLost     = errors.New("namespace: connection lost")
 	ErrInvalidState = errors.New("namespace: invalid internal state")
+	// ErrThrottled is returned when per-tenant admission control rejects
+	// a request (token bucket empty or in-flight cap reached) before it
+	// touches the store. Clients back off rather than retry immediately.
+	ErrThrottled = errors.New("namespace: tenant throttled")
 )
 
 var wireErrors = []error{
 	ErrNotFound, ErrExists, ErrNotDir, ErrIsDir, ErrPermission,
 	ErrSubtreeBusy, ErrMvIntoSelf, ErrUnavailable, ErrTimeout,
-	ErrConnLost, ErrInvalidState, ErrInvalidPath,
+	ErrConnLost, ErrInvalidState, ErrInvalidPath, ErrThrottled,
 }
 
 // ToWire converts an error into its wire string ("" for nil).

@@ -58,6 +58,10 @@ type Request struct {
 	Path string
 	Dest string // destination path for mv
 
+	// Tenant names the issuing tenant for admission control; empty (the
+	// single-tenant case) bypasses admission entirely.
+	Tenant string
+
 	// ClientID and Seq identify the request for resubmission
 	// deduplication: NameNodes briefly cache results keyed by
 	// (ClientID, Seq) so a retried request returns the original result

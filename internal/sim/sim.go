@@ -1,0 +1,210 @@
+// Package sim implements the discrete-event scheduler behind the
+// million-client scale experiments: simulated clients are lightweight
+// state machines whose next steps are events on a binary min-heap keyed
+// by (virtual time, sequence number), executed one at a time by a single
+// goroutine. It is the deterministic, bounded-memory counterpart of
+// clock.Sim's goroutine-per-actor model (see SIMULATION.md): where
+// clock.Sim lets ordinary blocking Go code run on virtual time at the
+// cost of one goroutine (and one runtime schedule point) per actor, a
+// Scheduler represents each pending actor step as one ~40-byte heap
+// entry, so 10⁵–10⁶ concurrent clients simulate in seconds of wall time.
+//
+// # Determinism
+//
+// A Scheduler run is a pure function of the callbacks scheduled into it:
+// events fire in strictly non-decreasing virtual time, and events
+// scheduled for the same instant fire in the order they were scheduled
+// (the sequence number breaks ties, making the heap FIFO-stable).
+// Callbacks must derive all randomness from seeds and must not consult
+// wall-clock time; under that contract, the same seed yields the same
+// event order, the same Digest, and the same results on every run —
+// unlike clock.Sim, which is deterministic in outcome but not in
+// interleaving. Digest seals the executed event order so tests and bench
+// baselines can assert replay-exactness cheaply.
+//
+// # Concurrency and ownership
+//
+// A Scheduler is single-threaded by construction and not safe for
+// concurrent use: exactly one goroutine calls Run/RunUntil, and
+// callbacks run on that goroutine. Callbacks may schedule further events
+// but must never block — there is no other goroutine to unblock them.
+// Clock() adapts the scheduler's virtual time for clock-keyed components
+// (telemetry scrapers, tenant token buckets); its Sleep and After panic
+// for that reason.
+package sim
+
+import (
+	"time"
+
+	"lambdafs/internal/clock"
+)
+
+// event is one scheduled callback. due is virtual nanoseconds since
+// Epoch; seq breaks ties FIFO so simultaneous events fire in scheduling
+// order.
+type event struct {
+	due int64
+	seq uint64
+	fn  func()
+}
+
+// Scheduler is a deterministic discrete-event runtime. The zero value is
+// ready to use; New adds a capacity hint.
+type Scheduler struct {
+	now      int64 // virtual ns since clock.Epoch
+	seq      uint64
+	heap     []event
+	executed uint64
+	digest   uint64
+}
+
+// New returns a Scheduler whose event heap is pre-sized for hint pending
+// events (one per concurrent client is the right order of magnitude).
+func New(hint int) *Scheduler {
+	s := &Scheduler{}
+	if hint > 0 {
+		s.heap = make([]event, 0, hint)
+	}
+	return s
+}
+
+// Now returns the current virtual time as an offset from clock.Epoch.
+func (s *Scheduler) Now() time.Duration { return time.Duration(s.now) }
+
+// NowTime returns the current virtual time as an absolute timestamp on
+// the shared clock.Epoch origin.
+func (s *Scheduler) NowTime() time.Time { return clock.Epoch.Add(time.Duration(s.now)) }
+
+// After schedules fn to run d from now (immediately, but still in FIFO
+// order, when d <= 0). fn runs on the Run goroutine and must not block.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	due := s.now + int64(d)
+	if due < s.now {
+		due = s.now
+	}
+	s.seq++
+	s.push(event{due: due, seq: s.seq, fn: fn})
+}
+
+// At schedules fn at the absolute virtual offset t from Epoch, clamped
+// to now when t is already past.
+func (s *Scheduler) At(t time.Duration, fn func()) { s.After(t-time.Duration(s.now), fn) }
+
+// Pending returns the number of scheduled events not yet executed.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Executed returns the count of events executed so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Digest returns an FNV-style hash over the (due, seq) pairs of every
+// executed event, in execution order: two runs that made identical
+// scheduling decisions have identical digests.
+func (s *Scheduler) Digest() uint64 { return s.digest }
+
+// Run executes events in (time, seq) order until the heap is empty.
+func (s *Scheduler) Run() { s.run(1<<63 - 1) }
+
+// RunUntil executes events with due times <= the absolute virtual offset
+// t, then advances the clock to exactly t. Events scheduled beyond t
+// stay pending for a later Run/RunUntil call.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	limit := int64(t)
+	s.run(limit)
+	if s.now < limit {
+		s.now = limit
+	}
+}
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// run is the event loop: pop the earliest event, advance virtual time to
+// it, fold it into the digest, dispatch. Dispatch goes through the
+// stored func value, so the loop itself stays allocation- and
+// formatting-free regardless of what the callbacks do.
+//
+//vet:hotpath
+func (s *Scheduler) run(limit int64) {
+	for len(s.heap) > 0 && s.heap[0].due <= limit {
+		e := s.pop()
+		s.now = e.due
+		s.executed++
+		h := s.digest
+		if h == 0 {
+			h = fnvOffset64
+		}
+		h = (h ^ uint64(e.due)) * fnvPrime64
+		h = (h ^ e.seq) * fnvPrime64
+		s.digest = h
+		e.fn()
+	}
+}
+
+// less orders the heap by (due, seq): earliest first, FIFO on ties.
+func (s *Scheduler) less(i, j int) bool {
+	a, b := &s.heap[i], &s.heap[j]
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(e event) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. Hand-rolled (rather than
+// container/heap) to keep the event loop free of interface boxing and
+// per-operation allocations at million-event scale.
+func (s *Scheduler) pop() event {
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap[n] = event{}
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+	return top
+}
+
+// Clock adapts the scheduler as a read-only clock.Clock for components
+// that only need Now/Since (telemetry scrapers, token buckets). Sleep
+// and After panic: blocking is impossible on the single event-loop
+// goroutine — schedule a continuation with Scheduler.After instead.
+func (s *Scheduler) Clock() clock.Clock { return schedClock{s} }
+
+type schedClock struct{ s *Scheduler }
+
+func (c schedClock) Now() time.Time                  { return c.s.NowTime() }
+func (c schedClock) Since(t time.Time) time.Duration { return c.s.NowTime().Sub(t) }
+func (c schedClock) Sleep(d time.Duration) {
+	panic("sim: Sleep would block the event loop; use Scheduler.After")
+}
+func (c schedClock) After(d time.Duration) <-chan time.Time {
+	panic("sim: After has no waiter goroutine; use Scheduler.After")
+}

@@ -37,5 +37,12 @@ func DefaultRules() []Rule {
 		// than 2 virtual seconds end-to-end breaches the restart SLO.
 		QuantileThreshold("recovery_time_ceiling",
 			"lambdafs_ndb_recovery_seconds", 0.99, OpGreater, 2.0, 1),
+
+		// Tenant throttle surge: more than 500 admission rejections per
+		// tick sustained for 2 ticks means some tenant's provisioned rate
+		// is far below its demand (or a storm is underway) — the signal
+		// the capacity planner acts on.
+		Threshold("tenant_throttle_surge",
+			"lambdafs_tenant_throttled_total", SignalDelta, OpGreater, 500, 2),
 	}
 }

@@ -292,8 +292,8 @@ func TestDefaultRulesRegisterCleanly(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	e := New(Config{Registry: reg})
 	e.AddRules(DefaultRules())
-	if got := len(e.Status()); got != 5 {
-		t.Fatalf("default pack has %d rules, want 5", got)
+	if got := len(e.Status()); got != 6 {
+		t.Fatalf("default pack has %d rules, want 6", got)
 	}
 	// A quiet snapshot stream must not fire anything.
 	for i := 1; i <= 20; i++ {

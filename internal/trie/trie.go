@@ -3,6 +3,18 @@
 // INode along a cached path is stored at the corresponding trie node, and
 // subtree (prefix) invalidations remove a whole subtree in one traversal
 // (Appendix D).
+//
+// # Concurrency and ownership
+//
+// A Trie is deliberately not safe for concurrent use and contains no
+// locking: it is a pure data structure with exactly one owner. In the
+// system that owner is internal/cache's Cache, which wraps every access
+// in its own mutex and layers the LRU list, byte budget, and
+// listing-completeness bookkeeping on top — putting a second lock here
+// would only add a redundant acquisition to the read hot path. Values
+// are stored as given; if V is a pointer type, mutating the pointee
+// after Put is the caller's (i.e. the cache's) responsibility to
+// synchronize.
 package trie
 
 // Trie maps path component chains to values of type V. The zero value is

@@ -5,6 +5,21 @@
 // IndexFS (§5.7), namespace pre-population, latency/throughput recording,
 // and NameNode fault injection (§5.6). It is this repository's
 // replacement for the paper's modified hammer-bench driver.
+//
+// # Concurrency and ownership
+//
+// Drivers spawn one goroutine per simulated client via clock.Go on the
+// caller's clock and join them all before returning; nothing here ever
+// sleeps on the wall clock. Randomness is owned per goroutine: Mix is
+// an immutable value whose Sample takes a caller-owned *rand.Rand, and
+// every client goroutine derives its own seeded source — sharing one
+// rng across clients would both race and destroy per-seed
+// reproducibility. ParetoLoad likewise embeds a private rng and must
+// stay confined to a single goroutine. The one deliberately shared
+// structure is Tree, the live-namespace pool: it is mutex-guarded and
+// safe for all client goroutines to draw paths from concurrently.
+// TenantClass and the default tenant tables (tenants.go) are pure data —
+// construct-then-read, safe to share.
 package workload
 
 import (
